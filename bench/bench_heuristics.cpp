@@ -1,0 +1,57 @@
+// Decomposition-quality ablation: min-fill vs min-degree vs MCS against the
+// exact treewidth on random graphs (the substrate substitution for
+// Bodlaender's algorithm documented in DESIGN.md).
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl {
+namespace {
+
+void RunHeuristicsBench() {
+  std::printf("Tree-decomposition heuristics vs exact treewidth\n");
+  std::printf("(32 random partial 3-trees, n = 14)\n");
+  std::printf("%10s %10s %10s %12s\n", "heuristic", "avg width", "excess",
+              "time ms/graph");
+  Rng rng(99);
+  std::vector<Graph> graphs;
+  std::vector<int> exact;
+  for (int i = 0; i < 32; ++i) {
+    graphs.push_back(RandomPartialKTree(14, 3, 0.75, &rng));
+    exact.push_back(ExactTreewidth(graphs.back()).value());
+  }
+  struct Row {
+    const char* name;
+    TdHeuristic heuristic;
+  };
+  for (Row row : {Row{"min-fill", TdHeuristic::kMinFill},
+                  Row{"min-degree", TdHeuristic::kMinDegree},
+                  Row{"mcs", TdHeuristic::kMcs}}) {
+    double total_width = 0, total_excess = 0;
+    Timer timer;
+    for (size_t i = 0; i < graphs.size(); ++i) {
+      auto td = Decompose(graphs[i], row.heuristic);
+      TREEDL_CHECK(td.ok());
+      total_width += td->Width();
+      total_excess += td->Width() - exact[static_cast<size_t>(i)];
+    }
+    double ms = timer.ElapsedMillis() / static_cast<double>(graphs.size());
+    std::printf("%10s %10.2f %10.2f %12.3f\n", row.name,
+                total_width / static_cast<double>(graphs.size()),
+                total_excess / static_cast<double>(graphs.size()), ms);
+  }
+  double avg_exact = 0;
+  for (int w : exact) avg_exact += w;
+  std::printf("%10s %10.2f\n", "exact",
+              avg_exact / static_cast<double>(exact.size()));
+}
+
+}  // namespace
+}  // namespace treedl
+
+int main() {
+  treedl::RunHeuristicsBench();
+  return 0;
+}

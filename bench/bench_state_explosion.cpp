@@ -1,0 +1,84 @@
+// The motivation of §1/§6 quantified:
+//  (a) the generic Thm 4.5 construction saturates for rank 0/1 over a unary
+//      signature but explodes over τ = {e/2} even at rank 1;
+//  (b) the determinized FTA route materializes one state per *set* of partial
+//      solutions, while monadic datalog materializes one fact per partial
+//      solution — compared head-to-head on 3-Colorability.
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "fta/type_automaton.hpp"
+#include "graph/generators.hpp"
+#include "mso/formulas.hpp"
+#include "mso/parser.hpp"
+#include "mso2dl/mso_to_datalog.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl {
+namespace {
+
+void GenericConstructionTable() {
+  std::printf("(a) Thm 4.5 generic construction: types and program size\n");
+  std::printf("%-34s %5s %8s %8s %8s\n", "query / signature", "rank",
+              "up-types", "dn-types", "rules");
+  Signature unary = Signature::Make({{"p", 1}}).value();
+  struct Row {
+    const char* label;
+    const char* formula;
+  };
+  for (Row row : {Row{"p(x) over {p/1}", "p(x)"},
+                  Row{"p(x) & ex1 y:(y!=x & p(y)) {p/1}",
+                      "p(x) & (ex1 y: (~(y = x) & p(y)))"}}) {
+    auto phi = mso::ParseFormula(row.formula);
+    TREEDL_CHECK(phi.ok());
+    mso2dl::Mso2DlOptions options;
+    options.width = 1;
+    auto result = mso2dl::MsoToDatalog(unary, *phi, "x", options);
+    TREEDL_CHECK(result.ok()) << result.status();
+    std::printf("%-34s %5d %8zu %8zu %8zu\n", row.label, result->rank,
+                result->num_up_types, result->num_down_types,
+                result->program.NumRules());
+  }
+  {
+    mso2dl::Mso2DlOptions options;
+    options.width = 1;
+    options.max_types = 512;
+    auto result = mso2dl::MsoToDatalog(Signature::GraphSignature(),
+                                       mso::HasNeighborQuery("x"), "x",
+                                       options);
+    std::printf("%-34s %5d %8s %8s %8s  <- %s\n", "ex1 y: e(x,y) over {e/2}",
+                1, ">512", "-", "-", result.status().ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+void FtaVersusDatalogTable() {
+  std::printf("(b) 3COL on random partial 3-trees: determinized-FTA states "
+              "vs datalog facts\n");
+  std::printf("%6s %16s %16s %14s\n", "n", "FTA subset-states",
+              "datalog facts", "max subset");
+  for (size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    Rng rng(n * 31 + 1);
+    Graph g = RandomPartialKTree(n, 3, 0.8, &rng);
+    auto td = Decompose(g);
+    TREEDL_CHECK(td.ok());
+    auto usage = fta::MeasureThreeColorAutomaton(g, *td);
+    TREEDL_CHECK(usage.ok()) << usage.status();
+    std::printf("%6zu %16zu %16zu %14zu\n", n, usage->distinct_subset_states,
+                usage->total_facts, usage->max_subset_size);
+  }
+  std::printf(
+      "\n(each distinct subset is one automaton state; an a-priori automaton\n"
+      "construction must enumerate all 2^(3^(w+1)) of them, while the datalog\n"
+      "program only ever touches reachable individual facts — the paper's\n"
+      "optimization (1)/(2) discussion in §6)\n");
+}
+
+}  // namespace
+}  // namespace treedl
+
+int main() {
+  treedl::GenericConstructionTable();
+  treedl::FtaVersusDatalogTable();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// 3-Colorability (§5.1): the datalog-style DP scales linearly in the data at
+// fixed treewidth (Thm 5.1), while brute-force search is exponential. Also
+// measures the counting extension.
+#include <benchmark/benchmark.h>
+
+#include "core/three_color.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algorithms.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl {
+namespace {
+
+// Fixed-treewidth instances of growing size: random partial 3-trees.
+Graph Instance(size_t n) {
+  Rng rng(n * 2654435761u + 7);
+  return RandomPartialKTree(n, 3, 0.8, &rng);
+}
+
+void BM_ThreeColorDp(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Graph g = Instance(n);
+  auto td = Decompose(g);
+  TREEDL_CHECK(td.ok());
+  for (auto _ : state) {
+    auto result = core::SolveThreeColor(g, *td, /*extract_coloring=*/false);
+    TREEDL_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->colorable);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ThreeColorDp)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_ThreeColorBruteForce(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Graph g = Instance(n);
+  for (auto _ : state) {
+    auto coloring = BruteForceColoring(g, 3);
+    benchmark::DoNotOptimize(coloring.has_value());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+// Backtracking happens to be fast on colorable instances; keep sizes small
+// so hard (uncolorable) draws do not stall the harness.
+BENCHMARK(BM_ThreeColorBruteForce)->DenseRange(10, 22, 4);
+
+void BM_ThreeColorCounting(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Graph g = Instance(n);
+  auto td = Decompose(g);
+  TREEDL_CHECK(td.ok());
+  for (auto _ : state) {
+    auto count = core::CountThreeColorings(g, *td);
+    TREEDL_CHECK(count.ok());
+    benchmark::DoNotOptimize(*count);
+  }
+}
+BENCHMARK(BM_ThreeColorCounting)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_ThreeColorWitnessExtraction(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Graph g = Instance(n);
+  auto td = Decompose(g);
+  TREEDL_CHECK(td.ok());
+  for (auto _ : state) {
+    auto result = core::SolveThreeColor(g, *td, /*extract_coloring=*/true);
+    TREEDL_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->coloring);
+  }
+}
+BENCHMARK(BM_ThreeColorWitnessExtraction)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace treedl
+
+BENCHMARK_MAIN();

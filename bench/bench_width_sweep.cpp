@@ -1,0 +1,44 @@
+// Ablation: the f(w) factor of Cor 4.6 / Thm 5.3. At fixed data size, the
+// PRIMALITY DP's state count and runtime grow steeply with the width of the
+// decomposition (FD-window schemas of increasing window).
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "core/primality_enum.hpp"
+#include "schema/encode.hpp"
+#include "schema/generators.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl {
+namespace {
+
+void RunWidthSweep() {
+  std::printf("PRIMALITY DP cost vs decomposition width (fixed ~36 attrs)\n");
+  std::printf("%7s %6s %10s %14s %14s\n", "window", "width", "time ms",
+              "total states", "max/node");
+  for (int window : {2, 3, 4, 5, 6}) {
+    Rng rng(static_cast<uint64_t>(window) * 31 + 5);
+    Schema schema = RandomWindowSchema(36, 24, window, &rng);
+    SchemaEncoding encoding = EncodeSchema(schema);
+    auto td = DecomposeStructure(encoding.structure);
+    TREEDL_CHECK(td.ok());
+    Timer timer;
+    core::DpStats stats;
+    auto primes = core::EnumeratePrimes(schema, encoding, *td, &stats);
+    double ms = timer.ElapsedMillis();
+    TREEDL_CHECK(primes.ok()) << primes.status();
+    std::printf("%7d %6d %10.2f %14zu %14zu\n", window, td->Width(), ms,
+                stats.total_states, stats.max_states_per_node);
+  }
+  std::printf("\n(time and states grow exponentially in the width — the f(w) "
+              "of Cor 4.6 —\n while Table 1 shows linear growth in the data "
+              "at fixed width)\n");
+}
+
+}  // namespace
+}  // namespace treedl
+
+int main() {
+  treedl::RunWidthSweep();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// PRIMALITY enumeration (§5.3) on a Table 1-scale instance: 31 FDs and 93
+// attributes in a balanced width-3 decomposition, far beyond the reach of
+// exponential methods, solved by one bottom-up + one top-down pass.
+#include <iostream>
+
+#include "common/timer.hpp"
+#include "core/primality_enum.hpp"
+#include "schema/generators.hpp"
+
+int main() {
+  using namespace treedl;
+  BalancedInstance inst = GenerateBalancedInstance(31);
+  std::cout << "Balanced §6 instance: " << inst.schema.NumAttributes()
+            << " attributes, " << inst.schema.NumFds()
+            << " FDs, decomposition width " << inst.td.Width() << " with "
+            << inst.td.NumNodes() << " raw nodes\n";
+
+  Timer timer;
+  core::DpStats stats;
+  auto primes = core::EnumeratePrimes(inst.schema, inst.encoding, inst.td,
+                                      &stats);
+  double ms = timer.ElapsedMillis();
+  if (!primes.ok()) {
+    std::cerr << "enumeration failed: " << primes.status() << "\n";
+    return 1;
+  }
+  size_t count = 0;
+  for (bool p : *primes) count += p;
+  std::cout << "Enumerated primes in " << ms << " ms (" << count << " of "
+            << primes->size() << " attributes are prime; "
+            << stats.total_states << " solve() facts materialized, max "
+            << stats.max_states_per_node << " per node)\n";
+
+  std::cout << "Sample: ";
+  for (const char* name : {"x1", "y1", "z1", "x7", "z31"}) {
+    auto a = inst.schema.AttributeByName(name);
+    if (a.ok()) {
+      std::cout << name << "="
+                << ((*primes)[static_cast<size_t>(*a)] ? "prime" : "non-prime")
+                << "  ";
+    }
+  }
+  std::cout << "\n(expected: every x*/y* prime, every z* non-prime)\n";
+  return 0;
+}

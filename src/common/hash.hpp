@@ -1,0 +1,29 @@
+// Hash combinators for composite DP states and interned keys.
+#ifndef TREEDL_COMMON_HASH_HPP_
+#define TREEDL_COMMON_HASH_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace treedl {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  size_t h = std::hash<T>{}(value);
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash for a vector of hashable elements (order-sensitive).
+template <typename T>
+size_t HashRange(const std::vector<T>& values, size_t seed = 0xcbf29ce484222325ULL) {
+  for (const T& v : values) HashCombine(&seed, v);
+  HashCombine(&seed, values.size());
+  return seed;
+}
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_HASH_HPP_

@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace treedl {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  TREEDL_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  // Partial Fisher–Yates: shuffle only the first k slots.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace treedl

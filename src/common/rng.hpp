@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for generators and tests.
+//
+// A thin wrapper over std::mt19937_64 with convenience draws. All randomized
+// components in treedl (graph/schema generators, property tests) take an
+// explicit Rng so that every run is reproducible from a seed.
+#ifndef TREEDL_COMMON_RNG_HPP_
+#define TREEDL_COMMON_RNG_HPP_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TREEDL_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    TREEDL_DCHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n), in random order. Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_RNG_HPP_

@@ -1,0 +1,111 @@
+// SmallBitset: a 64-slot bitset used for bag-local subsets and MSO set values.
+//
+// Bags in a width-w tree decomposition have at most w+1 elements and MSO model
+// checking is only feasible on small domains, so a single machine word is
+// sufficient and keeps DP states trivially hashable and comparable.
+#ifndef TREEDL_COMMON_SMALL_BITSET_HPP_
+#define TREEDL_COMMON_SMALL_BITSET_HPP_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+class SmallBitset {
+ public:
+  static constexpr int kCapacity = 64;
+
+  constexpr SmallBitset() : bits_(0) {}
+  constexpr explicit SmallBitset(uint64_t bits) : bits_(bits) {}
+
+  /// A set containing the single element i.
+  static SmallBitset Single(int i) {
+    TREEDL_DCHECK(0 <= i && i < kCapacity);
+    return SmallBitset(uint64_t{1} << i);
+  }
+  /// The set {0, 1, ..., n-1}. Requires 0 <= n <= 64.
+  static SmallBitset FirstN(int n) {
+    TREEDL_DCHECK(0 <= n && n <= kCapacity);
+    if (n == kCapacity) return SmallBitset(~uint64_t{0});
+    return SmallBitset((uint64_t{1} << n) - 1);
+  }
+  static SmallBitset FromIndices(const std::vector<int>& indices) {
+    SmallBitset s;
+    for (int i : indices) s.Set(i);
+    return s;
+  }
+
+  bool Test(int i) const {
+    TREEDL_DCHECK(0 <= i && i < kCapacity);
+    return (bits_ >> i) & 1;
+  }
+  void Set(int i) {
+    TREEDL_DCHECK(0 <= i && i < kCapacity);
+    bits_ |= uint64_t{1} << i;
+  }
+  void Reset(int i) {
+    TREEDL_DCHECK(0 <= i && i < kCapacity);
+    bits_ &= ~(uint64_t{1} << i);
+  }
+
+  int Count() const { return std::popcount(bits_); }
+  bool Empty() const { return bits_ == 0; }
+  uint64_t bits() const { return bits_; }
+
+  bool IsSubsetOf(SmallBitset other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  SmallBitset operator|(SmallBitset o) const { return SmallBitset(bits_ | o.bits_); }
+  SmallBitset operator&(SmallBitset o) const { return SmallBitset(bits_ & o.bits_); }
+  SmallBitset operator^(SmallBitset o) const { return SmallBitset(bits_ ^ o.bits_); }
+  /// Set difference: elements of *this not in o.
+  SmallBitset operator-(SmallBitset o) const { return SmallBitset(bits_ & ~o.bits_); }
+  SmallBitset& operator|=(SmallBitset o) { bits_ |= o.bits_; return *this; }
+  SmallBitset& operator&=(SmallBitset o) { bits_ &= o.bits_; return *this; }
+
+  bool operator==(const SmallBitset&) const = default;
+
+  /// Indices of set bits in increasing order.
+  std::vector<int> ToIndices() const {
+    std::vector<int> out;
+    uint64_t b = bits_;
+    while (b) {
+      int i = std::countr_zero(b);
+      out.push_back(i);
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// Renders as "{i1,i2,...}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int i : ToIndices()) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(i);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace treedl
+
+template <>
+struct std::hash<treedl::SmallBitset> {
+  size_t operator()(const treedl::SmallBitset& s) const noexcept {
+    return std::hash<uint64_t>{}(s.bits());
+  }
+};
+
+#endif  // TREEDL_COMMON_SMALL_BITSET_HPP_

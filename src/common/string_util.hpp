@@ -1,0 +1,27 @@
+// Small string helpers shared by parsers, renderers and benchmarks.
+#ifndef TREEDL_COMMON_STRING_UTIL_HPP_
+#define TREEDL_COMMON_STRING_UTIL_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treedl {
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True iff `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_']*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_STRING_UTIL_HPP_

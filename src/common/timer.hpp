@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef TREEDL_COMMON_TIMER_HPP_
+#define TREEDL_COMMON_TIMER_HPP_
+
+#include <chrono>
+
+namespace treedl {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_TIMER_HPP_

@@ -1,0 +1,36 @@
+// Further MSO-expressible problems on the §5 DP framework — the paper's
+// conclusion announces "many more problems whose FPT was established via
+// Courcelle's Theorem" as targets of the approach; these three classics are
+// the standard first wave.
+#ifndef TREEDL_CORE_EXTENSIONS_HPP_
+#define TREEDL_CORE_EXTENSIONS_HPP_
+
+#include "common/status.hpp"
+#include "core/tree_dp.hpp"
+#include "graph/graph.hpp"
+
+namespace treedl::core {
+
+/// Size of a minimum vertex cover.
+StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
+                                  const TreeDecomposition& td,
+                                  DpStats* stats = nullptr);
+StatusOr<size_t> MinVertexCoverTd(const Graph& graph, DpStats* stats = nullptr);
+
+/// Size of a maximum independent set.
+StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
+                                     const TreeDecomposition& td,
+                                     DpStats* stats = nullptr);
+StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
+                                     DpStats* stats = nullptr);
+
+/// Size of a minimum dominating set.
+StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
+                                    const TreeDecomposition& td,
+                                    DpStats* stats = nullptr);
+StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
+                                    DpStats* stats = nullptr);
+
+}  // namespace treedl::core
+
+#endif  // TREEDL_CORE_EXTENSIONS_HPP_

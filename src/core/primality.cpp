@@ -1,0 +1,93 @@
+#include "core/primality.hpp"
+
+#include <variant>
+
+#include "common/logging.hpp"
+#include "core/primality_internal.hpp"
+#include "td/heuristics.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::core {
+
+namespace {
+
+using internal::PrimalityContext;
+using internal::PrimJoinKey;
+using internal::PrimState;
+
+// Adapter plugging PrimalityContext into the generic RunTreeDp driver.
+struct PrimalityProblem {
+  using State = PrimState;
+  using Value = std::monostate;
+  using Emit = std::function<void(State, Value)>;
+
+  const PrimalityContext* context;
+
+  void Leaf(const std::vector<ElementId>& bag, const Emit& emit) const {
+    context->LeafStates(bag, [&](PrimState s) { emit(std::move(s), {}); });
+  }
+  void Introduce(const std::vector<ElementId>& bag, ElementId e,
+                 const State& s, const Value&, const Emit& emit) const {
+    auto forward = [&](PrimState next) { emit(std::move(next), {}); };
+    if (context->IsAttr(e)) {
+      context->IntroduceAttr(bag, e, s, forward);
+    } else {
+      context->IntroduceFd(bag, e, s, forward);
+    }
+  }
+  void Forget(const std::vector<ElementId>& bag, ElementId e, const State& s,
+              const Value&, const Emit& emit) const {
+    auto forward = [&](PrimState next) { emit(std::move(next), {}); };
+    if (context->IsAttr(e)) {
+      context->ForgetAttr(bag, e, s, forward);
+    } else {
+      context->ForgetFd(bag, e, s, forward);
+    }
+  }
+  PrimJoinKey KeyOf(const State& s) const { return context->KeyOf(s); }
+  void Join(const std::vector<ElementId>& /*bag*/, const State& a,
+            const Value&, const State& b, const Value&,
+            const Emit& emit) const {
+    context->Join(a, b, [&](PrimState next) { emit(std::move(next), {}); });
+  }
+  Value Merge(const Value& a, const Value&) const { return a; }
+};
+
+}  // namespace
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
+                            const TreeDecomposition& td, AttributeId a,
+                            DpStats* stats) {
+  if (a < 0 || a >= schema.NumAttributes()) {
+    return Status::InvalidArgument("attribute id out of range");
+  }
+  TREEDL_RETURN_IF_ERROR(ValidateForStructure(encoding.structure, td));
+  PrimalityContext context(schema, encoding);
+  TreeDecomposition closed = internal::CloseBagsForRhs(td, encoding, context);
+  ElementId a_elem = encoding.AttrElement(a);
+  TdNodeId root = closed.FindNodeContaining(a_elem);
+  TREEDL_CHECK(root != kNoTdNode) << "attribute not covered by decomposition";
+  TREEDL_RETURN_IF_ERROR(closed.ReRoot(root));
+  TREEDL_ASSIGN_OR_RETURN(
+      NormalizedTreeDecomposition ntd,
+      Normalize(closed, internal::PrimalityNormalizeOptions(
+                            encoding, /*for_enumeration=*/false)));
+
+  PrimalityProblem problem{&context};
+  auto table = RunTreeDp(ntd, &problem, stats);
+  const auto& bag = ntd.Bag(ntd.root());
+  for (const auto& [state, value] : table.at(ntd.root())) {
+    if (context.Accepts(bag, state, a_elem)) return true;
+  }
+  return false;
+}
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
+                            DpStats* stats) {
+  SchemaEncoding encoding = EncodeSchema(schema);
+  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td,
+                          DecomposeStructure(encoding.structure));
+  return IsPrimeViaTd(schema, encoding, td, a, stats);
+}
+
+}  // namespace treedl::core

@@ -1,0 +1,220 @@
+#include "core/primality_enum.hpp"
+
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "core/primality.hpp"
+#include "core/primality_internal.hpp"
+#include "td/heuristics.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::core {
+
+namespace {
+
+using internal::PrimalityContext;
+using internal::PrimJoinKey;
+using internal::PrimState;
+
+using StateSet = std::unordered_set<PrimState, MemberHash<PrimState>>;
+
+// Bottom-up solve() tables, as in primality.cpp but kept for every node.
+std::vector<StateSet> BottomUpTables(const PrimalityContext& context,
+                                     const NormalizedTreeDecomposition& ntd,
+                                     DpStats* stats) {
+  std::vector<StateSet> table(ntd.NumNodes());
+  for (TdNodeId id : ntd.PostOrder()) {
+    const NormNode& node = ntd.node(id);
+    StateSet& states = table[static_cast<size_t>(id)];
+    auto emit = [&](PrimState s) { states.insert(std::move(s)); };
+    switch (node.kind) {
+      case NormNodeKind::kLeaf:
+        context.LeafStates(node.bag, emit);
+        break;
+      case NormNodeKind::kIntroduce:
+        for (const PrimState& s : table[static_cast<size_t>(node.children[0])]) {
+          if (context.IsAttr(node.element)) {
+            context.IntroduceAttr(node.bag, node.element, s, emit);
+          } else {
+            context.IntroduceFd(node.bag, node.element, s, emit);
+          }
+        }
+        break;
+      case NormNodeKind::kForget:
+        for (const PrimState& s : table[static_cast<size_t>(node.children[0])]) {
+          if (context.IsAttr(node.element)) {
+            context.ForgetAttr(node.bag, node.element, s, emit);
+          } else {
+            context.ForgetFd(node.bag, node.element, s, emit);
+          }
+        }
+        break;
+      case NormNodeKind::kCopy:
+        states = table[static_cast<size_t>(node.children[0])];
+        break;
+      case NormNodeKind::kBranch: {
+        const StateSet& left = table[static_cast<size_t>(node.children[0])];
+        const StateSet& right = table[static_cast<size_t>(node.children[1])];
+        std::unordered_map<PrimJoinKey, std::vector<const PrimState*>,
+                           MemberHash<PrimJoinKey>>
+            buckets;
+        for (const PrimState& s : right) buckets[context.KeyOf(s)].push_back(&s);
+        for (const PrimState& s : left) {
+          auto it = buckets.find(context.KeyOf(s));
+          if (it == buckets.end()) continue;
+          for (const PrimState* r : it->second) context.Join(s, *r, emit);
+        }
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      stats->total_states += states.size();
+      stats->max_states_per_node =
+          std::max(stats->max_states_per_node, states.size());
+    }
+  }
+  return table;
+}
+
+// Top-down solve↓() tables (§5.3): the state set of a node characterizes the
+// *envelope* T̄_s. Transitions invert the parent's kind; at a branch the
+// sibling's bottom-up table joins in.
+std::vector<StateSet> TopDownTables(const PrimalityContext& context,
+                                    const NormalizedTreeDecomposition& ntd,
+                                    const std::vector<StateSet>& up,
+                                    DpStats* stats) {
+  std::vector<StateSet> down(ntd.NumNodes());
+  // Base: the envelope of the root is the root node alone — the leaf rule
+  // applied to the root's bag.
+  {
+    StateSet& states = down[static_cast<size_t>(ntd.root())];
+    context.LeafStates(ntd.Bag(ntd.root()),
+                       [&](PrimState s) { states.insert(std::move(s)); });
+  }
+  for (TdNodeId id : ntd.PreOrder()) {
+    const NormNode& parent = ntd.node(id);
+    for (size_t child_index = 0; child_index < parent.children.size();
+         ++child_index) {
+      TdNodeId child = parent.children[child_index];
+      StateSet& states = down[static_cast<size_t>(child)];
+      auto emit = [&](PrimState s) { states.insert(std::move(s)); };
+      switch (parent.kind) {
+        case NormNodeKind::kLeaf:
+          TREEDL_CHECK(false) << "leaf with children";
+          break;
+        case NormNodeKind::kCopy:
+          states = down[static_cast<size_t>(id)];
+          break;
+        case NormNodeKind::kIntroduce:
+          // Parent introduced e going up; going down the envelope forgets it
+          // — e's occurrences all lie inside the envelope of the child.
+          for (const PrimState& s : down[static_cast<size_t>(id)]) {
+            if (context.IsAttr(parent.element)) {
+              context.ForgetAttr(ntd.Bag(child), parent.element, s, emit);
+            } else {
+              context.ForgetFd(ntd.Bag(child), parent.element, s, emit);
+            }
+          }
+          break;
+        case NormNodeKind::kForget:
+          // Parent forgot e going up; going down the envelope introduces it
+          // fresh (e occurs only below the child, so only at the child from
+          // the envelope's perspective).
+          for (const PrimState& s : down[static_cast<size_t>(id)]) {
+            if (context.IsAttr(parent.element)) {
+              context.IntroduceAttr(ntd.Bag(child), parent.element, s, emit);
+            } else {
+              context.IntroduceFd(ntd.Bag(child), parent.element, s, emit);
+            }
+          }
+          break;
+        case NormNodeKind::kBranch: {
+          // T̄_child = T̄_parent ∪ T_sibling: join the parent's envelope
+          // states with the sibling's subtree states.
+          TdNodeId sibling = parent.children[1 - child_index];
+          const StateSet& sib = up[static_cast<size_t>(sibling)];
+          std::unordered_map<PrimJoinKey, std::vector<const PrimState*>,
+                             MemberHash<PrimJoinKey>>
+              buckets;
+          for (const PrimState& s : sib) {
+            buckets[context.KeyOf(s)].push_back(&s);
+          }
+          for (const PrimState& s : down[static_cast<size_t>(id)]) {
+            auto it = buckets.find(context.KeyOf(s));
+            if (it == buckets.end()) continue;
+            for (const PrimState* r : it->second) context.Join(s, *r, emit);
+          }
+          break;
+        }
+      }
+      if (stats != nullptr) {
+        stats->total_states += states.size();
+        stats->max_states_per_node =
+            std::max(stats->max_states_per_node, states.size());
+      }
+    }
+  }
+  return down;
+}
+
+}  // namespace
+
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            const SchemaEncoding& encoding,
+                                            const TreeDecomposition& td,
+                                            DpStats* stats) {
+  TREEDL_RETURN_IF_ERROR(ValidateForStructure(encoding.structure, td));
+  PrimalityContext context(schema, encoding);
+  TreeDecomposition closed = internal::CloseBagsForRhs(td, encoding, context);
+  TREEDL_ASSIGN_OR_RETURN(
+      NormalizedTreeDecomposition ntd,
+      Normalize(closed, internal::PrimalityNormalizeOptions(
+                            encoding, /*for_enumeration=*/true)));
+
+  std::vector<StateSet> up = BottomUpTables(context, ntd, stats);
+  std::vector<StateSet> down = TopDownTables(context, ntd, up, stats);
+
+  // prime(a) is read off at the leaves (every attribute occurs in some leaf
+  // bag by the ensure_leaf_coverage normalization option). Note that
+  // solve↓ at a leaf characterizes the envelope of the leaf — the *entire*
+  // structure — exactly like solve at the root of a re-rooted decomposition.
+  std::vector<bool> primes(static_cast<size_t>(schema.NumAttributes()), false);
+  for (TdNodeId id : ntd.PreOrder()) {
+    if (ntd.node(id).kind != NormNodeKind::kLeaf) continue;
+    const auto& bag = ntd.Bag(id);
+    for (ElementId e : bag) {
+      if (!context.IsAttr(e)) continue;
+      AttributeId a = encoding.AttrOf(e);
+      if (primes[static_cast<size_t>(a)]) continue;
+      for (const PrimState& s : down[static_cast<size_t>(id)]) {
+        if (context.Accepts(bag, s, e)) {
+          primes[static_cast<size_t>(a)] = true;
+          break;
+        }
+      }
+    }
+  }
+  return primes;
+}
+
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            DpStats* stats) {
+  SchemaEncoding encoding = EncodeSchema(schema);
+  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td,
+                          DecomposeStructure(encoding.structure));
+  return EnumeratePrimes(schema, encoding, td, stats);
+}
+
+StatusOr<std::vector<bool>> EnumeratePrimesQuadratic(
+    const Schema& schema, const SchemaEncoding& encoding,
+    const TreeDecomposition& td) {
+  std::vector<bool> primes(static_cast<size_t>(schema.NumAttributes()), false);
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    TREEDL_ASSIGN_OR_RETURN(bool prime,
+                            IsPrimeViaTd(schema, encoding, td, a));
+    primes[static_cast<size_t>(a)] = prime;
+  }
+  return primes;
+}
+
+}  // namespace treedl::core

@@ -1,0 +1,91 @@
+#include "core/program_listings.hpp"
+
+namespace treedl::core {
+
+const std::string& ThreeColorabilityProgramListing() {
+  static const std::string kListing = R"(% Program 3-Colorability (Figure 5)
+% leaf node.
+solve(s, R, G, B) <- leaf(s), bag(s, X), partition(s, R, G, B),
+                     allowed(s, R), allowed(s, G), allowed(s, B).
+% element introduction node.
+solve(s, R + {v}, G, B) <- bag(s, X + {v}), child1(s1, s), bag(s1, X),
+                           solve(s1, R, G, B), allowed(s, R + {v}).
+solve(s, R, G + {v}, B) <- bag(s, X + {v}), child1(s1, s), bag(s1, X),
+                           solve(s1, R, G, B), allowed(s, G + {v}).
+solve(s, R, G, B + {v}) <- bag(s, X + {v}), child1(s1, s), bag(s1, X),
+                           solve(s1, R, G, B), allowed(s, B + {v}).
+% element removal node.
+solve(s, R, G, B) <- bag(s, X), child1(s1, s), bag(s1, X + {v}),
+                     solve(s1, R + {v}, G, B).
+solve(s, R, G, B) <- bag(s, X), child1(s1, s), bag(s1, X + {v}),
+                     solve(s1, R, G + {v}, B).
+solve(s, R, G, B) <- bag(s, X), child1(s1, s), bag(s1, X + {v}),
+                     solve(s1, R, G, B + {v}).
+% branch node.
+solve(s, R, G, B) <- bag(s, X), child1(s1, s), child2(s2, s),
+                     bag(s1, X), bag(s2, X),
+                     solve(s1, R, G, B), solve(s2, R, G, B).
+% result (at the root node).
+success <- root(s), solve(s, R, G, B).
+)";
+  return kListing;
+}
+
+const std::string& PrimalityProgramListing() {
+  static const std::string kListing = R"(% Program PRIMALITY (Figure 6)
+% leaf node.
+solve(s, Y, FY, Co, DC, FC) <- leaf(s), bag(s, At, Fd), Y u Co = At,
+    Y n Co = {}, outside(FY, Y, At, Fd), FC sub Fd, consistent(FC, Co),
+    DC = {rhs(f) | f in FC}, DC sub Co.
+% attribute introduction node.
+solve(s, Y + {b}, FY, Co, DC, FC) <- bag(s, At + {b}, Fd), child1(s1, s),
+    bag(s1, At, Fd), solve(s1, Y, FY, Co, DC, FC).
+solve(s, Y, FY, Co + {b}, DC, FC) <- bag(s, At + {b}, Fd), child1(s1, s),
+    bag(s1, At, Fd), consistent(FC, Co + {b}), solve(s1, Y, FY1, Co, DC, FC),
+    outside(FY2, Y, At, Fd), FY = FY1 u FY2.
+% FD introduction node.
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd + {f}), child1(s1, s),
+    bag(s1, At, Fd), rh(b, f), b in Y, solve(s1, Y, FY, Co, DC, FC).
+solve(s, Y, FY, Co, DC + {b}, FC + {f}) <- bag(s, At, Fd + {f}),
+    child1(s1, s), bag(s1, At, Fd), rh(b, f), b in Co,
+    solve(s1, Y, FY1, Co, DC, FC), consistent({f}, Co),
+    outside(FY2, Y, At, {f}), FY = FY1 u FY2.
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd + {f}), child1(s1, s),
+    bag(s1, At, Fd), rh(b, f), b in Co, solve(s1, Y, FY1, Co, DC, FC),
+    outside(FY2, Y, At, {f}), FY = FY1 u FY2.
+% attribute removal node.
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At + {b}, Fd), solve(s1, Y + {b}, FY, Co, DC, FC).
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At + {b}, Fd), solve(s1, Y, FY, Co + {b}, DC + {b}, FC).
+% FD removal node.
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At, Fd + {f}), rh(b, f), b in Y, solve(s1, Y, FY, Co, DC, FC).
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At, Fd + {f}), rh(b, f), b in Co,
+    solve(s1, Y, FY + {f}, Co, DC, FC + {f}).
+solve(s, Y, FY, Co, DC, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At, Fd + {f}), rh(b, f), b in Co,
+    solve(s1, Y, FY + {f}, Co, DC, FC), f notin FC.
+% branch node.
+solve(s, Y, FY1 u FY2, Co, DC1 u DC2, FC) <- bag(s, At, Fd), child1(s1, s),
+    bag(s1, At, Fd), child2(s2, s), bag(s2, At, Fd),
+    solve(s1, Y, FY1, Co, DC1, FC), solve(s2, Y, FY2, Co, DC2, FC),
+    unique(DC1, DC2, FC).
+% result (at the root node).
+success <- root(s), bag(s, At, Fd), a in At, solve(s, Y, FY, Co, DC, FC),
+    a notin Y, FY = {f in Fd | rhs(f) notin Y}, DC = Co \ {a}.
+)";
+  return kListing;
+}
+
+const std::string& MonadicPrimalityProgramListing() {
+  static const std::string kListing = R"(% Program Monadic-Primality (Section 5.3)
+prime(a) <- leaf(s), bag(s, At, Fd), a in At,
+    solveDown(s, Y, FY, Co, DC, FC), a notin Y,
+    FY = {f in Fd | rhs(f) notin Y}, DC = Co \ {a}.
+)";
+  return kListing;
+}
+
+}  // namespace treedl::core

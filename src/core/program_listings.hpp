@@ -1,0 +1,28 @@
+// Verbatim listings of the paper's datalog programs (Figures 5 and 6).
+//
+// These are the succinct *non-monadic* programs of §5; their set-valued
+// arguments (R, G, B, Y, FY, Co, ΔC, FC over bag elements) make them
+// "succinct representations of quasi-guarded monadic programs" (proofs of
+// Thms 5.1/5.3), which is why this library executes them natively as dynamic
+// programs (core/three_color.*, core/primality*.*) exactly as the authors'
+// C++ implementation did. The listings are exposed for documentation,
+// examples and the paper_figures binary.
+#ifndef TREEDL_CORE_PROGRAM_LISTINGS_HPP_
+#define TREEDL_CORE_PROGRAM_LISTINGS_HPP_
+
+#include <string>
+
+namespace treedl::core {
+
+/// Figure 5: the 3-Colorability program.
+const std::string& ThreeColorabilityProgramListing();
+
+/// Figure 6: the PRIMALITY decision program.
+const std::string& PrimalityProgramListing();
+
+/// §5.3: the Monadic-Primality enumeration rule (prime/1 at the leaves).
+const std::string& MonadicPrimalityProgramListing();
+
+}  // namespace treedl::core
+
+#endif  // TREEDL_CORE_PROGRAM_LISTINGS_HPP_

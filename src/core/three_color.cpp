@@ -1,0 +1,230 @@
+#include "core/three_color.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "td/heuristics.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::core {
+
+namespace {
+
+// Bag coloring aligned with the node's sorted bag.
+struct ColorState {
+  std::vector<uint8_t> colors;
+
+  bool operator==(const ColorState&) const = default;
+  size_t hash() const { return HashRange(colors); }
+};
+
+size_t PositionInBag(const std::vector<ElementId>& bag, ElementId e) {
+  return static_cast<size_t>(
+      std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
+}
+
+// Shared transition logic, parameterized over the value semiring:
+//   decision: Value = monostate, Merge = first;
+//   counting: Value = uint64_t, Leaf seeds 1, Merge adds, Join multiplies.
+template <bool kCounting>
+class ColorProblem {
+ public:
+  using State = ColorState;
+  using Value = std::conditional_t<kCounting, uint64_t, std::monostate>;
+  using Emit = std::function<void(State, Value)>;
+
+  explicit ColorProblem(const Graph& graph) : graph_(graph) {}
+
+  void Leaf(const std::vector<ElementId>& bag, const Emit& emit) const {
+    State state;
+    state.colors.assign(bag.size(), 0);
+    while (true) {
+      if (ProperOnBag(bag, state)) emit(state, One());
+      size_t pos = 0;
+      while (pos < bag.size() && ++state.colors[pos] == 3) {
+        state.colors[pos] = 0;
+        ++pos;
+      }
+      if (pos == bag.size()) break;
+    }
+  }
+
+  void Introduce(const std::vector<ElementId>& bag, ElementId v,
+                 const State& child, const Value& value,
+                 const Emit& emit) const {
+    size_t pos = PositionInBag(bag, v);
+    for (uint8_t c = 0; c < 3; ++c) {
+      // allowed(s, ·): the new vertex must not clash with its bag neighbors.
+      bool ok = true;
+      for (size_t i = 0; i < bag.size() && ok; ++i) {
+        if (bag[i] == v) continue;
+        uint8_t other = child.colors[i < pos ? i : i - 1];
+        if (other == c && graph_.HasEdge(v, bag[i])) ok = false;
+      }
+      if (!ok) continue;
+      State state = child;
+      state.colors.insert(state.colors.begin() + static_cast<long>(pos), c);
+      emit(std::move(state), value);
+    }
+  }
+
+  void Forget(const std::vector<ElementId>& bag, ElementId v,
+              const State& child, const Value& value, const Emit& emit) const {
+    // The child bag is this bag plus v.
+    size_t pos = PositionInBag(bag, v);
+    State state = child;
+    state.colors.erase(state.colors.begin() + static_cast<long>(pos));
+    emit(std::move(state), value);
+  }
+
+  const State& KeyOf(const State& state) const { return state; }
+
+  void Join(const std::vector<ElementId>& /*bag*/, const State& a,
+            const Value& va, const State& b, const Value& vb,
+            const Emit& emit) const {
+    TREEDL_DCHECK(a == b);
+    (void)b;
+    if constexpr (kCounting) {
+      emit(a, va * vb);
+    } else {
+      (void)vb;
+      emit(a, va);
+    }
+  }
+
+  Value Merge(const Value& a, const Value& b) const {
+    if constexpr (kCounting) {
+      return a + b;
+    } else {
+      (void)b;
+      return a;
+    }
+  }
+
+ private:
+  static Value One() {
+    if constexpr (kCounting) {
+      return 1;
+    } else {
+      return {};
+    }
+  }
+
+  bool ProperOnBag(const std::vector<ElementId>& bag, const State& s) const {
+    for (size_t i = 0; i < bag.size(); ++i) {
+      for (size_t j = i + 1; j < bag.size(); ++j) {
+        if (s.colors[i] == s.colors[j] && graph_.HasEdge(bag[i], bag[j])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const Graph& graph_;
+};
+
+// Reconstructs one proper coloring by walking the table top-down from an
+// accepting root state, re-deriving a consistent predecessor at each node.
+std::vector<int> ExtractColoring(const Graph& graph,
+                                 const NormalizedTreeDecomposition& ntd,
+                                 const DpTable<ColorState, std::monostate>& table,
+                                 const ColorState& root_state) {
+  std::vector<int> colors(graph.NumVertices(), -1);
+  // chosen[node] = the state selected for that node.
+  std::vector<ColorState> chosen(ntd.NumNodes());
+  std::vector<bool> has_chosen(ntd.NumNodes(), false);
+  chosen[static_cast<size_t>(ntd.root())] = root_state;
+  has_chosen[static_cast<size_t>(ntd.root())] = true;
+
+  for (TdNodeId id : ntd.PreOrder()) {
+    TREEDL_CHECK(has_chosen[static_cast<size_t>(id)]);
+    const NormNode& node = ntd.node(id);
+    const ColorState& state = chosen[static_cast<size_t>(id)];
+    for (size_t i = 0; i < node.bag.size(); ++i) {
+      colors[node.bag[i]] = state.colors[i];
+    }
+    auto set_child = [&](TdNodeId child, ColorState s) {
+      chosen[static_cast<size_t>(child)] = std::move(s);
+      has_chosen[static_cast<size_t>(child)] = true;
+    };
+    switch (node.kind) {
+      case NormNodeKind::kLeaf:
+        break;
+      case NormNodeKind::kCopy:
+      case NormNodeKind::kBranch:
+        for (TdNodeId c : node.children) set_child(c, state);
+        break;
+      case NormNodeKind::kIntroduce: {
+        size_t pos = PositionInBag(node.bag, node.element);
+        ColorState child_state = state;
+        child_state.colors.erase(child_state.colors.begin() +
+                                 static_cast<long>(pos));
+        TREEDL_CHECK(
+            table.at(node.children[0]).count(child_state) > 0)
+            << "introduce predecessor missing";
+        set_child(node.children[0], std::move(child_state));
+        break;
+      }
+      case NormNodeKind::kForget: {
+        size_t pos = PositionInBag(node.bag, node.element);
+        bool found = false;
+        for (uint8_t c = 0; c < 3 && !found; ++c) {
+          ColorState child_state = state;
+          child_state.colors.insert(
+              child_state.colors.begin() + static_cast<long>(pos), c);
+          if (table.at(node.children[0]).count(child_state)) {
+            set_child(node.children[0], std::move(child_state));
+            found = true;
+          }
+        }
+        TREEDL_CHECK(found) << "forget predecessor missing";
+        break;
+      }
+    }
+  }
+  return colors;
+}
+
+}  // namespace
+
+StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           const TreeDecomposition& td,
+                                           bool extract_coloring) {
+  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+  ColorProblem<false> problem(graph);
+  ThreeColorResult result;
+  auto table = RunTreeDp(ntd, &problem, &result.stats);
+  const auto& root_states = table.at(ntd.root());
+  result.colorable = !root_states.empty();
+  if (result.colorable && extract_coloring) {
+    result.coloring =
+        ExtractColoring(graph, ntd, table, root_states.begin()->first);
+  }
+  return result;
+}
+
+StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           bool extract_coloring) {
+  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
+  return SolveThreeColor(graph, td, extract_coloring);
+}
+
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
+                                       const TreeDecomposition& td) {
+  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+  ColorProblem<true> problem(graph);
+  auto table = RunTreeDp(ntd, &problem);
+  uint64_t total = 0;
+  for (const auto& [state, count] : table.at(ntd.root())) total += count;
+  return total;
+}
+
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph) {
+  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
+  return CountThreeColorings(graph, td);
+}
+
+}  // namespace treedl::core

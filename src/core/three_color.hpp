@@ -1,0 +1,48 @@
+// The 3-Colorability algorithm of §5.1 (Fig. 5).
+//
+// Executes the Fig. 5 datalog program natively: solve(s, R, G, B) facts are
+// DP states (the bag coloring) computed by a bottom-up traversal of the
+// modified-normalized tree decomposition; only reachable states are
+// materialized. Extensions beyond the paper: witness extraction (an actual
+// proper coloring) and coloring counting (same transitions over the counting
+// semiring).
+#ifndef TREEDL_CORE_THREE_COLOR_HPP_
+#define TREEDL_CORE_THREE_COLOR_HPP_
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/tree_dp.hpp"
+#include "graph/graph.hpp"
+
+namespace treedl::core {
+
+struct ThreeColorResult {
+  bool colorable = false;
+  /// A proper coloring (vertex -> {0,1,2}) when colorable and extraction was
+  /// requested.
+  std::optional<std::vector<int>> coloring;
+  DpStats stats;
+};
+
+/// Decides 3-colorability using the supplied tree decomposition (validated
+/// against `graph`).
+StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           const TreeDecomposition& td,
+                                           bool extract_coloring = true);
+
+/// Convenience: builds a min-fill decomposition internally.
+StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           bool extract_coloring = true);
+
+/// Counts proper 3-colorings (extension: same DP over the counting
+/// semiring). Exact for any graph the decomposition covers.
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
+                                       const TreeDecomposition& td);
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph);
+
+}  // namespace treedl::core
+
+#endif  // TREEDL_CORE_THREE_COLOR_HPP_

@@ -1,0 +1,131 @@
+// Generic dynamic programming over modified-normalized tree decompositions.
+//
+// This captures the execution model of the paper's §5 programs: a succinct
+// (non-monadic) datalog program whose solve(...) facts are computed by a
+// bottom-up traversal, materializing only *reachable* states (the paper's
+// optimization (2), "lazy grounding"). Problems plug in transition hooks:
+//
+//   struct Problem {
+//     using State = ...;   // provides hash() and operator==
+//     using Value = ...;   // e.g. std::monostate (decision), uint64_t (count)
+//     void Leaf(bag, emit);
+//     void Introduce(bag, element, state, value, emit);
+//     void Forget(bag, element, state, value, emit);
+//     JoinKey KeyOf(state);                     // JoinKey provides hash()/==
+//     void Join(bag, s1, v1, s2, v2, emit);     // called per key-equal pair
+//     Value Merge(v1, v2);                      // same state reached twice
+//   };
+//
+// `emit(state, value)` may be called any number of times per transition.
+#ifndef TREEDL_CORE_TREE_DP_HPP_
+#define TREEDL_CORE_TREE_DP_HPP_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/status.hpp"
+#include "td/normalize.hpp"
+
+namespace treedl::core {
+
+template <typename T>
+struct MemberHash {
+  size_t operator()(const T& t) const { return t.hash(); }
+};
+
+template <typename State, typename Value>
+using StateMap = std::unordered_map<State, Value, MemberHash<State>>;
+
+template <typename State, typename Value>
+struct DpTable {
+  /// Indexed by normalized-TD node id.
+  std::vector<StateMap<State, Value>> nodes;
+
+  const StateMap<State, Value>& at(TdNodeId id) const {
+    return nodes[static_cast<size_t>(id)];
+  }
+};
+
+struct DpStats {
+  size_t total_states = 0;
+  size_t max_states_per_node = 0;
+};
+
+/// Runs the bottom-up pass of `problem` over `ntd` and returns the full
+/// table. The table at the root characterizes the whole structure.
+template <typename Problem>
+DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
+    const NormalizedTreeDecomposition& ntd, Problem* problem,
+    DpStats* stats = nullptr) {
+  using State = typename Problem::State;
+  using Value = typename Problem::Value;
+  DpTable<State, Value> table;
+  table.nodes.resize(ntd.NumNodes());
+
+  for (TdNodeId id : ntd.PostOrder()) {
+    const NormNode& node = ntd.node(id);
+    auto& states = table.nodes[static_cast<size_t>(id)];
+    auto emit = [&](State state, Value value) {
+      auto [it, inserted] = states.emplace(std::move(state), value);
+      if (!inserted) it->second = problem->Merge(it->second, value);
+    };
+    switch (node.kind) {
+      case NormNodeKind::kLeaf:
+        problem->Leaf(node.bag, emit);
+        break;
+      case NormNodeKind::kIntroduce: {
+        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
+        for (const auto& [state, value] : child) {
+          problem->Introduce(node.bag, node.element, state, value, emit);
+        }
+        break;
+      }
+      case NormNodeKind::kForget: {
+        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
+        for (const auto& [state, value] : child) {
+          problem->Forget(node.bag, node.element, state, value, emit);
+        }
+        break;
+      }
+      case NormNodeKind::kCopy: {
+        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
+        for (const auto& [state, value] : child) emit(state, value);
+        break;
+      }
+      case NormNodeKind::kBranch: {
+        const auto& left = table.nodes[static_cast<size_t>(node.children[0])];
+        const auto& right = table.nodes[static_cast<size_t>(node.children[1])];
+        // Bucket the right child's states by join key, then pair.
+        using JoinKey =
+            std::decay_t<decltype(problem->KeyOf(left.begin()->first))>;
+        std::unordered_map<JoinKey, std::vector<const State*>,
+                           MemberHash<JoinKey>>
+            buckets;
+        for (const auto& [state, value] : right) {
+          buckets[problem->KeyOf(state)].push_back(&state);
+        }
+        for (const auto& [state, value] : left) {
+          auto it = buckets.find(problem->KeyOf(state));
+          if (it == buckets.end()) continue;
+          for (const State* rstate : it->second) {
+            problem->Join(node.bag, state, value, *rstate,
+                          right.at(*rstate), emit);
+          }
+        }
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      stats->total_states += states.size();
+      stats->max_states_per_node =
+          std::max(stats->max_states_per_node, states.size());
+    }
+  }
+  return table;
+}
+
+}  // namespace treedl::core
+
+#endif  // TREEDL_CORE_TREE_DP_HPP_

@@ -1,0 +1,65 @@
+#include "datalog/ast.hpp"
+
+namespace treedl::datalog {
+
+VariableId Program::InternVariable(const std::string& name) {
+  auto it = variable_ids_.find(name);
+  if (it != variable_ids_.end()) return it->second;
+  VariableId id = static_cast<VariableId>(variable_names_.size());
+  variable_names_.push_back(name);
+  variable_ids_.emplace(name, id);
+  return id;
+}
+
+size_t Program::SizeInLiterals() const {
+  size_t size = 0;
+  for (const Rule& rule : rules_) size += 1 + rule.body.size();
+  return size;
+}
+
+namespace {
+
+std::string TermToString(const Program& program, const Term& term) {
+  if (term.IsVar()) return program.VariableName(term.variable);
+  return term.constant;
+}
+
+std::string AtomToString(const Program& program, const Atom& atom) {
+  std::string out = program.signature().name(atom.predicate);
+  if (!atom.args.empty()) {
+    out += "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += TermToString(program, atom.args[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Program::RuleToString(const Rule& rule) const {
+  std::string out = AtomToString(*this, rule.head);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (!rule.body[i].positive) out += "not ";
+      out += AtomToString(*this, rule.body[i].atom);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += RuleToString(rule);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace treedl::datalog

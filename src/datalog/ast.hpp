@@ -1,0 +1,92 @@
+// Datalog abstract syntax (§2.4).
+//
+// A program is a set of function-free Horn rules over a signature of
+// predicates. Negation is permitted syntactically and restricted semantically
+// to extensional predicates (semipositive datalog) — exactly what the
+// MSO-to-datalog construction of Thm 4.5 emits (negated Ri-atoms in bodies).
+//
+// Databases are plain τ-structures (structure/structure.hpp): the EDB E(A) of
+// §2.4 *is* the structure, and evaluation returns a structure extended with
+// the derived intensional facts.
+#ifndef TREEDL_DATALOG_AST_HPP_
+#define TREEDL_DATALOG_AST_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "structure/signature.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl::datalog {
+
+using VariableId = int;
+
+/// A term is either a variable (program-scoped id) or a constant (name kept
+/// symbolic until evaluation binds it to a structure element).
+struct Term {
+  enum class Kind { kVariable, kConstant };
+  Kind kind = Kind::kVariable;
+  VariableId variable = 0;   // valid iff kind == kVariable
+  std::string constant;      // valid iff kind == kConstant
+
+  static Term Var(VariableId v) { return Term{Kind::kVariable, v, {}}; }
+  static Term Const(std::string name) {
+    return Term{Kind::kConstant, 0, std::move(name)};
+  }
+  bool IsVar() const { return kind == Kind::kVariable; }
+  bool operator==(const Term&) const = default;
+};
+
+struct Atom {
+  PredicateId predicate = 0;
+  std::vector<Term> args;
+  bool operator==(const Atom&) const = default;
+};
+
+struct Literal {
+  Atom atom;
+  bool positive = true;
+  bool operator==(const Literal&) const = default;
+};
+
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;  // empty body = ground fact (head must be ground)
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(Signature signature) : signature_(std::move(signature)) {}
+
+  const Signature& signature() const { return signature_; }
+  Signature* mutable_signature() { return &signature_; }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t NumRules() const { return rules_.size(); }
+
+  /// Interns a variable name (program-scoped; names are only for printing).
+  VariableId InternVariable(const std::string& name);
+  const std::string& VariableName(VariableId v) const {
+    return variable_names_[static_cast<size_t>(v)];
+  }
+  size_t NumVariables() const { return variable_names_.size(); }
+
+  /// Total number of literals over all rules — the |P| of Thm 4.4.
+  size_t SizeInLiterals() const;
+
+  std::string ToString() const;
+  std::string RuleToString(const Rule& rule) const;
+
+ private:
+  Signature signature_;
+  std::vector<Rule> rules_;
+  std::vector<std::string> variable_names_;
+  std::unordered_map<std::string, VariableId> variable_ids_;
+};
+
+}  // namespace treedl::datalog
+
+#endif  // TREEDL_DATALOG_AST_HPP_

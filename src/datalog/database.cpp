@@ -1,0 +1,141 @@
+#include "datalog/database.hpp"
+
+#include "common/logging.hpp"
+
+namespace treedl::datalog {
+
+const std::vector<size_t> FactStore::kEmptyMatch;
+
+bool FactStore::Add(PredicateId p, const Tuple& t) {
+  auto& set = sets_[static_cast<size_t>(p)];
+  if (!set.insert(t).second) return false;
+  auto& rel = relations_[static_cast<size_t>(p)];
+  rel.push_back(t);
+  ++total_;
+  // Maintain any already-built column indexes.
+  for (auto& [pos, index] : indexes_[static_cast<size_t>(p)]) {
+    index[t[static_cast<size_t>(pos)]].push_back(rel.size() - 1);
+  }
+  return true;
+}
+
+const std::vector<size_t>& FactStore::MatchByColumn(PredicateId p, int pos,
+                                                    ElementId value) {
+  auto& pred_indexes = indexes_[static_cast<size_t>(p)];
+  auto it = pred_indexes.find(pos);
+  if (it == pred_indexes.end()) {
+    ColumnIndex index;
+    const auto& rel = relations_[static_cast<size_t>(p)];
+    for (size_t i = 0; i < rel.size(); ++i) {
+      index[rel[i][static_cast<size_t>(pos)]].push_back(i);
+    }
+    it = pred_indexes.emplace(pos, std::move(index)).first;
+  }
+  auto hit = it->second.find(value);
+  if (hit == it->second.end()) return kEmptyMatch;
+  return hit->second;
+}
+
+ResolvedAtom ResolveAtom(const Atom& atom, Structure* domain) {
+  ResolvedAtom out;
+  out.predicate = atom.predicate;
+  out.const_args.reserve(atom.args.size());
+  out.vars.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    if (t.IsVar()) {
+      out.const_args.push_back(kUnbound);
+      out.vars.push_back(t.variable);
+    } else {
+      // Constants mentioned only in the program are interned into the domain
+      // (they simply never match EDB facts unless the EDB also uses them).
+      out.const_args.push_back(domain->AddElement(t.constant));
+      out.vars.push_back(-1);
+    }
+  }
+  return out;
+}
+
+bool FullyBound(const ResolvedAtom& atom, const Binding& binding) {
+  for (size_t i = 0; i < atom.vars.size(); ++i) {
+    if (atom.vars[i] >= 0 &&
+        binding[static_cast<size_t>(atom.vars[i])] == kUnbound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Tuple GroundArgs(const ResolvedAtom& atom, const Binding& binding) {
+  Tuple out(atom.const_args.size());
+  for (size_t i = 0; i < atom.const_args.size(); ++i) {
+    if (atom.vars[i] >= 0) {
+      out[i] = binding[static_cast<size_t>(atom.vars[i])];
+      TREEDL_DCHECK(out[i] != kUnbound);
+    } else {
+      out[i] = atom.const_args[i];
+    }
+  }
+  return out;
+}
+
+size_t MatchAtom(FactStore* store, const ResolvedAtom& atom, Binding* binding,
+                 const std::function<bool(void)>& yield) {
+  // Pick a bound column for index access, if any.
+  int index_pos = -1;
+  ElementId index_value = kUnbound;
+  for (size_t i = 0; i < atom.const_args.size(); ++i) {
+    ElementId v = atom.const_args[i];
+    if (atom.vars[i] >= 0) v = (*binding)[static_cast<size_t>(atom.vars[i])];
+    if (v != kUnbound) {
+      index_pos = static_cast<int>(i);
+      index_value = v;
+      break;
+    }
+  }
+
+  // Candidate tuples (by index or full relation).
+  const std::vector<Tuple>& rel = store->Tuples(atom.predicate);
+  const std::vector<size_t>* candidates = nullptr;
+  std::vector<size_t> all;
+  if (index_pos >= 0) {
+    candidates = &store->MatchByColumn(atom.predicate, index_pos, index_value);
+  } else {
+    all.resize(rel.size());
+    for (size_t i = 0; i < rel.size(); ++i) all[i] = i;
+    candidates = &all;
+  }
+
+  size_t matches = 0;
+  for (size_t idx : *candidates) {
+    const Tuple& tuple = rel[idx];
+    // Attempt unification, remembering which variables this tuple binds.
+    std::vector<VariableId> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < tuple.size() && ok; ++i) {
+      VariableId var = atom.vars[i];
+      if (var < 0) {
+        ok = atom.const_args[i] == tuple[i];
+        continue;
+      }
+      ElementId& slot = (*binding)[static_cast<size_t>(var)];
+      if (slot == kUnbound) {
+        slot = tuple[i];
+        newly_bound.push_back(var);
+      } else {
+        ok = slot == tuple[i];
+      }
+    }
+    bool keep_going = true;
+    if (ok) {
+      ++matches;
+      keep_going = yield();
+    }
+    for (VariableId var : newly_bound) {
+      (*binding)[static_cast<size_t>(var)] = kUnbound;
+    }
+    if (ok && !keep_going) break;
+  }
+  return matches;
+}
+
+}  // namespace treedl::datalog

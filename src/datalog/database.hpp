@@ -1,0 +1,91 @@
+// FactStore: the working database used by datalog evaluation.
+//
+// Holds per-predicate deduplicated tuple sets over structure element ids,
+// with incrementally maintained single-column hash indexes created on first
+// use. Also provides literal matching under partial variable bindings — the
+// shared kernel of the naive and semi-naive evaluators.
+#ifndef TREEDL_DATALOG_DATABASE_HPP_
+#define TREEDL_DATALOG_DATABASE_HPP_
+
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "datalog/ast.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl::datalog {
+
+inline constexpr ElementId kUnbound = std::numeric_limits<ElementId>::max();
+
+/// A partial assignment of program variables to element ids.
+using Binding = std::vector<ElementId>;
+
+class FactStore {
+ public:
+  explicit FactStore(int num_predicates)
+      : relations_(static_cast<size_t>(num_predicates)),
+        sets_(static_cast<size_t>(num_predicates)),
+        indexes_(static_cast<size_t>(num_predicates)) {}
+
+  /// Adds a tuple; returns true iff it was new.
+  bool Add(PredicateId p, const Tuple& t);
+
+  bool Contains(PredicateId p, const Tuple& t) const {
+    return sets_[static_cast<size_t>(p)].count(t) > 0;
+  }
+
+  const std::vector<Tuple>& Tuples(PredicateId p) const {
+    return relations_[static_cast<size_t>(p)];
+  }
+
+  size_t TotalFacts() const { return total_; }
+
+  /// Indices (into Tuples(p)) of tuples whose `pos`-th argument equals
+  /// `value`. Builds the (p, pos) index on first use; maintained by Add.
+  const std::vector<size_t>& MatchByColumn(PredicateId p, int pos,
+                                           ElementId value);
+
+ private:
+  struct TupleHash {
+    size_t operator()(const Tuple& t) const { return HashRange(t); }
+  };
+  using ColumnIndex = std::unordered_map<ElementId, std::vector<size_t>>;
+
+  std::vector<std::vector<Tuple>> relations_;
+  std::vector<std::unordered_set<Tuple, TupleHash>> sets_;
+  // indexes_[p][pos] — present once built.
+  std::vector<std::unordered_map<int, ColumnIndex>> indexes_;
+  size_t total_ = 0;
+  static const std::vector<size_t> kEmptyMatch;
+};
+
+/// An atom with constants pre-resolved to element ids (kUnbound marks
+/// variable positions; `vars` holds the variable id per position, -1 for
+/// constants).
+struct ResolvedAtom {
+  PredicateId predicate = 0;
+  std::vector<ElementId> const_args;  // kUnbound at variable positions
+  std::vector<VariableId> vars;       // -1 at constant positions
+};
+
+ResolvedAtom ResolveAtom(const Atom& atom, Structure* domain);
+
+/// Calls `yield` once per tuple of `store` matching `atom` under `binding`,
+/// with the binding temporarily extended by the tuple's assignments. `yield`
+/// returns false to stop early. Returns the number of matches visited.
+size_t MatchAtom(FactStore* store, const ResolvedAtom& atom, Binding* binding,
+                 const std::function<bool(void)>& yield);
+
+/// True iff `atom` is fully bound under `binding` (no unbound variables).
+bool FullyBound(const ResolvedAtom& atom, const Binding& binding);
+
+/// Ground tuple of `atom` under `binding`; requires FullyBound.
+Tuple GroundArgs(const ResolvedAtom& atom, const Binding& binding);
+
+}  // namespace treedl::datalog
+
+#endif  // TREEDL_DATALOG_DATABASE_HPP_

@@ -1,0 +1,38 @@
+// Datalog evaluation: least fixpoint of P ∪ E(A) (§2.4).
+//
+// Three engines with identical semantics on semipositive programs:
+//  - NaiveEvaluate:     re-derives everything each round (reference oracle).
+//  - SemiNaiveEvaluate: standard delta-driven evaluation (the general engine).
+//  - GroundedEvaluate (grounder.hpp): Thm 4.4's two-phase O(|P|·|A|) pipeline
+//    for quasi-guarded programs — ground via the guards, then LTUR unit
+//    propagation.
+#ifndef TREEDL_DATALOG_EVAL_HPP_
+#define TREEDL_DATALOG_EVAL_HPP_
+
+#include "common/status.hpp"
+#include "datalog/ast.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl::datalog {
+
+struct EvalStats {
+  size_t iterations = 0;
+  size_t derived_facts = 0;     // IDB facts derived (beyond the EDB)
+  size_t rule_applications = 0; // body matches attempted (work measure)
+};
+
+/// Evaluates `program` over the extensional database `edb`. The result
+/// structure carries the union signature (EDB predicates first, then new
+/// program predicates) and contains all EDB facts plus the derived IDB
+/// facts. Fails if a program predicate clashes in arity with an EDB
+/// predicate, or if the program is unsafe (see AnalyzeProgram).
+StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
+                                  EvalStats* stats = nullptr);
+
+StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
+                                      const Structure& edb,
+                                      EvalStats* stats = nullptr);
+
+}  // namespace treedl::datalog
+
+#endif  // TREEDL_DATALOG_EVAL_HPP_

@@ -1,0 +1,129 @@
+#include "datalog/eval_internal.hpp"
+
+#include "common/logging.hpp"
+
+namespace treedl::datalog::internal {
+
+StatusOr<PreparedProgram> Prepare(const Program& program,
+                                  const Structure& edb) {
+  TREEDL_ASSIGN_OR_RETURN(ProgramInfo info, AnalyzeProgram(program));
+
+  // Union signature: EDB predicates keep their ids; new program predicates
+  // are appended.
+  Signature combined = edb.signature();
+  std::vector<PredicateId> predicate_map(
+      static_cast<size_t>(program.signature().size()));
+  for (PredicateId p = 0; p < program.signature().size(); ++p) {
+    const PredicateInfo& pi = program.signature().predicate(p);
+    if (combined.HasPredicate(pi.name)) {
+      PredicateId existing = combined.PredicateIdOf(pi.name).value();
+      if (combined.arity(existing) != pi.arity) {
+        return Status::InvalidArgument(
+            "predicate " + pi.name + " has arity " +
+            std::to_string(combined.arity(existing)) + " in the EDB but " +
+            std::to_string(pi.arity) + " in the program");
+      }
+      predicate_map[static_cast<size_t>(p)] = existing;
+    } else {
+      TREEDL_ASSIGN_OR_RETURN(predicate_map[static_cast<size_t>(p)],
+                              combined.AddPredicate(pi.name, pi.arity));
+    }
+  }
+
+  PreparedProgram prep;
+  prep.result = Structure(combined);
+  prep.predicate_map = predicate_map;
+  prep.num_variables = program.NumVariables();
+  prep.intensional.assign(static_cast<size_t>(combined.size()), false);
+  for (PredicateId p = 0; p < program.signature().size(); ++p) {
+    if (info.intensional[static_cast<size_t>(p)]) {
+      prep.intensional[static_cast<size_t>(predicate_map[static_cast<size_t>(p)])] =
+          true;
+    }
+  }
+
+  // Copy the EDB domain and facts.
+  for (ElementId e = 0; e < edb.NumElements(); ++e) {
+    ElementId copied = prep.result.AddElement(edb.ElementName(e));
+    TREEDL_CHECK(copied == e);
+  }
+  prep.store = FactStore(combined.size());
+  for (const Fact& fact : edb.AllFacts()) {
+    // EDB predicate ids coincide with combined ids by construction.
+    prep.store.Add(fact.predicate, fact.args);
+    Status st = prep.result.AddFact(fact.predicate, fact.args);
+    TREEDL_CHECK(st.ok()) << st.ToString();
+  }
+
+  // Resolve rules (translating predicate ids and interning constants); ground
+  // program facts seed the store directly.
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    const Rule& rule = program.rules()[r];
+    Atom head_translated = rule.head;
+    head_translated.predicate =
+        predicate_map[static_cast<size_t>(rule.head.predicate)];
+    ResolvedAtom head = ResolveAtom(head_translated, &prep.result);
+    if (rule.body.empty()) {
+      Tuple ground = head.const_args;  // fully constant by analysis
+      prep.store.Add(head.predicate, ground);
+      Status st = prep.result.AddFact(head.predicate, ground);
+      TREEDL_CHECK(st.ok()) << st.ToString();
+      continue;
+    }
+    PreparedRule prepared;
+    prepared.head = std::move(head);
+    for (size_t i : info.plans[r]) {
+      const Literal& lit = rule.body[i];
+      Atom translated = lit.atom;
+      translated.predicate =
+          predicate_map[static_cast<size_t>(lit.atom.predicate)];
+      prepared.body.push_back(ResolveAtom(translated, &prep.result));
+      prepared.positive.push_back(lit.positive);
+      prepared.body_intensional.push_back(
+          prep.intensional[static_cast<size_t>(translated.predicate)]);
+    }
+    prep.rules.push_back(std::move(prepared));
+  }
+  return prep;
+}
+
+namespace {
+
+size_t ApplyFrom(const PreparedRule& rule, FactStore* store, FactStore* delta,
+                 int delta_position, size_t position, Binding* binding,
+                 const std::function<void(const Tuple&)>& derive) {
+  if (position == rule.body.size()) {
+    derive(GroundArgs(rule.head, *binding));
+    return 0;
+  }
+  const ResolvedAtom& atom = rule.body[position];
+  size_t work = 1;
+  if (!rule.positive[position]) {
+    // Negative literals are fully bound at this point (plan ordering).
+    TREEDL_DCHECK(FullyBound(atom, *binding));
+    if (!store->Contains(atom.predicate, GroundArgs(atom, *binding))) {
+      work += ApplyFrom(rule, store, delta, delta_position, position + 1,
+                        binding, derive);
+    }
+    return work;
+  }
+  FactStore* source =
+      (static_cast<int>(position) == delta_position) ? delta : store;
+  MatchAtom(source, atom, binding, [&]() {
+    work += ApplyFrom(rule, store, delta, delta_position, position + 1,
+                      binding, derive);
+    return true;
+  });
+  return work;
+}
+
+}  // namespace
+
+size_t ApplyRule(const PreparedRule& rule, FactStore* store, FactStore* delta,
+                 int delta_position, size_t num_variables,
+                 const std::function<void(const Tuple&)>& derive) {
+  Binding binding(num_variables, kUnbound);
+  return ApplyFrom(rule, store, delta, delta_position, 0, &binding, derive);
+}
+
+}  // namespace treedl::datalog::internal

@@ -1,0 +1,49 @@
+// Shared preparation for the datalog evaluators (internal header).
+#ifndef TREEDL_DATALOG_EVAL_INTERNAL_HPP_
+#define TREEDL_DATALOG_EVAL_INTERNAL_HPP_
+
+#include <vector>
+
+#include "datalog/analysis.hpp"
+#include "datalog/ast.hpp"
+#include "datalog/database.hpp"
+
+namespace treedl::datalog::internal {
+
+struct PreparedRule {
+  ResolvedAtom head;
+  std::vector<ResolvedAtom> body;      // in plan order
+  std::vector<bool> positive;          // aligned with body
+  std::vector<bool> body_intensional;  // aligned with body
+};
+
+struct PreparedProgram {
+  /// Union signature and domain: EDB predicates/elements first.
+  Structure result;
+  /// Program predicate id -> result predicate id.
+  std::vector<PredicateId> predicate_map;
+  std::vector<PreparedRule> rules;
+  /// Per result-predicate intensional flag.
+  std::vector<bool> intensional;
+  size_t num_variables = 0;
+  /// EDB facts plus ground program facts, in result-predicate ids.
+  FactStore store;
+
+  PreparedProgram() : result(Signature()), store(0) {}
+};
+
+/// Builds the union signature, copies the EDB, resolves all rules into plan
+/// order, and seeds the fact store (EDB facts + ground program facts).
+StatusOr<PreparedProgram> Prepare(const Program& program, const Structure& edb);
+
+/// Evaluates one rule against `store` (with an optional delta store replacing
+/// `store` for the body literal at plan position `delta_position`); derived
+/// head tuples are passed to `derive`. Returns the number of body matches
+/// attempted (work measure).
+size_t ApplyRule(const PreparedRule& rule, FactStore* store, FactStore* delta,
+                 int delta_position, size_t num_variables,
+                 const std::function<void(const Tuple&)>& derive);
+
+}  // namespace treedl::datalog::internal
+
+#endif  // TREEDL_DATALOG_EVAL_INTERNAL_HPP_

@@ -1,0 +1,43 @@
+#include "datalog/ltur.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace treedl::datalog {
+
+std::vector<bool> LturSolve(int num_atoms,
+                            const std::vector<HornClause>& clauses) {
+  std::vector<bool> truth(static_cast<size_t>(num_atoms), false);
+  // missing[c] = number of body atoms of clause c not yet derived;
+  // watchers[a] = clauses having a in their body.
+  std::vector<size_t> missing(clauses.size());
+  std::vector<std::vector<size_t>> watchers(static_cast<size_t>(num_atoms));
+  std::deque<int> queue;
+
+  auto derive = [&](int atom) {
+    TREEDL_DCHECK(atom >= 0 && atom < num_atoms);
+    if (!truth[static_cast<size_t>(atom)]) {
+      truth[static_cast<size_t>(atom)] = true;
+      queue.push_back(atom);
+    }
+  };
+
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    missing[c] = clauses[c].body.size();
+    for (int a : clauses[c].body) {
+      watchers[static_cast<size_t>(a)].push_back(c);
+    }
+    if (clauses[c].body.empty()) derive(clauses[c].head);
+  }
+  while (!queue.empty()) {
+    int atom = queue.front();
+    queue.pop_front();
+    for (size_t c : watchers[static_cast<size_t>(atom)]) {
+      if (--missing[c] == 0) derive(clauses[c].head);
+    }
+  }
+  return truth;
+}
+
+}  // namespace treedl::datalog

@@ -1,0 +1,24 @@
+// Linear-time unit resolution for propositional Horn programs
+// (Dowling–Gallier [7] / Minoux's LTUR [27]) — the evaluation engine behind
+// Thm 4.4's O(|P| · |A|) bound: after grounding, "propositional datalog can
+// be evaluated in linear time".
+#ifndef TREEDL_DATALOG_LTUR_HPP_
+#define TREEDL_DATALOG_LTUR_HPP_
+
+#include <vector>
+
+namespace treedl::datalog {
+
+struct HornClause {
+  int head = 0;
+  std::vector<int> body;  // empty body = fact
+};
+
+/// Computes the least model: out[i] is true iff atom i is derivable.
+/// Linear in the total size of `clauses`.
+std::vector<bool> LturSolve(int num_atoms,
+                            const std::vector<HornClause>& clauses);
+
+}  // namespace treedl::datalog
+
+#endif  // TREEDL_DATALOG_LTUR_HPP_

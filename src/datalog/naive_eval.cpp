@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/eval_internal.hpp"
+
+namespace treedl::datalog {
+
+StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
+                                  EvalStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(internal::PreparedProgram prep,
+                          internal::Prepare(program, edb));
+  EvalStats local;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++local.iterations;
+    // Collect derivations per round, then insert (jacobi-style; insertion
+    // order does not affect the least fixpoint).
+    std::vector<std::pair<PredicateId, Tuple>> pending;
+    for (const internal::PreparedRule& rule : prep.rules) {
+      local.rule_applications += internal::ApplyRule(
+          rule, &prep.store, /*delta=*/nullptr, /*delta_position=*/-1,
+          prep.num_variables, [&](const Tuple& tuple) {
+            pending.emplace_back(rule.head.predicate, tuple);
+          });
+    }
+    for (auto& [pred, tuple] : pending) {
+      if (prep.store.Add(pred, tuple)) {
+        changed = true;
+        ++local.derived_facts;
+        Status st = prep.result.AddFact(pred, tuple);
+        TREEDL_CHECK(st.ok()) << st.ToString();
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::move(prep.result);
+}
+
+}  // namespace treedl::datalog

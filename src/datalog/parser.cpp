@@ -1,0 +1,173 @@
+#include "datalog/parser.hpp"
+
+#include <cctype>
+
+#include "common/string_util.hpp"
+
+namespace treedl::datalog {
+
+namespace {
+
+bool IsVariableName(std::string_view name) {
+  return !name.empty() &&
+         (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_');
+}
+
+// Splits on `sep` at parenthesis depth 0.
+std::vector<std::string> SplitTopLevel(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == sep && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+Status ParseAtom(Program* program, std::string_view text, Atom* atom) {
+  text = Trim(text);
+  size_t open = text.find('(');
+  std::string_view name;
+  std::vector<std::string> arg_texts;  // owned: SplitTopLevel is a temporary
+  if (open == std::string_view::npos) {
+    name = text;
+  } else {
+    if (text.back() != ')') {
+      return Status::ParseError("unbalanced parentheses in atom: " +
+                                std::string(text));
+    }
+    name = Trim(text.substr(0, open));
+    std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+    if (!Trim(inner).empty()) {
+      for (const std::string& piece : SplitTopLevel(inner, ',')) {
+        arg_texts.emplace_back(Trim(piece));
+      }
+    }
+  }
+  if (!IsIdentifier(name)) {
+    return Status::ParseError("bad predicate name in atom: " +
+                              std::string(text));
+  }
+  Signature* sig = program->mutable_signature();
+  PredicateId pid;
+  if (sig->HasPredicate(std::string(name))) {
+    pid = sig->PredicateIdOf(std::string(name)).value();
+    if (sig->arity(pid) != static_cast<int>(arg_texts.size())) {
+      return Status::ParseError(
+          "predicate " + std::string(name) + " used with arity " +
+          std::to_string(arg_texts.size()) + " but declared with arity " +
+          std::to_string(sig->arity(pid)));
+    }
+  } else {
+    TREEDL_ASSIGN_OR_RETURN(
+        pid, sig->AddPredicate(std::string(name),
+                               static_cast<int>(arg_texts.size())));
+  }
+  atom->predicate = pid;
+  atom->args.clear();
+  for (std::string_view arg : arg_texts) {
+    // Store raw text; classify as variable or constant.
+    if (!IsIdentifier(arg)) {
+      return Status::ParseError("bad term '" + std::string(arg) +
+                                "' in atom: " + std::string(text));
+    }
+    if (IsVariableName(arg)) {
+      atom->args.push_back(
+          Term::Var(program->InternVariable(std::string(arg))));
+    } else {
+      atom->args.push_back(Term::Const(std::string(arg)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseStatement(Program* program, std::string_view text) {
+  size_t arrow = text.find(":-");
+  Rule rule;
+  std::string_view head_text = arrow == std::string_view::npos
+                                   ? text
+                                   : text.substr(0, arrow);
+  TREEDL_RETURN_IF_ERROR(ParseAtom(program, head_text, &rule.head));
+  if (arrow != std::string_view::npos) {
+    std::string_view body_text = text.substr(arrow + 2);
+    if (Trim(body_text).empty()) {
+      return Status::ParseError("empty rule body after ':-'");
+    }
+    for (const std::string& piece : SplitTopLevel(body_text, ',')) {
+      std::string_view lit_text = Trim(piece);
+      Literal literal;
+      if (StartsWith(lit_text, "not ") || StartsWith(lit_text, "not\t")) {
+        literal.positive = false;
+        lit_text = Trim(lit_text.substr(4));
+      } else if (StartsWith(lit_text, "\\+")) {
+        literal.positive = false;
+        lit_text = Trim(lit_text.substr(2));
+      }
+      TREEDL_RETURN_IF_ERROR(ParseAtom(program, lit_text, &literal.atom));
+      rule.body.push_back(std::move(literal));
+    }
+  } else {
+    // Ground fact: no variables allowed.
+    for (const Term& t : rule.head.args) {
+      if (t.IsVar()) {
+        return Status::ParseError("fact with variable: " + std::string(text));
+      }
+    }
+  }
+  program->AddRule(std::move(rule));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(const std::string& text,
+                               const Signature& base_signature) {
+  Program program(base_signature);
+  // Strip comments, then split statements on '.'.
+  std::string clean;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view view = line;
+    size_t comment = view.find('%');
+    if (comment != std::string_view::npos) view = view.substr(0, comment);
+    clean += std::string(view);
+    clean += '\n';
+  }
+  std::string_view rest = clean;
+  int statement_no = 0;
+  while (true) {
+    rest = Trim(rest);
+    if (rest.empty()) break;
+    size_t dot = std::string_view::npos;
+    int depth = 0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] == '(') ++depth;
+      if (rest[i] == ')') --depth;
+      if (rest[i] == '.' && depth == 0) {
+        dot = i;
+        break;
+      }
+    }
+    if (dot == std::string_view::npos) {
+      return Status::ParseError("statement not terminated by '.': " +
+                                std::string(rest.substr(0, 60)));
+    }
+    ++statement_no;
+    Status st = ParseStatement(&program, rest.substr(0, dot));
+    if (!st.ok()) {
+      return Status::ParseError("statement " + std::to_string(statement_no) +
+                                ": " + st.message());
+    }
+    rest = rest.substr(dot + 1);
+  }
+  return program;
+}
+
+}  // namespace treedl::datalog

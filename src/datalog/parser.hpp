@@ -1,0 +1,28 @@
+// Datalog text parser.
+//
+// Syntax (one statement per '.', '%' comments):
+//   path(X, Y) :- edge(X, Y).
+//   path(X, Y) :- edge(X, Z), path(Z, Y).
+//   blocked(X) :- node(X), not reachable(X).
+//   edge(a, b).                       — ground fact
+//   success :- root(V), accept(V).   — zero-arity heads allowed
+// Identifiers starting with an upper-case letter (or '_') are variables;
+// others are constants. Predicates are auto-declared with the arity of first
+// use; inconsistent arities are parse errors. An optional base signature
+// seeds predicate declarations (e.g. τ_td).
+#ifndef TREEDL_DATALOG_PARSER_HPP_
+#define TREEDL_DATALOG_PARSER_HPP_
+
+#include <string>
+
+#include "common/status.hpp"
+#include "datalog/ast.hpp"
+
+namespace treedl::datalog {
+
+StatusOr<Program> ParseProgram(const std::string& text,
+                               const Signature& base_signature = Signature());
+
+}  // namespace treedl::datalog
+
+#endif  // TREEDL_DATALOG_PARSER_HPP_

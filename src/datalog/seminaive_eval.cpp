@@ -1,0 +1,65 @@
+#include "common/logging.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/eval_internal.hpp"
+
+namespace treedl::datalog {
+
+StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
+                                      const Structure& edb, EvalStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(internal::PreparedProgram prep,
+                          internal::Prepare(program, edb));
+  EvalStats local;
+  int num_preds = prep.result.signature().size();
+
+  // Round 0: full evaluation against the EDB (+ ground facts); all derived
+  // facts form the first delta.
+  FactStore delta(num_preds);
+  auto derive_into = [&](FactStore* next_delta, PredicateId pred,
+                         const Tuple& tuple) {
+    if (prep.store.Add(pred, tuple)) {
+      ++local.derived_facts;
+      next_delta->Add(pred, tuple);
+      Status st = prep.result.AddFact(pred, tuple);
+      TREEDL_CHECK(st.ok()) << st.ToString();
+    }
+  };
+
+  {
+    ++local.iterations;
+    std::vector<std::pair<PredicateId, Tuple>> pending;
+    for (const internal::PreparedRule& rule : prep.rules) {
+      local.rule_applications += internal::ApplyRule(
+          rule, &prep.store, nullptr, -1, prep.num_variables,
+          [&](const Tuple& tuple) {
+            pending.emplace_back(rule.head.predicate, tuple);
+          });
+    }
+    for (auto& [pred, tuple] : pending) derive_into(&delta, pred, tuple);
+  }
+
+  // Delta rounds: for every rule and every intensional body position, match
+  // that position against the previous delta and the rest against the full
+  // store. Duplicate derivations are absorbed by the store.
+  while (delta.TotalFacts() > 0) {
+    ++local.iterations;
+    FactStore next_delta(num_preds);
+    std::vector<std::pair<PredicateId, Tuple>> pending;
+    for (const internal::PreparedRule& rule : prep.rules) {
+      for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+        if (!rule.body_intensional[pos] || !rule.positive[pos]) continue;
+        local.rule_applications += internal::ApplyRule(
+            rule, &prep.store, &delta, static_cast<int>(pos),
+            prep.num_variables, [&](const Tuple& tuple) {
+              pending.emplace_back(rule.head.predicate, tuple);
+            });
+      }
+    }
+    for (auto& [pred, tuple] : pending) derive_into(&next_delta, pred, tuple);
+    delta = std::move(next_delta);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return std::move(prep.result);
+}
+
+}  // namespace treedl::datalog

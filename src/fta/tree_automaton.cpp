@@ -1,0 +1,190 @@
+#include "fta/tree_automaton.hpp"
+
+#include "common/logging.hpp"
+
+namespace treedl::fta {
+
+int LabeledTree::AddNode(LabelId label, std::vector<int> children) {
+  nodes.push_back(Node{label, std::move(children)});
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+Status TreeAutomaton::AddTransition(LabelId label,
+                                    std::vector<StateId> child_states,
+                                    StateId target) {
+  if (label < 0 || label >= num_labels_) {
+    return Status::InvalidArgument("label out of range");
+  }
+  if (target < 0 || target >= num_states_) {
+    return Status::InvalidArgument("target state out of range");
+  }
+  if (child_states.size() > 2) {
+    return Status::InvalidArgument("only arities 0..2 are supported");
+  }
+  for (StateId s : child_states) {
+    if (s < 0 || s >= num_states_) {
+      return Status::InvalidArgument("child state out of range");
+    }
+  }
+  auto key = std::make_pair(label, std::move(child_states));
+  auto [it, inserted] = transitions_.emplace(std::move(key), target);
+  if (!inserted && it->second != target) {
+    return Status::AlreadyExists("conflicting transition (nondeterminism)");
+  }
+  return Status::OK();
+}
+
+void TreeAutomaton::SetAccepting(StateId state, bool accepting) {
+  if (accepting) {
+    accepting_.insert(state);
+  } else {
+    accepting_.erase(state);
+  }
+}
+
+StatusOr<StateId> TreeAutomaton::Run(const LabeledTree& tree) const {
+  if (tree.nodes.empty()) return Status::InvalidArgument("empty tree");
+  // Iterative post-order evaluation.
+  std::vector<StateId> state(tree.nodes.size(), -1);
+  std::vector<std::pair<int, bool>> stack{{tree.root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    const auto& n = tree.nodes[static_cast<size_t>(node)];
+    if (!expanded) {
+      stack.emplace_back(node, true);
+      for (int c : n.children) stack.emplace_back(c, false);
+      continue;
+    }
+    std::vector<StateId> child_states;
+    for (int c : n.children) {
+      child_states.push_back(state[static_cast<size_t>(c)]);
+    }
+    auto it = transitions_.find(std::make_pair(n.label, child_states));
+    if (it == transitions_.end()) {
+      return Status::NotFound("missing transition for label " +
+                              std::to_string(n.label));
+    }
+    state[static_cast<size_t>(node)] = it->second;
+  }
+  return state[static_cast<size_t>(tree.root)];
+}
+
+StatusOr<bool> TreeAutomaton::Accepts(const LabeledTree& tree) const {
+  auto run = Run(tree);
+  if (run.status().code() == StatusCode::kNotFound) return false;
+  TREEDL_RETURN_IF_ERROR(run.status());
+  return IsAccepting(*run);
+}
+
+StatusOr<TreeAutomaton> TreeAutomaton::Product(const TreeAutomaton& a,
+                                               const TreeAutomaton& b,
+                                               bool conjunction) {
+  if (a.num_labels_ != b.num_labels_) {
+    return Status::InvalidArgument("product requires equal label alphabets");
+  }
+  TreeAutomaton out(a.num_states_ * b.num_states_, a.num_labels_);
+  auto pair_id = [&](StateId sa, StateId sb) {
+    return sa * b.num_states_ + sb;
+  };
+  for (const auto& [ka, ta] : a.transitions_) {
+    for (const auto& [kb, tb] : b.transitions_) {
+      if (ka.first != kb.first) continue;
+      if (ka.second.size() != kb.second.size()) continue;
+      std::vector<StateId> children;
+      for (size_t i = 0; i < ka.second.size(); ++i) {
+        children.push_back(pair_id(ka.second[i], kb.second[i]));
+      }
+      TREEDL_RETURN_IF_ERROR(
+          out.AddTransition(ka.first, std::move(children), pair_id(ta, tb)));
+    }
+  }
+  for (StateId sa = 0; sa < a.num_states_; ++sa) {
+    for (StateId sb = 0; sb < b.num_states_; ++sb) {
+      bool acc = conjunction ? (a.IsAccepting(sa) && b.IsAccepting(sb))
+                             : (a.IsAccepting(sa) || b.IsAccepting(sb));
+      if (acc) out.SetAccepting(pair_id(sa, sb));
+    }
+  }
+  return out;
+}
+
+bool TreeAutomaton::IsComplete() const {
+  // Complete means: for every label and every arity-consistent child state
+  // tuple there is a transition. We check all arities 0..2 uniformly (labels
+  // are not arity-typed in this implementation).
+  size_t expected = 0;
+  size_t n = static_cast<size_t>(num_states_);
+  expected = static_cast<size_t>(num_labels_) * (1 + n + n * n);
+  return transitions_.size() == expected;
+}
+
+TreeAutomaton TreeAutomaton::Complete() const {
+  TreeAutomaton out(num_states_ + 1, num_labels_);
+  StateId sink = num_states_;
+  out.transitions_ = transitions_;
+  out.accepting_ = accepting_;
+  for (LabelId label = 0; label < num_labels_; ++label) {
+    // Arity 0.
+    if (!out.transitions_.count({label, {}})) {
+      out.transitions_[{label, {}}] = sink;
+    }
+    // Arities 1 and 2 over the extended state set.
+    for (StateId s1 = 0; s1 <= num_states_; ++s1) {
+      if (!out.transitions_.count({label, {s1}})) {
+        out.transitions_[{label, {s1}}] = sink;
+      }
+      for (StateId s2 = 0; s2 <= num_states_; ++s2) {
+        if (!out.transitions_.count({label, {s1, s2}})) {
+          out.transitions_[{label, {s1, s2}}] = sink;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<TreeAutomaton> TreeAutomaton::Complement() const {
+  if (!IsComplete()) {
+    return Status::InvalidArgument(
+        "complementation requires a complete automaton; call Complete()");
+  }
+  TreeAutomaton out = *this;
+  out.accepting_.clear();
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (!IsAccepting(s)) out.accepting_.insert(s);
+  }
+  return out;
+}
+
+std::set<StateId> TreeAutomaton::ReachableStates() const {
+  std::set<StateId> reachable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, target] : transitions_) {
+      if (reachable.count(target)) continue;
+      bool all_reachable = true;
+      for (StateId c : key.second) {
+        if (!reachable.count(c)) {
+          all_reachable = false;
+          break;
+        }
+      }
+      if (all_reachable) {
+        reachable.insert(target);
+        changed = true;
+      }
+    }
+  }
+  return reachable;
+}
+
+bool TreeAutomaton::IsLanguageEmpty() const {
+  for (StateId s : ReachableStates()) {
+    if (IsAccepting(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace treedl::fta

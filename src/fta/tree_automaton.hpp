@@ -1,0 +1,88 @@
+// Deterministic bottom-up finite tree automata (FTA) over labeled binary
+// trees — the machinery behind the classical MSO-on-trees route ([29, 6],
+// §1) that the paper's datalog approach replaces.
+#ifndef TREEDL_FTA_TREE_AUTOMATON_HPP_
+#define TREEDL_FTA_TREE_AUTOMATON_HPP_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace treedl::fta {
+
+using StateId = int;
+using LabelId = int;
+
+/// A labeled tree with at most binary branching, stored as a node pool;
+/// node 0 need not be the root.
+struct LabeledTree {
+  struct Node {
+    LabelId label = 0;
+    std::vector<int> children;  // 0, 1 or 2 entries
+  };
+  std::vector<Node> nodes;
+  int root = 0;
+
+  int AddNode(LabelId label, std::vector<int> children = {});
+};
+
+/// Deterministic bottom-up tree automaton: transitions map
+/// (label, child-state tuple) -> state. Missing transitions reject.
+class TreeAutomaton {
+ public:
+  TreeAutomaton(int num_states, int num_labels)
+      : num_states_(num_states), num_labels_(num_labels) {}
+
+  int num_states() const { return num_states_; }
+  int num_labels() const { return num_labels_; }
+
+  Status AddTransition(LabelId label, std::vector<StateId> child_states,
+                       StateId target);
+  void SetAccepting(StateId state, bool accepting = true);
+  bool IsAccepting(StateId state) const {
+    return accepting_.count(state) > 0;
+  }
+
+  /// Bottom-up run; NotFound if some transition is missing.
+  StatusOr<StateId> Run(const LabeledTree& tree) const;
+  /// Run + acceptance test.
+  StatusOr<bool> Accepts(const LabeledTree& tree) const;
+
+  /// Product automaton recognizing the intersection (conjunction = true) or
+  /// union (false) of the two languages. Both must share the label alphabet
+  /// and be *complete* for union to be correct under missing-transition
+  /// rejection; Complete() first if needed.
+  static StatusOr<TreeAutomaton> Product(const TreeAutomaton& a,
+                                         const TreeAutomaton& b,
+                                         bool conjunction);
+
+  /// Complement (flips acceptance). Requires a complete automaton.
+  StatusOr<TreeAutomaton> Complement() const;
+
+  /// Adds a non-accepting sink state and routes all missing transitions over
+  /// child arities 0..2 to it, making the automaton complete.
+  TreeAutomaton Complete() const;
+
+  bool IsComplete() const;
+
+  /// States reachable by some tree (least fixpoint over transitions).
+  std::set<StateId> ReachableStates() const;
+
+  /// Language emptiness: no accepting state is reachable.
+  bool IsLanguageEmpty() const;
+
+  size_t NumTransitions() const { return transitions_.size(); }
+
+ private:
+  int num_states_;
+  int num_labels_;
+  std::map<std::pair<LabelId, std::vector<StateId>>, StateId> transitions_;
+  std::set<StateId> accepting_;
+};
+
+}  // namespace treedl::fta
+
+#endif  // TREEDL_FTA_TREE_AUTOMATON_HPP_

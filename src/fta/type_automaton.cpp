@@ -1,0 +1,108 @@
+#include "fta/type_automaton.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "td/normalize.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::fta {
+
+namespace {
+
+// A bag coloring aligned with the node's sorted bag (cf. §5.1's solve states).
+using Coloring = std::vector<uint8_t>;
+
+size_t PositionInBag(const std::vector<ElementId>& bag, ElementId e) {
+  return static_cast<size_t>(
+      std::lower_bound(bag.begin(), bag.end(), e) - bag.begin());
+}
+
+bool ProperOnBag(const Graph& g, const std::vector<ElementId>& bag,
+                 const Coloring& c) {
+  for (size_t i = 0; i < bag.size(); ++i) {
+    for (size_t j = i + 1; j < bag.size(); ++j) {
+      if (c[i] == c[j] && g.HasEdge(bag[i], bag[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<AutomatonUsage> MeasureThreeColorAutomaton(
+    const Graph& graph, const TreeDecomposition& td) {
+  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+
+  // Determinized automaton: the state at a node is the *set* of feasible bag
+  // colorings of its subtree. We hash each set to count distinct states.
+  std::vector<std::set<Coloring>> table(ntd.NumNodes());
+  std::set<size_t> distinct_states;
+  AutomatonUsage usage;
+
+  for (TdNodeId id : ntd.PostOrder()) {
+    const NormNode& node = ntd.node(id);
+    std::set<Coloring>& states = table[static_cast<size_t>(id)];
+    switch (node.kind) {
+      case NormNodeKind::kLeaf: {
+        Coloring c(node.bag.size(), 0);
+        while (true) {
+          if (ProperOnBag(graph, node.bag, c)) states.insert(c);
+          size_t pos = 0;
+          while (pos < c.size() && ++c[pos] == 3) {
+            c[pos] = 0;
+            ++pos;
+          }
+          if (pos == c.size()) break;
+        }
+        break;
+      }
+      case NormNodeKind::kIntroduce: {
+        size_t pos = PositionInBag(node.bag, node.element);
+        for (const Coloring& child :
+             table[static_cast<size_t>(node.children[0])]) {
+          for (uint8_t color = 0; color < 3; ++color) {
+            Coloring c = child;
+            c.insert(c.begin() + static_cast<long>(pos), color);
+            if (ProperOnBag(graph, node.bag, c)) states.insert(std::move(c));
+          }
+        }
+        break;
+      }
+      case NormNodeKind::kForget: {
+        size_t pos = PositionInBag(node.bag, node.element);
+        for (const Coloring& child :
+             table[static_cast<size_t>(node.children[0])]) {
+          Coloring c = child;
+          c.erase(c.begin() + static_cast<long>(pos));
+          states.insert(std::move(c));
+        }
+        break;
+      }
+      case NormNodeKind::kCopy:
+        states = table[static_cast<size_t>(node.children[0])];
+        break;
+      case NormNodeKind::kBranch: {
+        const auto& left = table[static_cast<size_t>(node.children[0])];
+        const auto& right = table[static_cast<size_t>(node.children[1])];
+        for (const Coloring& c : left) {
+          if (right.count(c)) states.insert(c);
+        }
+        break;
+      }
+    }
+    // One determinized automaton state = the whole set.
+    size_t state_hash = 0xcbf29ce484222325ULL;
+    for (const Coloring& c : states) HashCombine(&state_hash, HashRange(c));
+    distinct_states.insert(state_hash);
+    usage.total_facts += states.size();
+    usage.max_subset_size = std::max(usage.max_subset_size, states.size());
+  }
+  usage.distinct_subset_states = distinct_states.size();
+  return usage;
+}
+
+}  // namespace treedl::fta

@@ -1,0 +1,37 @@
+// The MSO-to-FTA route's state sets, measured on concrete inputs.
+//
+// The classical recipe runs a *deterministic* tree automaton over the
+// decomposition whose states are sets of partial solutions (the subset /
+// determinization construction). Each distinct set is one automaton state, so
+// counting the distinct sets that actually arise quantifies the automaton's
+// state usage — against which the datalog approach's per-node *fact* count
+// (one solve() fact per partial solution) is compared in
+// bench/bench_state_explosion.
+#ifndef TREEDL_FTA_TYPE_AUTOMATON_HPP_
+#define TREEDL_FTA_TYPE_AUTOMATON_HPP_
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl::fta {
+
+struct AutomatonUsage {
+  /// Distinct determinized automaton states (sets of bag colorings) that
+  /// occurred during the run.
+  size_t distinct_subset_states = 0;
+  /// Total datalog-style facts (individual bag colorings summed per node) —
+  /// the quantity the §5.1 program materializes.
+  size_t total_facts = 0;
+  /// Largest single subset state.
+  size_t max_subset_size = 0;
+};
+
+/// Runs the determinized 3-colorability automaton over a normalization of
+/// `td` and reports state usage.
+StatusOr<AutomatonUsage> MeasureThreeColorAutomaton(const Graph& graph,
+                                                    const TreeDecomposition& td);
+
+}  // namespace treedl::fta
+
+#endif  // TREEDL_FTA_TYPE_AUTOMATON_HPP_

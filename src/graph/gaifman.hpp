@@ -1,0 +1,28 @@
+// Gaifman (primal) graph of a τ-structure, plus graph <-> structure bridges.
+//
+// The Gaifman graph connects two domain elements iff they co-occur in some
+// fact. A tree decomposition of the structure (Def. of §2.2) is exactly a tree
+// decomposition of its Gaifman graph, which is how the heuristics in td/ are
+// applied to arbitrary structures. For relational schemas this yields the
+// incidence-graph view discussed in the Remark of §2.2.
+#ifndef TREEDL_GRAPH_GAIFMAN_HPP_
+#define TREEDL_GRAPH_GAIFMAN_HPP_
+
+#include "graph/graph.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl {
+
+/// Vertex i of the result corresponds to domain element i of `structure`.
+Graph GaifmanGraph(const Structure& structure);
+
+/// Encodes a graph as a {e/2}-structure with elements "v0", "v1", ....
+/// Each undirected edge {u, v} is stored as both e(u, v) and e(v, u).
+Structure GraphToStructure(const Graph& graph);
+
+/// Decodes a {e/2}-structure back to a graph (edge direction is ignored).
+StatusOr<Graph> StructureToGraph(const Structure& structure);
+
+}  // namespace treedl
+
+#endif  // TREEDL_GRAPH_GAIFMAN_HPP_

@@ -1,0 +1,170 @@
+#include "graph/graph_algorithms.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+std::vector<int> ConnectedComponents(const Graph& graph) {
+  std::vector<int> component(graph.NumVertices(), -1);
+  int next = 0;
+  for (VertexId start = 0; start < graph.NumVertices(); ++start) {
+    if (component[start] != -1) continue;
+    int id = next++;
+    std::deque<VertexId> queue{start};
+    component[start] = id;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : graph.Neighbors(u)) {
+        if (component[v] == -1) {
+          component[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.NumVertices() <= 1) return true;
+  std::vector<int> component = ConnectedComponents(graph);
+  for (int c : component) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+bool SubsetHasInternalEdge(const Graph& graph, const std::vector<bool>& subset) {
+  TREEDL_CHECK(subset.size() == graph.NumVertices());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (!subset[u]) continue;
+    for (VertexId v : graph.Neighbors(u)) {
+      if (v > u && subset[v]) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool ColorBacktrack(const Graph& graph, int k, VertexId next,
+                    std::vector<int>* colors) {
+  if (next == graph.NumVertices()) return true;
+  for (int c = 0; c < k; ++c) {
+    bool clash = false;
+    for (VertexId nb : graph.Neighbors(next)) {
+      if (nb < next && (*colors)[nb] == c) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    (*colors)[next] = c;
+    if (ColorBacktrack(graph, k, next + 1, colors)) return true;
+  }
+  (*colors)[next] = -1;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> BruteForceColoring(const Graph& graph, int k) {
+  std::vector<int> colors(graph.NumVertices(), -1);
+  if (ColorBacktrack(graph, k, 0, &colors)) return colors;
+  return std::nullopt;
+}
+
+uint64_t CountColoringsBruteForce(const Graph& graph, int k) {
+  size_t n = graph.NumVertices();
+  TREEDL_CHECK(n <= 16) << "brute-force counting limited to 16 vertices";
+  std::vector<int> colors(n, 0);
+  uint64_t count = 0;
+  while (true) {
+    bool proper = true;
+    for (VertexId u = 0; u < n && proper; ++u) {
+      for (VertexId v : graph.Neighbors(u)) {
+        if (v > u && colors[u] == colors[v]) {
+          proper = false;
+          break;
+        }
+      }
+    }
+    if (proper) ++count;
+    // Odometer increment over k-ary strings of length n.
+    size_t pos = 0;
+    while (pos < n && ++colors[pos] == k) {
+      colors[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return count;
+}
+
+namespace {
+
+// Runs `accept` over all subsets of [0, n) as bitmasks; returns the smallest
+// (or largest) accepted popcount depending on `minimize`.
+template <typename Accept>
+size_t ExtremalSubset(size_t n, bool minimize, Accept accept) {
+  TREEDL_CHECK(n <= 20) << "brute-force subset search limited to 20 vertices";
+  size_t best = minimize ? n + 1 : 0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (!accept(mask)) continue;
+    size_t size = static_cast<size_t>(__builtin_popcountll(mask));
+    best = minimize ? std::min(best, size) : std::max(best, size);
+  }
+  TREEDL_CHECK(!minimize || best <= n) << "no accepting subset found";
+  return best;
+}
+
+}  // namespace
+
+size_t MinVertexCoverBruteForce(const Graph& graph) {
+  auto edges = graph.Edges();
+  return ExtremalSubset(graph.NumVertices(), /*minimize=*/true,
+                        [&](uint64_t mask) {
+                          for (auto [u, v] : edges) {
+                            if (!((mask >> u) & 1) && !((mask >> v) & 1)) {
+                              return false;
+                            }
+                          }
+                          return true;
+                        });
+}
+
+size_t MaxIndependentSetBruteForce(const Graph& graph) {
+  auto edges = graph.Edges();
+  return ExtremalSubset(graph.NumVertices(), /*minimize=*/false,
+                        [&](uint64_t mask) {
+                          for (auto [u, v] : edges) {
+                            if (((mask >> u) & 1) && ((mask >> v) & 1)) {
+                              return false;
+                            }
+                          }
+                          return true;
+                        });
+}
+
+size_t MinDominatingSetBruteForce(const Graph& graph) {
+  size_t n = graph.NumVertices();
+  return ExtremalSubset(n, /*minimize=*/true, [&](uint64_t mask) {
+    for (VertexId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) continue;
+      bool dominated = false;
+      for (VertexId nb : graph.Neighbors(v)) {
+        if ((mask >> nb) & 1) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace treedl

@@ -1,0 +1,42 @@
+// Basic graph algorithms: connectivity, components, brute-force coloring.
+#ifndef TREEDL_GRAPH_GRAPH_ALGORITHMS_HPP_
+#define TREEDL_GRAPH_GRAPH_ALGORITHMS_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace treedl {
+
+/// Component id per vertex (ids are dense, assigned in BFS discovery order).
+std::vector<int> ConnectedComponents(const Graph& graph);
+
+bool IsConnected(const Graph& graph);
+
+/// True iff the vertex set `subset` (given as membership flags) induces a
+/// subgraph of `graph` that contains at least one edge.
+bool SubsetHasInternalEdge(const Graph& graph, const std::vector<bool>& subset);
+
+/// Backtracking k-coloring oracle. Returns a proper coloring (vertex -> color
+/// in [0, k)) or nullopt. Exponential; used as a correctness baseline for the
+/// §5.1 dynamic program.
+std::optional<std::vector<int>> BruteForceColoring(const Graph& graph, int k);
+
+/// Counts proper k-colorings by exhaustive enumeration. Only call on graphs
+/// with at most ~15 vertices.
+uint64_t CountColoringsBruteForce(const Graph& graph, int k);
+
+/// Size of a minimum vertex cover, by exhaustive subset search (n <= ~20).
+size_t MinVertexCoverBruteForce(const Graph& graph);
+
+/// Size of a maximum independent set, by exhaustive subset search (n <= ~20).
+size_t MaxIndependentSetBruteForce(const Graph& graph);
+
+/// Size of a minimum dominating set, by exhaustive subset search (n <= ~20).
+size_t MinDominatingSetBruteForce(const Graph& graph);
+
+}  // namespace treedl
+
+#endif  // TREEDL_GRAPH_GRAPH_ALGORITHMS_HPP_

@@ -1,0 +1,236 @@
+#include "mso/ast.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace treedl::mso {
+
+namespace {
+
+FormulaPtr Node(FormulaKind kind) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  return f;
+}
+
+FormulaPtr Unary(FormulaKind kind, FormulaPtr child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  f->left = std::move(child);
+  return f;
+}
+
+FormulaPtr Binary(FormulaKind kind, FormulaPtr a, FormulaPtr b) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  f->left = std::move(a);
+  f->right = std::move(b);
+  return f;
+}
+
+FormulaPtr Quantifier(FormulaKind kind, std::string var, FormulaPtr child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  f->bound = std::move(var);
+  f->left = std::move(child);
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr MakeAtom(std::string predicate, std::vector<std::string> args) {
+  auto f = Node(FormulaKind::kAtom);
+  auto* m = const_cast<Formula*>(f.get());
+  m->predicate = std::move(predicate);
+  m->args = std::move(args);
+  return f;
+}
+
+FormulaPtr MakeEqual(std::string x, std::string y) {
+  auto f = Node(FormulaKind::kEqual);
+  const_cast<Formula*>(f.get())->args = {std::move(x), std::move(y)};
+  return f;
+}
+
+FormulaPtr MakeIn(std::string x, std::string big_x) {
+  auto f = Node(FormulaKind::kIn);
+  const_cast<Formula*>(f.get())->args = {std::move(x), std::move(big_x)};
+  return f;
+}
+
+FormulaPtr MakeSubseteq(std::string big_x, std::string big_y) {
+  auto f = Node(FormulaKind::kSubseteq);
+  const_cast<Formula*>(f.get())->args = {std::move(big_x), std::move(big_y)};
+  return f;
+}
+
+FormulaPtr MakeNot(FormulaPtr f) { return Unary(FormulaKind::kNot, std::move(f)); }
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b) {
+  return Binary(FormulaKind::kAnd, std::move(a), std::move(b));
+}
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b) {
+  return Binary(FormulaKind::kOr, std::move(a), std::move(b));
+}
+FormulaPtr MakeImplies(FormulaPtr a, FormulaPtr b) {
+  return Binary(FormulaKind::kImplies, std::move(a), std::move(b));
+}
+FormulaPtr MakeIff(FormulaPtr a, FormulaPtr b) {
+  return Binary(FormulaKind::kIff, std::move(a), std::move(b));
+}
+FormulaPtr MakeExistsFo(std::string var, FormulaPtr f) {
+  return Quantifier(FormulaKind::kExistsFo, std::move(var), std::move(f));
+}
+FormulaPtr MakeForallFo(std::string var, FormulaPtr f) {
+  return Quantifier(FormulaKind::kForallFo, std::move(var), std::move(f));
+}
+FormulaPtr MakeExistsSo(std::string var, FormulaPtr f) {
+  return Quantifier(FormulaKind::kExistsSo, std::move(var), std::move(f));
+}
+FormulaPtr MakeForallSo(std::string var, FormulaPtr f) {
+  return Quantifier(FormulaKind::kForallSo, std::move(var), std::move(f));
+}
+
+FormulaPtr MakeAndAll(std::vector<FormulaPtr> fs) {
+  TREEDL_CHECK(!fs.empty());
+  FormulaPtr acc = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) acc = MakeAnd(acc, fs[i]);
+  return acc;
+}
+
+FormulaPtr MakeOrAll(std::vector<FormulaPtr> fs) {
+  TREEDL_CHECK(!fs.empty());
+  FormulaPtr acc = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) acc = MakeOr(acc, fs[i]);
+  return acc;
+}
+
+int QuantifierDepth(const Formula& f) {
+  int left = f.left ? QuantifierDepth(*f.left) : 0;
+  int right = f.right ? QuantifierDepth(*f.right) : 0;
+  int depth = std::max(left, right);
+  switch (f.kind) {
+    case FormulaKind::kExistsFo:
+    case FormulaKind::kForallFo:
+    case FormulaKind::kExistsSo:
+    case FormulaKind::kForallSo:
+      return depth + 1;
+    default:
+      return depth;
+  }
+}
+
+namespace {
+
+void CollectFree(const Formula& f, FreeVariables* out,
+                 std::set<std::string>* bound) {
+  switch (f.kind) {
+    case FormulaKind::kAtom:
+      for (const std::string& v : f.args) {
+        if (!bound->count(v)) out->fo.insert(v);
+      }
+      return;
+    case FormulaKind::kEqual:
+      for (const std::string& v : f.args) {
+        if (!bound->count(v)) out->fo.insert(v);
+      }
+      return;
+    case FormulaKind::kIn:
+      if (!bound->count(f.args[0])) out->fo.insert(f.args[0]);
+      if (!bound->count(f.args[1])) out->so.insert(f.args[1]);
+      return;
+    case FormulaKind::kSubseteq:
+      for (const std::string& v : f.args) {
+        if (!bound->count(v)) out->so.insert(v);
+      }
+      return;
+    case FormulaKind::kNot:
+      CollectFree(*f.left, out, bound);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      CollectFree(*f.left, out, bound);
+      CollectFree(*f.right, out, bound);
+      return;
+    case FormulaKind::kExistsFo:
+    case FormulaKind::kForallFo:
+    case FormulaKind::kExistsSo:
+    case FormulaKind::kForallSo: {
+      bool was_bound = bound->count(f.bound) > 0;
+      bound->insert(f.bound);
+      CollectFree(*f.left, out, bound);
+      if (!was_bound) bound->erase(f.bound);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FreeVariables ComputeFreeVariables(const Formula& f) {
+  FreeVariables out;
+  std::set<std::string> bound;
+  CollectFree(f, &out, &bound);
+  return out;
+}
+
+Status CheckAgainstSignature(const Formula& f, const Signature& sig) {
+  if (f.kind == FormulaKind::kAtom) {
+    auto pid = sig.PredicateIdOf(f.predicate);
+    if (!pid.ok()) return pid.status();
+    if (sig.arity(*pid) != static_cast<int>(f.args.size())) {
+      return Status::InvalidArgument(
+          "atom " + f.predicate + " has " + std::to_string(f.args.size()) +
+          " arguments, signature says " + std::to_string(sig.arity(*pid)));
+    }
+  }
+  if (f.left) TREEDL_RETURN_IF_ERROR(CheckAgainstSignature(*f.left, sig));
+  if (f.right) TREEDL_RETURN_IF_ERROR(CheckAgainstSignature(*f.right, sig));
+  return Status::OK();
+}
+
+std::string ToString(const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kAtom: {
+      std::string out = f.predicate + "(";
+      for (size_t i = 0; i < f.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += f.args[i];
+      }
+      return out + ")";
+    }
+    case FormulaKind::kEqual:
+      return "(" + f.args[0] + " = " + f.args[1] + ")";
+    case FormulaKind::kIn:
+      return "(" + f.args[0] + " in " + f.args[1] + ")";
+    case FormulaKind::kSubseteq:
+      return "(" + f.args[0] + " sub " + f.args[1] + ")";
+    // Both operands are parenthesized: a quantifier in the left operand would
+    // otherwise swallow the right operand on reparse (maximal-scope rule).
+    case FormulaKind::kNot:
+      return "~(" + ToString(*f.left) + ")";
+    case FormulaKind::kAnd:
+      return "((" + ToString(*f.left) + ") & (" + ToString(*f.right) + "))";
+    case FormulaKind::kOr:
+      return "((" + ToString(*f.left) + ") | (" + ToString(*f.right) + "))";
+    case FormulaKind::kImplies:
+      return "((" + ToString(*f.left) + ") -> (" + ToString(*f.right) + "))";
+    case FormulaKind::kIff:
+      return "((" + ToString(*f.left) + ") <-> (" + ToString(*f.right) + "))";
+    // Quantifier bodies are parenthesized so that printing round-trips under
+    // the parser's maximal-scope rule.
+    case FormulaKind::kExistsFo:
+      return "ex1 " + f.bound + ": (" + ToString(*f.left) + ")";
+    case FormulaKind::kForallFo:
+      return "all1 " + f.bound + ": (" + ToString(*f.left) + ")";
+    case FormulaKind::kExistsSo:
+      return "ex2 " + f.bound + ": (" + ToString(*f.left) + ")";
+    case FormulaKind::kForallSo:
+      return "all2 " + f.bound + ": (" + ToString(*f.left) + ")";
+  }
+  return "?";
+}
+
+}  // namespace treedl::mso

@@ -1,0 +1,89 @@
+// Monadic Second Order logic (§2.3): FO plus set variables and quantifiers.
+//
+// Individual (FO) variables range over domain elements; set (SO) variables
+// over sets of elements. By convention (and enforced by the parser) FO
+// variable names start lower-case and SO names upper-case.
+#ifndef TREEDL_MSO_AST_HPP_
+#define TREEDL_MSO_AST_HPP_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "structure/signature.hpp"
+
+namespace treedl::mso {
+
+enum class FormulaKind {
+  kAtom,      // R(x1, ..., xk)
+  kEqual,     // x = y
+  kIn,        // x ∈ X
+  kSubseteq,  // X ⊆ Y
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExistsFo,  // ex1 x: φ
+  kForallFo,  // all1 x: φ
+  kExistsSo,  // ex2 X: φ
+  kForallSo,  // all2 X: φ
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  FormulaKind kind;
+  // kAtom: predicate name + FO argument variables.
+  std::string predicate;
+  std::vector<std::string> args;
+  // kEqual/kIn/kSubseteq use args[0], args[1].
+  // Quantifiers: bound variable name.
+  std::string bound;
+  // Children: unary connectives/quantifiers use `left` only.
+  FormulaPtr left;
+  FormulaPtr right;
+};
+
+// --- Builders ---------------------------------------------------------------
+
+FormulaPtr MakeAtom(std::string predicate, std::vector<std::string> args);
+FormulaPtr MakeEqual(std::string x, std::string y);
+FormulaPtr MakeIn(std::string x, std::string big_x);
+FormulaPtr MakeSubseteq(std::string big_x, std::string big_y);
+FormulaPtr MakeNot(FormulaPtr f);
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeImplies(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeIff(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeExistsFo(std::string var, FormulaPtr f);
+FormulaPtr MakeForallFo(std::string var, FormulaPtr f);
+FormulaPtr MakeExistsSo(std::string var, FormulaPtr f);
+FormulaPtr MakeForallSo(std::string var, FormulaPtr f);
+/// Conjunction/disjunction over a list (empty list: true/false have no
+/// representation, so the list must be non-empty).
+FormulaPtr MakeAndAll(std::vector<FormulaPtr> fs);
+FormulaPtr MakeOrAll(std::vector<FormulaPtr> fs);
+
+// --- Inspection ---------------------------------------------------------------
+
+/// Maximum quantifier nesting (both FO and SO), §2.3.
+int QuantifierDepth(const Formula& f);
+
+struct FreeVariables {
+  std::set<std::string> fo;
+  std::set<std::string> so;
+};
+FreeVariables ComputeFreeVariables(const Formula& f);
+
+/// Checks that every atom's predicate exists in `sig` with the right arity.
+Status CheckAgainstSignature(const Formula& f, const Signature& sig);
+
+std::string ToString(const Formula& f);
+
+}  // namespace treedl::mso
+
+#endif  // TREEDL_MSO_AST_HPP_

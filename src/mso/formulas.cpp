@@ -1,0 +1,65 @@
+#include "mso/formulas.hpp"
+
+#include "common/logging.hpp"
+#include "mso/parser.hpp"
+
+namespace treedl::mso {
+
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  auto parsed = ParseFormula(text);
+  TREEDL_CHECK(parsed.ok()) << parsed.status().ToString() << " in: " << text;
+  return *parsed;
+}
+
+}  // namespace
+
+FormulaPtr ThreeColorabilitySentence() {
+  return MustParse(
+      "ex2 R, G, B: "
+      "  (all1 v: ((v in R | v in G | v in B)"
+      "     & ~(v in R & v in G) & ~(v in R & v in B) & ~(v in G & v in B)))"
+      "  & (all1 v, w: (e(v, w) -> "
+      "      (~(v in R & w in R) & ~(v in G & w in G) & ~(v in B & w in B))))");
+}
+
+FormulaPtr PrimalityFormula(const std::string& free_var) {
+  const std::string x = free_var;
+  // Closed(S) ≡ ∀f (fd(f) → ∃b ((rh(b,f) ∧ b ∈ S) ∨ (lh(b,f) ∧ b ∉ S))).
+  auto closed = [](const std::string& set) {
+    return "(all1 f: (fd(f) -> ex1 b: ((rh(b, f) & b in " + set +
+           ") | (lh(b, f) & b notin " + set + "))))";
+  };
+  auto subset_of_r = [](const std::string& set) {
+    return "(all1 b: (b in " + set + " -> att(b)))";
+  };
+  // (Y ∪ {x})⁺ = R  ⇔  no closed Z ⊆ R with Y ∪ {x} ⊆ Z misses an attribute
+  // (the closure is the least closed superset, and R itself is closed).
+  return MustParse(
+      "ex2 Y: " + subset_of_r("Y") + " & " + closed("Y") + " & " + x +
+      " notin Y"
+      " & ~(ex2 Z: " + subset_of_r("Z") + " & " + closed("Z") +
+      " & Y sub Z & " + x + " in Z & (ex1 b: (att(b) & b notin Z)))");
+}
+
+FormulaPtr ConnectednessSentence() {
+  return MustParse(
+      "all2 X: (((ex1 u: u in X) & (all1 u, v: ((u in X & e(u, v)) -> v in X)))"
+      " -> (all1 v: v in X))");
+}
+
+FormulaPtr HasNeighborQuery(const std::string& free_var) {
+  return MustParse("ex1 y: e(" + free_var + ", y)");
+}
+
+FormulaPtr IsolatedQuery(const std::string& free_var) {
+  return MustParse("~(ex1 y: (e(" + free_var + ", y) | e(y, " + free_var +
+                   ")))");
+}
+
+FormulaPtr TwoCycleQuery(const std::string& free_var) {
+  return MustParse("ex1 y: (e(" + free_var + ", y) & e(y, " + free_var + "))");
+}
+
+}  // namespace treedl::mso

@@ -1,0 +1,36 @@
+// Stock MSO formulas used throughout the paper.
+#ifndef TREEDL_MSO_FORMULAS_HPP_
+#define TREEDL_MSO_FORMULAS_HPP_
+
+#include <string>
+
+#include "mso/ast.hpp"
+
+namespace treedl::mso {
+
+/// §5.1's 3-Colorability sentence over τ = {e/2} (graphs stored with both
+/// edge directions): ∃R,G,B partition of V with no monochromatic edge.
+FormulaPtr ThreeColorabilitySentence();
+
+/// Ex 2.6's primality query φ(x) over τ = {fd, att, lh, rh}: x is prime iff
+/// ∃Y closed with x ∉ Y and (Y ∪ {x})⁺ = R. `free_var` is the free individual
+/// variable (default "x"). Quantifier depth 4.
+FormulaPtr PrimalityFormula(const std::string& free_var = "x");
+
+/// Graph connectivity sentence over τ = {e/2} (symmetric edges): every
+/// non-empty edge-closed set contains all vertices.
+FormulaPtr ConnectednessSentence();
+
+/// φ(x): x has an outgoing e-edge. Quantifier depth 1 — small enough for the
+/// generic Thm 4.5 construction.
+FormulaPtr HasNeighborQuery(const std::string& free_var = "x");
+
+/// φ(x): x is isolated (no e-edge in either direction). Quantifier depth 1.
+FormulaPtr IsolatedQuery(const std::string& free_var = "x");
+
+/// φ(x): x lies on some e-cycle of length 2 (x → y → x). Quantifier depth 1.
+FormulaPtr TwoCycleQuery(const std::string& free_var = "x");
+
+}  // namespace treedl::mso
+
+#endif  // TREEDL_MSO_FORMULAS_HPP_

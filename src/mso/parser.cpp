@@ -1,0 +1,270 @@
+#include "mso/parser.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.hpp"
+
+namespace treedl::mso {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords
+    kLParen,
+    kRParen,
+    kComma,
+    kColon,
+    kAnd,     // &
+    kOr,      // |
+    kNot,     // ~
+    kImplies, // ->
+    kIff,     // <->
+    kEqual,   // =
+    kNotEqual,// !=
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+};
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_' || input[j] == '\'')) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kIdent, input.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    auto two = input.substr(i, 2);
+    auto three = input.substr(i, 3);
+    if (three == "<->") {
+      out.push_back({Token::Kind::kIff, three});
+      i += 3;
+    } else if (two == "->") {
+      out.push_back({Token::Kind::kImplies, two});
+      i += 2;
+    } else if (two == "!=") {
+      out.push_back({Token::Kind::kNotEqual, two});
+      i += 2;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "("});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")"});
+      ++i;
+    } else if (c == ',') {
+      out.push_back({Token::Kind::kComma, ","});
+      ++i;
+    } else if (c == ':') {
+      out.push_back({Token::Kind::kColon, ":"});
+      ++i;
+    } else if (c == '&') {
+      out.push_back({Token::Kind::kAnd, "&"});
+      ++i;
+    } else if (c == '|') {
+      out.push_back({Token::Kind::kOr, "|"});
+      ++i;
+    } else if (c == '~') {
+      out.push_back({Token::Kind::kNot, "~"});
+      ++i;
+    } else if (c == '=') {
+      out.push_back({Token::Kind::kEqual, "="});
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in formula");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, ""});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<FormulaPtr> Parse() {
+    TREEDL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::ParseError("trailing input after formula: '" +
+                                Peek().text + "'");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Accept(Token::Kind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<FormulaPtr> ParseIff() {
+    TREEDL_ASSIGN_OR_RETURN(FormulaPtr left, ParseImplies());
+    while (Accept(Token::Kind::kIff)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
+      left = MakeIff(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<FormulaPtr> ParseImplies() {
+    TREEDL_ASSIGN_OR_RETURN(FormulaPtr left, ParseOr());
+    if (Accept(Token::Kind::kImplies)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
+      return MakeImplies(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<FormulaPtr> ParseOr() {
+    TREEDL_ASSIGN_OR_RETURN(FormulaPtr left, ParseAnd());
+    while (Accept(Token::Kind::kOr)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr right, ParseAnd());
+      left = MakeOr(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<FormulaPtr> ParseAnd() {
+    TREEDL_ASSIGN_OR_RETURN(FormulaPtr left, ParseUnary());
+    while (Accept(Token::Kind::kAnd)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr right, ParseUnary());
+      left = MakeAnd(left, right);
+    }
+    return left;
+  }
+
+  static bool IsQuantifierKeyword(const std::string& text) {
+    return text == "ex1" || text == "all1" || text == "ex2" || text == "all2";
+  }
+
+  StatusOr<FormulaPtr> ParseUnary() {
+    if (Accept(Token::Kind::kNot)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return MakeNot(f);
+    }
+    if (Peek().kind == Token::Kind::kIdent && IsQuantifierKeyword(Peek().text)) {
+      std::string quant = Take().text;
+      std::vector<std::string> vars;
+      while (true) {
+        if (Peek().kind != Token::Kind::kIdent) {
+          return Status::ParseError("expected variable after " + quant);
+        }
+        vars.push_back(Take().text);
+        if (!Accept(Token::Kind::kComma)) break;
+      }
+      if (!Accept(Token::Kind::kColon)) {
+        return Status::ParseError("expected ':' after quantified variables");
+      }
+      // Quantifier scope extends as far right as possible (MONA convention).
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr body, ParseIff());
+      // Innermost variable binds first.
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        if (quant == "ex1") body = MakeExistsFo(*it, body);
+        if (quant == "all1") body = MakeForallFo(*it, body);
+        if (quant == "ex2") body = MakeExistsSo(*it, body);
+        if (quant == "all2") body = MakeForallSo(*it, body);
+      }
+      return body;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<FormulaPtr> ParsePrimary() {
+    if (Accept(Token::Kind::kLParen)) {
+      TREEDL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
+      if (!Accept(Token::Kind::kRParen)) {
+        return Status::ParseError("expected ')'");
+      }
+      return f;
+    }
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected atom, got '" + Peek().text + "'");
+    }
+    std::string first = Take().text;
+    // pred(args)
+    if (Accept(Token::Kind::kLParen)) {
+      std::vector<std::string> args;
+      if (!Accept(Token::Kind::kRParen)) {
+        while (true) {
+          if (Peek().kind != Token::Kind::kIdent) {
+            return Status::ParseError("expected variable in atom " + first);
+          }
+          args.push_back(Take().text);
+          if (Accept(Token::Kind::kRParen)) break;
+          if (!Accept(Token::Kind::kComma)) {
+            return Status::ParseError("expected ',' or ')' in atom " + first);
+          }
+        }
+      }
+      return MakeAtom(first, std::move(args));
+    }
+    // infix forms
+    if (Accept(Token::Kind::kEqual)) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected variable after '='");
+      }
+      return MakeEqual(first, Take().text);
+    }
+    if (Accept(Token::Kind::kNotEqual)) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected variable after '!='");
+      }
+      return MakeNot(MakeEqual(first, Take().text));
+    }
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == "in") {
+      Take();
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected set variable after 'in'");
+      }
+      return MakeIn(first, Take().text);
+    }
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == "notin") {
+      Take();
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected set variable after 'notin'");
+      }
+      return MakeNot(MakeIn(first, Take().text));
+    }
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == "sub") {
+      Take();
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected set variable after 'sub'");
+      }
+      return MakeSubseteq(first, Take().text);
+    }
+    return Status::ParseError("malformed atom near '" + first + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<FormulaPtr> ParseFormula(const std::string& text) {
+  TREEDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace treedl::mso

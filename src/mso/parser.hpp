@@ -1,0 +1,28 @@
+// MSO formula parser (MONA-flavoured concrete syntax).
+//
+// Grammar (lowest to highest precedence):
+//   iff:     imp ('<->' imp)*
+//   imp:     or ('->' imp)?          (right associative)
+//   or:      and ('|' and)*
+//   and:     unary ('&' unary)*
+//   unary:   '~' unary | quantifier | primary
+//   quant:   ('ex1'|'all1'|'ex2'|'all2') var (',' var)* ':' iff
+//   primary: '(' iff ')' | atom
+//   atom:    pred '(' var, ... ')' | var '=' var | var '!=' var
+//          | var 'in' SetVar | var 'notin' SetVar | SetVar 'sub' SetVar
+// FO variables start lower-case, SO variables upper-case.
+#ifndef TREEDL_MSO_PARSER_HPP_
+#define TREEDL_MSO_PARSER_HPP_
+
+#include <string>
+
+#include "common/status.hpp"
+#include "mso/ast.hpp"
+
+namespace treedl::mso {
+
+StatusOr<FormulaPtr> ParseFormula(const std::string& text);
+
+}  // namespace treedl::mso
+
+#endif  // TREEDL_MSO_PARSER_HPP_

@@ -1,0 +1,174 @@
+#include "mso/types.hpp"
+
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace treedl::mso {
+
+namespace {
+
+// Appends single bits to a packed u64 vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint64_t>* out) : out_(out) {}
+  void Push(bool bit) {
+    if (used_ == 0) {
+      out_->push_back(0);
+      used_ = 64;
+    }
+    --used_;
+    if (bit) out_->back() |= uint64_t{1} << used_;
+  }
+
+ private:
+  std::vector<uint64_t>* out_;
+  int used_ = 0;
+};
+
+// Enumerates all tuples over {0..m-1}^arity in lexicographic order, invoking
+// the callback with each.
+template <typename Fn>
+void ForEachIndexTuple(size_t m, int arity, Fn fn) {
+  std::vector<size_t> tuple(static_cast<size_t>(arity), 0);
+  if (arity == 0) {
+    fn(tuple);
+    return;
+  }
+  while (true) {
+    fn(tuple);
+    int pos = arity - 1;
+    while (pos >= 0 && ++tuple[static_cast<size_t>(pos)] == m) {
+      tuple[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+}
+
+}  // namespace
+
+TypeId TypeComputer::Intern(std::vector<uint64_t> key) {
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  TypeId id = next_id_++;
+  interned_.emplace(std::move(key), id);
+  return id;
+}
+
+TypeId TypeComputer::AtomicType(const Structure& a,
+                                const std::vector<ElementId>& elems,
+                                const std::vector<SmallBitset>& sets) {
+  std::vector<uint64_t> key;
+  key.push_back(0);  // tag: atomic
+  key.push_back(elems.size());
+  key.push_back(sets.size());
+  // Include the signature shape so types from different signatures never
+  // collide.
+  key.push_back(static_cast<uint64_t>(a.signature().size()));
+  for (PredicateId p = 0; p < a.signature().size(); ++p) {
+    key.push_back(static_cast<uint64_t>(a.signature().arity(p)));
+  }
+  BitWriter bits(&key);
+  size_t m = elems.size();
+  // Equalities among distinguished elements.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      bits.Push(elems[i] == elems[j]);
+    }
+  }
+  // Atomic facts over distinguished elements.
+  for (PredicateId p = 0; p < a.signature().size(); ++p) {
+    int arity = a.signature().arity(p);
+    if (m == 0 && arity > 0) continue;
+    ForEachIndexTuple(m, arity, [&](const std::vector<size_t>& idx) {
+      Tuple tuple;
+      tuple.reserve(idx.size());
+      for (size_t i : idx) tuple.push_back(elems[i]);
+      bits.Push(a.HasFact(p, tuple));
+    });
+  }
+  // Set memberships.
+  for (const SmallBitset& set : sets) {
+    for (size_t i = 0; i < m; ++i) {
+      bits.Push(set.Test(static_cast<int>(elems[i])));
+    }
+  }
+  return Intern(std::move(key));
+}
+
+StatusOr<TypeId> TypeComputer::Compute(const Structure& a,
+                                       std::vector<ElementId>* elems,
+                                       std::vector<SmallBitset>* sets, int k) {
+  ++work_;
+  if (options_.work_budget != 0 && work_ > options_.work_budget) {
+    return Status::ResourceExhausted(
+        "type computation exceeded its work budget of " +
+        std::to_string(options_.work_budget));
+  }
+  if (k == 0) return AtomicType(a, *elems, *sets);
+
+  size_t n = a.NumElements();
+  if (n >= 25) {
+    return Status::OutOfRange(
+        "rank-k type computation requires < 25 elements (set moves enumerate "
+        "2^n subsets); got " +
+        std::to_string(n));
+  }
+  std::set<TypeId> point_types;
+  for (ElementId c = 0; c < n; ++c) {
+    elems->push_back(c);
+    auto t = Compute(a, elems, sets, k - 1);
+    elems->pop_back();
+    if (!t.ok()) return t.status();
+    point_types.insert(*t);
+  }
+  std::set<TypeId> set_types;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    sets->push_back(SmallBitset(mask));
+    auto t = Compute(a, elems, sets, k - 1);
+    sets->pop_back();
+    if (!t.ok()) return t.status();
+    set_types.insert(*t);
+  }
+
+  std::vector<uint64_t> key;
+  key.push_back(1);  // tag: composite
+  key.push_back(static_cast<uint64_t>(k));
+  key.push_back(elems->size());
+  key.push_back(sets->size());
+  key.push_back(point_types.size());
+  for (TypeId t : point_types) key.push_back(static_cast<uint64_t>(t));
+  key.push_back(set_types.size());
+  for (TypeId t : set_types) key.push_back(static_cast<uint64_t>(t));
+  return Intern(std::move(key));
+}
+
+StatusOr<TypeId> TypeComputer::ComputeType(const Structure& a,
+                                           const std::vector<ElementId>& elems,
+                                           int k,
+                                           const std::vector<SmallBitset>& sets) {
+  if (k < 0) return Status::InvalidArgument("negative quantifier rank");
+  for (ElementId e : elems) {
+    if (e >= a.NumElements()) {
+      return Status::InvalidArgument("distinguished element out of range");
+    }
+  }
+  std::vector<ElementId> mutable_elems = elems;
+  std::vector<SmallBitset> mutable_sets = sets;
+  return Compute(a, &mutable_elems, &mutable_sets, k);
+}
+
+StatusOr<bool> KEquivalent(TypeComputer* computer, const Structure& a,
+                           const std::vector<ElementId>& ea, const Structure& b,
+                           const std::vector<ElementId>& eb, int k) {
+  if (ea.size() != eb.size()) {
+    return Status::InvalidArgument(
+        "distinguished tuples must have equal length");
+  }
+  TREEDL_ASSIGN_OR_RETURN(TypeId ta, computer->ComputeType(a, ea, k));
+  TREEDL_ASSIGN_OR_RETURN(TypeId tb, computer->ComputeType(b, eb, k));
+  return ta == tb;
+}
+
+}  // namespace treedl::mso

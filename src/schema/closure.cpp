@@ -1,0 +1,105 @@
+#include "schema/closure.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+AttrSet EmptyAttrSet(const Schema& schema) {
+  return AttrSet(static_cast<size_t>(schema.NumAttributes()), false);
+}
+
+AttrSet FullAttrSet(const Schema& schema) {
+  return AttrSet(static_cast<size_t>(schema.NumAttributes()), true);
+}
+
+AttrSet MakeAttrSet(const Schema& schema,
+                    const std::vector<AttributeId>& attrs) {
+  AttrSet set = EmptyAttrSet(schema);
+  for (AttributeId a : attrs) {
+    TREEDL_CHECK(a >= 0 && a < schema.NumAttributes());
+    set[static_cast<size_t>(a)] = true;
+  }
+  return set;
+}
+
+AttrSet Closure(const Schema& schema, const AttrSet& x) {
+  TREEDL_CHECK(x.size() == static_cast<size_t>(schema.NumAttributes()));
+  // missing[f] = number of lhs attributes of f not yet derived; when it hits
+  // zero the rhs becomes derived. Each FD and attribute is touched O(1) times.
+  std::vector<int> missing(static_cast<size_t>(schema.NumFds()));
+  std::vector<std::vector<FdId>> watchers(
+      static_cast<size_t>(schema.NumAttributes()));
+  AttrSet derived = x;
+  std::deque<AttributeId> queue;
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    if (derived[static_cast<size_t>(a)]) queue.push_back(a);
+  }
+  for (FdId f = 0; f < schema.NumFds(); ++f) {
+    const auto& fd = schema.Fd(f);
+    int need = 0;
+    for (AttributeId a : fd.lhs) {
+      if (!derived[static_cast<size_t>(a)]) {
+        ++need;
+        watchers[static_cast<size_t>(a)].push_back(f);
+      }
+    }
+    missing[static_cast<size_t>(f)] = need;
+    if (need == 0 && !derived[static_cast<size_t>(fd.rhs)]) {
+      derived[static_cast<size_t>(fd.rhs)] = true;
+      queue.push_back(fd.rhs);
+    }
+  }
+  while (!queue.empty()) {
+    AttributeId a = queue.front();
+    queue.pop_front();
+    for (FdId f : watchers[static_cast<size_t>(a)]) {
+      if (--missing[static_cast<size_t>(f)] == 0) {
+        AttributeId rhs = schema.Fd(f).rhs;
+        if (!derived[static_cast<size_t>(rhs)]) {
+          derived[static_cast<size_t>(rhs)] = true;
+          queue.push_back(rhs);
+        }
+      }
+    }
+  }
+  return derived;
+}
+
+bool IsClosed(const Schema& schema, const AttrSet& x) {
+  return Closure(schema, x) == x;
+}
+
+bool IsSuperkey(const Schema& schema, const AttrSet& x) {
+  AttrSet closure = Closure(schema, x);
+  for (bool in : closure) {
+    if (!in) return false;
+  }
+  return true;
+}
+
+bool IsKey(const Schema& schema, const AttrSet& x) {
+  if (!IsSuperkey(schema, x)) return false;
+  for (size_t a = 0; a < x.size(); ++a) {
+    if (!x[a]) continue;
+    AttrSet smaller = x;
+    smaller[a] = false;
+    if (IsSuperkey(schema, smaller)) return false;
+  }
+  return true;
+}
+
+std::vector<AttrSet> AllKeysBruteForce(const Schema& schema) {
+  size_t n = static_cast<size_t>(schema.NumAttributes());
+  TREEDL_CHECK(n <= 20) << "brute-force key enumeration limited to 20 attrs";
+  std::vector<AttrSet> keys;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    AttrSet x(n, false);
+    for (size_t a = 0; a < n; ++a) x[a] = (mask >> a) & 1;
+    if (IsKey(schema, x)) keys.push_back(std::move(x));
+  }
+  return keys;
+}
+
+}  // namespace treedl

@@ -1,0 +1,36 @@
+// Attribute-set closure, superkeys, keys (§2.1).
+#ifndef TREEDL_SCHEMA_CLOSURE_HPP_
+#define TREEDL_SCHEMA_CLOSURE_HPP_
+
+#include <vector>
+
+#include "schema/schema.hpp"
+
+namespace treedl {
+
+/// Attribute sets are membership vectors of length NumAttributes().
+using AttrSet = std::vector<bool>;
+
+AttrSet EmptyAttrSet(const Schema& schema);
+AttrSet FullAttrSet(const Schema& schema);
+AttrSet MakeAttrSet(const Schema& schema, const std::vector<AttributeId>& attrs);
+
+/// X⁺: all attributes derivable from X via F. Linear in the total size of F
+/// (counter-based unit propagation, cf. Dowling–Gallier).
+AttrSet Closure(const Schema& schema, const AttrSet& x);
+
+/// X⁺ = X.
+bool IsClosed(const Schema& schema, const AttrSet& x);
+
+/// X⁺ = R.
+bool IsSuperkey(const Schema& schema, const AttrSet& x);
+
+/// Superkey and minimal (no proper subset is a superkey).
+bool IsKey(const Schema& schema, const AttrSet& x);
+
+/// All (minimal) keys, by exhaustive subset search. Requires <= 20 attributes.
+std::vector<AttrSet> AllKeysBruteForce(const Schema& schema);
+
+}  // namespace treedl
+
+#endif  // TREEDL_SCHEMA_CLOSURE_HPP_

@@ -1,0 +1,82 @@
+#include "schema/encode.hpp"
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+SchemaEncoding EncodeSchema(const Schema& schema) {
+  Structure s(Signature::SchemaSignature());
+  PredicateId fd_pred = s.signature().PredicateIdOf("fd").value();
+  PredicateId att_pred = s.signature().PredicateIdOf("att").value();
+  PredicateId lh_pred = s.signature().PredicateIdOf("lh").value();
+  PredicateId rh_pred = s.signature().PredicateIdOf("rh").value();
+
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    ElementId e = s.AddElement(schema.AttributeName(a));
+    TREEDL_CHECK(e == static_cast<ElementId>(a));
+    Status st = s.AddFact(att_pred, {e});
+    TREEDL_CHECK(st.ok()) << st.ToString();
+  }
+  for (FdId f = 0; f < schema.NumFds(); ++f) {
+    std::string name = "f" + std::to_string(f + 1);
+    if (s.HasElementNamed(name)) name = "fd_" + std::to_string(f + 1);
+    ElementId fe = s.AddElement(name);
+    TREEDL_CHECK(fe == static_cast<ElementId>(schema.NumAttributes() + f));
+    Status st = s.AddFact(fd_pred, {fe});
+    TREEDL_CHECK(st.ok()) << st.ToString();
+    for (AttributeId b : schema.Fd(f).lhs) {
+      st = s.AddFact(lh_pred, {static_cast<ElementId>(b), fe});
+      TREEDL_CHECK(st.ok()) << st.ToString();
+    }
+    st = s.AddFact(rh_pred, {static_cast<ElementId>(schema.Fd(f).rhs), fe});
+    TREEDL_CHECK(st.ok()) << st.ToString();
+  }
+  return SchemaEncoding{std::move(s), schema.NumAttributes(), schema.NumFds()};
+}
+
+StatusOr<Schema> DecodeSchema(const Structure& structure) {
+  const Signature& sig = structure.signature();
+  TREEDL_ASSIGN_OR_RETURN(PredicateId fd_pred, sig.PredicateIdOf("fd"));
+  TREEDL_ASSIGN_OR_RETURN(PredicateId att_pred, sig.PredicateIdOf("att"));
+  TREEDL_ASSIGN_OR_RETURN(PredicateId lh_pred, sig.PredicateIdOf("lh"));
+  TREEDL_ASSIGN_OR_RETURN(PredicateId rh_pred, sig.PredicateIdOf("rh"));
+
+  Schema schema;
+  std::unordered_map<ElementId, AttributeId> attr_of;
+  for (const Tuple& t : structure.Relation(att_pred)) {
+    attr_of.emplace(t[0], schema.AddAttribute(structure.ElementName(t[0])));
+  }
+  // Group lh/rh facts by FD element.
+  std::unordered_map<ElementId, std::vector<AttributeId>> lhs_of;
+  std::unordered_map<ElementId, AttributeId> rhs_of;
+  for (const Tuple& t : structure.Relation(lh_pred)) {
+    auto it = attr_of.find(t[0]);
+    if (it == attr_of.end()) {
+      return Status::InvalidArgument("lh references a non-attribute element");
+    }
+    lhs_of[t[1]].push_back(it->second);
+  }
+  for (const Tuple& t : structure.Relation(rh_pred)) {
+    auto it = attr_of.find(t[0]);
+    if (it == attr_of.end()) {
+      return Status::InvalidArgument("rh references a non-attribute element");
+    }
+    if (!rhs_of.emplace(t[1], it->second).second) {
+      return Status::InvalidArgument("FD with multiple rh attributes");
+    }
+  }
+  for (const Tuple& t : structure.Relation(fd_pred)) {
+    ElementId fe = t[0];
+    auto rhs_it = rhs_of.find(fe);
+    if (rhs_it == rhs_of.end()) {
+      return Status::InvalidArgument("FD element without rh fact: " +
+                                     structure.ElementName(fe));
+    }
+    TREEDL_ASSIGN_OR_RETURN(
+        [[maybe_unused]] FdId id,
+        schema.AddFd(lhs_of[fe], rhs_it->second));
+  }
+  return schema;
+}
+
+}  // namespace treedl

@@ -1,0 +1,52 @@
+// Encoding of relational schemas as τ-structures with τ = {fd, att, lh, rh}
+// (§2.2, Ex 2.2), and the inverse decoding.
+//
+// Element-id layout is deterministic: attribute i of the schema becomes
+// element i of the structure; FD j becomes element NumAttributes() + j. The
+// treewidth of the encoded structure equals the treewidth of the incidence
+// graph of the schema's hypergraph (Remark in §2.2).
+#ifndef TREEDL_SCHEMA_ENCODE_HPP_
+#define TREEDL_SCHEMA_ENCODE_HPP_
+
+#include "common/status.hpp"
+#include "schema/schema.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl {
+
+struct SchemaEncoding {
+  Structure structure;
+  int num_attributes = 0;
+  int num_fds = 0;
+
+  ElementId AttrElement(AttributeId a) const {
+    return static_cast<ElementId>(a);
+  }
+  ElementId FdElement(FdId f) const {
+    return static_cast<ElementId>(num_attributes + f);
+  }
+  bool IsAttrElement(ElementId e) const {
+    return e < static_cast<ElementId>(num_attributes);
+  }
+  bool IsFdElement(ElementId e) const {
+    return !IsAttrElement(e) &&
+           e < static_cast<ElementId>(num_attributes + num_fds);
+  }
+  AttributeId AttrOf(ElementId e) const { return static_cast<AttributeId>(e); }
+  FdId FdOf(ElementId e) const {
+    return static_cast<FdId>(e) - num_attributes;
+  }
+};
+
+/// Builds the τ-structure: att(b) for attributes, fd(f) for FDs, lh(b, f) for
+/// b ∈ lhs(f), rh(b, f) for b = rhs(f). FD element names are "f1", "f2", ...
+/// unless they collide with attribute names (then "fd_<j>").
+SchemaEncoding EncodeSchema(const Schema& schema);
+
+/// Inverse of EncodeSchema (for round-trip tests): reads a schema out of a
+/// {fd, att, lh, rh}-structure.
+StatusOr<Schema> DecodeSchema(const Structure& structure);
+
+}  // namespace treedl
+
+#endif  // TREEDL_SCHEMA_ENCODE_HPP_

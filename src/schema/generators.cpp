@@ -1,0 +1,84 @@
+#include "schema/generators.hpp"
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+BalancedInstance GenerateBalancedInstance(int num_fds) {
+  TREEDL_CHECK(num_fds >= 1);
+  Schema schema;
+  int g = num_fds;
+  std::vector<AttributeId> x(static_cast<size_t>(g) + 1);
+  std::vector<AttributeId> y(static_cast<size_t>(g) + 1);
+  std::vector<AttributeId> z(static_cast<size_t>(g) + 1);
+  for (int i = 1; i <= g; ++i) {
+    x[static_cast<size_t>(i)] = schema.AddAttribute("x" + std::to_string(i));
+    y[static_cast<size_t>(i)] = schema.AddAttribute("y" + std::to_string(i));
+    z[static_cast<size_t>(i)] = schema.AddAttribute("z" + std::to_string(i));
+  }
+  std::vector<FdId> fd(static_cast<size_t>(g) + 1);
+  fd[1] = schema.AddFd({x[1], y[1]}, z[1]).value();
+  for (int i = 2; i <= g; ++i) {
+    int p = i / 2;
+    fd[static_cast<size_t>(i)] =
+        schema
+            .AddFd({z[static_cast<size_t>(p)], x[static_cast<size_t>(i)]},
+                   z[static_cast<size_t>(i)])
+            .value();
+  }
+
+  SchemaEncoding encoding = EncodeSchema(schema);
+  auto attr_elem = [&](AttributeId a) { return encoding.AttrElement(a); };
+  auto fd_elem = [&](FdId f) { return encoding.FdElement(f); };
+
+  TreeDecomposition td;
+  std::vector<TdNodeId> group_node(static_cast<size_t>(g) + 1, kNoTdNode);
+  group_node[1] = td.AddNode(
+      {fd_elem(fd[1]), attr_elem(x[1]), attr_elem(y[1]), attr_elem(z[1])});
+  for (int i = 2; i <= g; ++i) {
+    int p = i / 2;
+    group_node[static_cast<size_t>(i)] =
+        td.AddNode({fd_elem(fd[static_cast<size_t>(i)]),
+                    attr_elem(z[static_cast<size_t>(p)]),
+                    attr_elem(x[static_cast<size_t>(i)]),
+                    attr_elem(z[static_cast<size_t>(i)])},
+                   group_node[static_cast<size_t>(p)]);
+    // The isolated attribute y_i lives in its own leaf bag under the group
+    // node, keeping all node kinds represented after normalization.
+    td.AddNode({attr_elem(y[static_cast<size_t>(i)])},
+               group_node[static_cast<size_t>(i)]);
+  }
+
+  BalancedInstance out{std::move(schema), std::move(encoding), std::move(td),
+                       x[1], z[1]};
+  return out;
+}
+
+Schema RandomWindowSchema(int num_attributes, int num_fds, int window,
+                          Rng* rng) {
+  TREEDL_CHECK(num_attributes >= 2);
+  TREEDL_CHECK(window >= 2 && window <= num_attributes);
+  Schema schema;
+  for (int a = 0; a < num_attributes; ++a) {
+    schema.AddAttribute("a" + std::to_string(a));
+  }
+  for (int f = 0; f < num_fds; ++f) {
+    int start =
+        static_cast<int>(rng->UniformInt(0, num_attributes - window));
+    int lhs_size = static_cast<int>(
+        rng->UniformInt(1, std::min(window - 1, 3)));
+    std::vector<size_t> picks =
+        rng->SampleIndices(static_cast<size_t>(window),
+                           static_cast<size_t>(lhs_size) + 1);
+    std::vector<AttributeId> lhs;
+    for (int i = 0; i < lhs_size; ++i) {
+      lhs.push_back(start + static_cast<AttributeId>(picks[static_cast<size_t>(i)]));
+    }
+    AttributeId rhs =
+        start + static_cast<AttributeId>(picks[static_cast<size_t>(lhs_size)]);
+    TREEDL_CHECK(schema.AddFd(std::move(lhs), rhs).ok());
+  }
+  return schema;
+}
+
+}  // namespace treedl

@@ -1,0 +1,51 @@
+// Schema instance generators.
+//
+// GenerateBalancedInstance reproduces the test-data generation of §6: "Due to
+// the lack of available test data, we generated a balanced normalized tree
+// decomposition … expanding the tree in a depth-first style … all different
+// kinds of nodes occur evenly … treewidth in all test cases was 3."
+//
+// Our family: FD groups arranged in a balanced binary tree (heap numbering).
+// Group i carries attributes x_i, y_i, z_i. Group 1 has f_1: x_1 y_1 -> z_1;
+// group i > 1 with parent p has f_i: z_p x_i -> z_i. Hence:
+//   #Att = 3 · #FD (the exact ratio of Table 1's rows),
+//   incidence treewidth 3 (group bags {f_i, z_p, x_i, z_i} have 4 elements),
+//   every x_i / y_i is prime (on no rhs, hence in every key) and every z_i is
+//   non-prime — a checkable ground truth for tests,
+//   derivation chains follow the tree depth, exercising the ordered-Co logic
+//   of the §5.2 program.
+#ifndef TREEDL_SCHEMA_GENERATORS_HPP_
+#define TREEDL_SCHEMA_GENERATORS_HPP_
+
+#include "common/rng.hpp"
+#include "schema/encode.hpp"
+#include "schema/schema.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+struct BalancedInstance {
+  Schema schema;
+  SchemaEncoding encoding;
+  /// Width-3 tree decomposition of encoding.structure, rooted at a bag
+  /// containing the query attribute.
+  TreeDecomposition td;
+  /// The attribute whose primality Table 1 times: x_1 (prime).
+  AttributeId query_attribute = 0;
+  /// A non-prime attribute in the root bag region (z_1), for negative runs.
+  AttributeId nonprime_attribute = 0;
+};
+
+/// Builds the instance with `num_fds` FDs (and 3·num_fds attributes).
+/// Requires num_fds >= 1.
+BalancedInstance GenerateBalancedInstance(int num_fds);
+
+/// A random schema whose encoded structure has small treewidth: attributes
+/// 0..n-1 on a path; each FD draws its attributes from a random window of
+/// `window` consecutive attributes (lhs of 1..window-1 attributes plus an rhs
+/// in-window). Used by property tests against the brute-force oracle.
+Schema RandomWindowSchema(int num_attributes, int num_fds, int window, Rng* rng);
+
+}  // namespace treedl
+
+#endif  // TREEDL_SCHEMA_GENERATORS_HPP_

@@ -1,0 +1,42 @@
+#include "schema/primality_bruteforce.hpp"
+
+#include "common/logging.hpp"
+#include "schema/closure.hpp"
+
+namespace treedl {
+
+bool IsPrimeBruteForce(const Schema& schema, AttributeId a) {
+  int n = schema.NumAttributes();
+  TREEDL_CHECK(a >= 0 && a < n);
+  TREEDL_CHECK(n <= 24) << "brute-force primality limited to 24 attributes";
+  // Enumerate Y over subsets of R \ {a}. It suffices to test Y := S⁺ for each
+  // subset S (every closed candidate arises this way), checking a ∉ S⁺ and
+  // (S⁺ ∪ {a})⁺ = R.
+  std::vector<AttributeId> others;
+  for (AttributeId b = 0; b < n; ++b) {
+    if (b != a) others.push_back(b);
+  }
+  size_t m = others.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    AttrSet s(static_cast<size_t>(n), false);
+    for (size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) s[static_cast<size_t>(others[i])] = true;
+    }
+    AttrSet y = Closure(schema, s);
+    if (y[static_cast<size_t>(a)]) continue;  // a ∈ Y: not a witness
+    AttrSet with_a = y;
+    with_a[static_cast<size_t>(a)] = true;
+    if (IsSuperkey(schema, with_a)) return true;
+  }
+  return false;
+}
+
+std::vector<bool> AllPrimesBruteForce(const Schema& schema) {
+  std::vector<bool> primes(static_cast<size_t>(schema.NumAttributes()), false);
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    primes[static_cast<size_t>(a)] = IsPrimeBruteForce(schema, a);
+  }
+  return primes;
+}
+
+}  // namespace treedl

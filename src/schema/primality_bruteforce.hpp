@@ -1,0 +1,24 @@
+// Exponential primality oracles (§2.1), used as correctness baselines for the
+// fixed-parameter algorithms of §5.2/§5.3 and as the slow comparator in the
+// benchmark harness.
+#ifndef TREEDL_SCHEMA_PRIMALITY_BRUTEFORCE_HPP_
+#define TREEDL_SCHEMA_PRIMALITY_BRUTEFORCE_HPP_
+
+#include <vector>
+
+#include "schema/schema.hpp"
+
+namespace treedl {
+
+/// Tests whether `a` is prime (member of at least one key) via the paper's
+/// characterization (Ex 2.6): a is prime iff there exists Y ⊆ R with
+/// Y⁺ = Y, a ∉ Y and (Y ∪ {a})⁺ = R. Exhaustive over subsets of R \ {a};
+/// requires <= 24 attributes.
+bool IsPrimeBruteForce(const Schema& schema, AttributeId a);
+
+/// Membership vector of prime attributes (brute force).
+std::vector<bool> AllPrimesBruteForce(const Schema& schema);
+
+}  // namespace treedl
+
+#endif  // TREEDL_SCHEMA_PRIMALITY_BRUTEFORCE_HPP_

@@ -1,0 +1,130 @@
+#include "schema/schema.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace treedl {
+
+AttributeId Schema::AddAttribute(const std::string& name) {
+  auto it = attribute_ids_.find(name);
+  if (it != attribute_ids_.end()) return it->second;
+  AttributeId id = static_cast<AttributeId>(attribute_names_.size());
+  attribute_names_.push_back(name);
+  attribute_ids_.emplace(name, id);
+  return id;
+}
+
+StatusOr<FdId> Schema::AddFd(std::vector<AttributeId> lhs, AttributeId rhs) {
+  for (AttributeId a : lhs) {
+    if (a < 0 || a >= NumAttributes()) {
+      return Status::InvalidArgument("FD lhs attribute id out of range");
+    }
+  }
+  if (rhs < 0 || rhs >= NumAttributes()) {
+    return Status::InvalidArgument("FD rhs attribute id out of range");
+  }
+  std::sort(lhs.begin(), lhs.end());
+  lhs.erase(std::unique(lhs.begin(), lhs.end()), lhs.end());
+  FdId id = static_cast<FdId>(fds_.size());
+  fds_.push_back(FunctionalDependency{std::move(lhs), rhs});
+  return id;
+}
+
+StatusOr<FdId> Schema::AddFdNamed(const std::vector<std::string>& lhs,
+                                  const std::string& rhs) {
+  std::vector<AttributeId> lhs_ids;
+  lhs_ids.reserve(lhs.size());
+  for (const std::string& name : lhs) lhs_ids.push_back(AddAttribute(name));
+  return AddFd(std::move(lhs_ids), AddAttribute(rhs));
+}
+
+StatusOr<AttributeId> Schema::AttributeByName(const std::string& name) const {
+  auto it = attribute_ids_.find(name);
+  if (it == attribute_ids_.end()) {
+    return Status::NotFound("unknown attribute: " + name);
+  }
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "R = {";
+  for (AttributeId a = 0; a < NumAttributes(); ++a) {
+    if (a > 0) out += ", ";
+    out += AttributeName(a);
+  }
+  out += "};  F = {";
+  for (FdId f = 0; f < NumFds(); ++f) {
+    if (f > 0) out += ", ";
+    const auto& fd = Fd(f);
+    for (size_t i = 0; i < fd.lhs.size(); ++i) {
+      if (i > 0) out += " ";
+      out += AttributeName(fd.lhs[i]);
+    }
+    out += " -> " + AttributeName(fd.rhs);
+  }
+  out += "}";
+  return out;
+}
+
+StatusOr<Schema> Schema::Parse(const std::string& text) {
+  Schema schema;
+  int line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    size_t comment = line.find('%');
+    if (comment != std::string_view::npos) line = Trim(line.substr(0, comment));
+    if (line.empty()) continue;
+    if (StartsWith(line, "attributes:")) {
+      for (const std::string& piece : Split(line.substr(11), ',')) {
+        std::string_view name = Trim(piece);
+        if (name.empty()) continue;
+        if (!IsIdentifier(name)) {
+          return Status::ParseError("line " + std::to_string(line_no) +
+                                    ": bad attribute name '" +
+                                    std::string(name) + "'");
+        }
+        schema.AddAttribute(std::string(name));
+      }
+      continue;
+    }
+    size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 'lhs -> rhs'");
+    }
+    std::vector<std::string> lhs;
+    for (const std::string& piece : Split(std::string(line.substr(0, arrow)), ' ')) {
+      std::string_view name = Trim(piece);
+      if (name.empty()) continue;
+      if (!IsIdentifier(name)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad lhs attribute '" + std::string(name) +
+                                  "'");
+      }
+      lhs.emplace_back(name);
+    }
+    std::string_view rhs = Trim(line.substr(arrow + 2));
+    if (lhs.empty() || !IsIdentifier(rhs)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": malformed FD");
+    }
+    TREEDL_ASSIGN_OR_RETURN([[maybe_unused]] FdId id,
+                            schema.AddFdNamed(lhs, std::string(rhs)));
+  }
+  return schema;
+}
+
+Schema Schema::PaperExampleSchema() {
+  auto parsed = Parse(
+      "attributes: a, b, c, d, e, g\n"
+      "a b -> c\n"
+      "c -> b\n"
+      "c d -> e\n"
+      "d e -> g\n"
+      "g -> e\n");
+  return std::move(parsed).value();
+}
+
+}  // namespace treedl

@@ -1,0 +1,72 @@
+// Relational schemas (R, F) — §2.1.
+//
+// R is a set of attributes, F a set of functional dependencies f: Y -> A with
+// a single right-hand-side attribute (w.l.o.g., as in the paper). The running
+// example of the paper (Ex 2.1) is provided as PaperExampleSchema().
+#ifndef TREEDL_SCHEMA_SCHEMA_HPP_
+#define TREEDL_SCHEMA_SCHEMA_HPP_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace treedl {
+
+using AttributeId = int;
+using FdId = int;
+
+struct FunctionalDependency {
+  /// Sorted, duplicate-free left-hand side.
+  std::vector<AttributeId> lhs;
+  AttributeId rhs = 0;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Interns an attribute name (idempotent).
+  AttributeId AddAttribute(const std::string& name);
+
+  /// Adds the FD lhs -> rhs (by attribute id). The lhs is sorted and
+  /// deduplicated; rhs may also occur in lhs (trivial but legal).
+  StatusOr<FdId> AddFd(std::vector<AttributeId> lhs, AttributeId rhs);
+
+  /// Adds an FD by attribute names, interning them as needed.
+  StatusOr<FdId> AddFdNamed(const std::vector<std::string>& lhs,
+                            const std::string& rhs);
+
+  int NumAttributes() const { return static_cast<int>(attribute_names_.size()); }
+  int NumFds() const { return static_cast<int>(fds_.size()); }
+  const std::string& AttributeName(AttributeId a) const {
+    return attribute_names_[static_cast<size_t>(a)];
+  }
+  StatusOr<AttributeId> AttributeByName(const std::string& name) const;
+  const FunctionalDependency& Fd(FdId f) const {
+    return fds_[static_cast<size_t>(f)];
+  }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// Renders as "R = {a, b, ...};  F = {a b -> c, ...}".
+  std::string ToString() const;
+
+  /// Parses a schema from text. Grammar (whitespace-insensitive):
+  ///   attributes: a, b, c, d        — optional explicit attribute list
+  ///   a b -> c                      — one FD per line ('%' starts a comment)
+  static StatusOr<Schema> Parse(const std::string& text);
+
+  /// Ex 2.1: R = {a, b, c, d, e, g}, F = {ab -> c, c -> b, cd -> e, de -> g,
+  /// g -> e}. Keys: {a, b, d} and {a, c, d}; primes: a, b, c, d.
+  static Schema PaperExampleSchema();
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::unordered_map<std::string, AttributeId> attribute_ids_;
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_SCHEMA_SCHEMA_HPP_

@@ -1,0 +1,61 @@
+#include "structure/signature.hpp"
+
+namespace treedl {
+
+StatusOr<Signature> Signature::Make(
+    std::vector<std::pair<std::string, int>> predicates) {
+  Signature sig;
+  for (auto& [name, arity] : predicates) {
+    TREEDL_ASSIGN_OR_RETURN([[maybe_unused]] PredicateId id,
+                            sig.AddPredicate(name, arity));
+  }
+  return sig;
+}
+
+StatusOr<PredicateId> Signature::AddPredicate(const std::string& name,
+                                              int arity) {
+  if (name.empty()) {
+    return Status::InvalidArgument("predicate name must be non-empty");
+  }
+  if (arity < 0) {
+    return Status::InvalidArgument("predicate arity must be >= 0: " + name);
+  }
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("predicate already declared: " + name);
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{name, arity});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+StatusOr<PredicateId> Signature::PredicateIdOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown predicate: " + name);
+  }
+  return it->second;
+}
+
+Signature Signature::SchemaSignature() {
+  auto sig = Make({{"fd", 1}, {"att", 1}, {"lh", 2}, {"rh", 2}});
+  return std::move(sig).value();
+}
+
+Signature Signature::GraphSignature() {
+  auto sig = Make({{"e", 2}});
+  return std::move(sig).value();
+}
+
+bool Signature::operator==(const Signature& other) const {
+  if (predicates_.size() != other.predicates_.size()) return false;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i].name != other.predicates_[i].name ||
+        predicates_[i].arity != other.predicates_[i].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace treedl

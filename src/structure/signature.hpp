@@ -1,0 +1,64 @@
+// Relational signatures: named predicate symbols with fixed arities.
+//
+// A signature τ = {R1, ..., RK} determines which atomic facts a Structure may
+// contain (§2.2 of the paper). Predicates are interned to dense integer ids.
+#ifndef TREEDL_STRUCTURE_SIGNATURE_HPP_
+#define TREEDL_STRUCTURE_SIGNATURE_HPP_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace treedl {
+
+using PredicateId = int;
+
+struct PredicateInfo {
+  std::string name;
+  int arity = 0;
+};
+
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Builds a signature from (name, arity) pairs. Names must be distinct.
+  static StatusOr<Signature> Make(
+      std::vector<std::pair<std::string, int>> predicates);
+
+  /// Adds a predicate; fails on duplicate name or negative arity.
+  StatusOr<PredicateId> AddPredicate(const std::string& name, int arity);
+
+  /// Returns the id for `name`, or kNotFound.
+  StatusOr<PredicateId> PredicateIdOf(const std::string& name) const;
+
+  bool HasPredicate(const std::string& name) const {
+    return by_name_.count(name) > 0;
+  }
+
+  const PredicateInfo& predicate(PredicateId id) const {
+    return predicates_[static_cast<size_t>(id)];
+  }
+  int arity(PredicateId id) const { return predicate(id).arity; }
+  const std::string& name(PredicateId id) const { return predicate(id).name; }
+  int size() const { return static_cast<int>(predicates_.size()); }
+
+  /// The signature τ = {fd/1, att/1, lh/2, rh/2} used for relational schemas
+  /// (§2.2): fd(f), att(b), lh(b, f) — b in lhs(f) — and rh(b, f).
+  static Signature SchemaSignature();
+
+  /// The signature τ = {e/2} of graphs with binary edge relation e.
+  static Signature GraphSignature();
+
+  bool operator==(const Signature& other) const;
+
+ private:
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> by_name_;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_STRUCTURE_SIGNATURE_HPP_

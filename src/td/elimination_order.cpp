@@ -1,0 +1,108 @@
+#include "td/elimination_order.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace treedl {
+
+namespace {
+
+Status CheckPermutation(const Graph& graph, const std::vector<VertexId>& order) {
+  if (order.size() != graph.NumVertices()) {
+    return Status::InvalidArgument("elimination order has wrong length");
+  }
+  std::vector<bool> seen(graph.NumVertices(), false);
+  for (VertexId v : order) {
+    if (v >= graph.NumVertices() || seen[v]) {
+      return Status::InvalidArgument("elimination order is not a permutation");
+    }
+    seen[v] = true;
+  }
+  return Status::OK();
+}
+
+// Simulates elimination; fills bag-per-vertex (in elimination order) and,
+// for each eliminated vertex, the earliest-later-eliminated neighbor (or
+// kNoTdNode). Uses std::set adjacency for cheap edge insertion/removal.
+void SimulateElimination(const Graph& graph, const std::vector<VertexId>& order,
+                         std::vector<std::vector<ElementId>>* bags,
+                         std::vector<int>* attach_position) {
+  size_t n = graph.NumVertices();
+  std::vector<std::set<VertexId>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<int> position(n);
+  for (size_t i = 0; i < n; ++i) position[order[i]] = static_cast<int>(i);
+
+  bags->assign(n, {});
+  attach_position->assign(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+    auto& bag = (*bags)[i];
+    bag.push_back(v);
+    int earliest_later = -1;
+    for (VertexId u : nbrs) {
+      bag.push_back(u);
+      if (earliest_later == -1 || position[u] < earliest_later) {
+        earliest_later = position[u];
+      }
+    }
+    (*attach_position)[i] = earliest_later;
+    // Clique-ify the neighborhood and remove v.
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(v);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    adj[v].clear();
+  }
+}
+
+}  // namespace
+
+StatusOr<TreeDecomposition> DecompositionFromOrder(
+    const Graph& graph, const std::vector<VertexId>& order) {
+  TREEDL_RETURN_IF_ERROR(CheckPermutation(graph, order));
+  TreeDecomposition td;
+  if (graph.NumVertices() == 0) {
+    td.AddNode({});
+    return td;
+  }
+  std::vector<std::vector<ElementId>> bags;
+  std::vector<int> attach_position;
+  SimulateElimination(graph, order, &bags, &attach_position);
+
+  size_t n = graph.NumVertices();
+  // Build top-down: the last-eliminated vertex's bag is the root; the bag of
+  // order[i] hangs under the bag of its earliest later-eliminated neighbor
+  // (or under the next bag in order for isolated vertices, keeping one tree).
+  std::vector<TdNodeId> node_of_position(n, kNoTdNode);
+  node_of_position[n - 1] = td.AddNode(bags[n - 1]);
+  for (size_t i = n - 1; i-- > 0;) {
+    int parent_pos = attach_position[i];
+    if (parent_pos < 0) parent_pos = static_cast<int>(i) + 1;
+    node_of_position[i] =
+        td.AddNode(bags[i], node_of_position[static_cast<size_t>(parent_pos)]);
+  }
+  return td;
+}
+
+StatusOr<int> OrderWidth(const Graph& graph,
+                         const std::vector<VertexId>& order) {
+  TREEDL_RETURN_IF_ERROR(CheckPermutation(graph, order));
+  std::vector<std::vector<ElementId>> bags;
+  std::vector<int> attach_position;
+  SimulateElimination(graph, order, &bags, &attach_position);
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+}  // namespace treedl

@@ -1,0 +1,161 @@
+// Normalized tree decompositions, in both forms used by the paper.
+//
+// 1. The *modified normal form* of §5 (Fig. 4): bags are sets; internal nodes
+//    are element-introduction, element-removal (forget), branch (two children,
+//    all three bags identical) or copy nodes. This is the form the practical
+//    algorithms (3-Colorability, PRIMALITY) traverse.
+//
+// 2. The *tuple normal form* of Def 2.3 (Fig. 2): bags are (w+1)-tuples of
+//    pairwise distinct elements; internal nodes are permutation nodes, element
+//    replacement nodes (position 0 changes) or branch nodes with identical
+//    child bags. This is the form referenced by the generic MSO-to-datalog
+//    construction of Thm 4.5 and by the τ_td encoding's bag/child predicates.
+#ifndef TREEDL_TD_NORMALIZE_HPP_
+#define TREEDL_TD_NORMALIZE_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+// ---------------------------------------------------------------------------
+// Modified normal form (§5).
+// ---------------------------------------------------------------------------
+
+enum class NormNodeKind {
+  kLeaf,       // no children
+  kIntroduce,  // bag = bag(child) ⊎ {element}
+  kForget,     // bag = bag(child) \ {element}   ("element removal" node)
+  kBranch,     // two children, both bags identical to this node's bag
+  kCopy,       // one child with an identical bag
+};
+
+const char* NormNodeKindName(NormNodeKind kind);
+
+struct NormNode {
+  NormNodeKind kind = NormNodeKind::kLeaf;
+  /// The element introduced/forgotten (kIntroduce/kForget only).
+  ElementId element = 0;
+  /// Sorted, duplicate-free bag.
+  std::vector<ElementId> bag;
+  TdNodeId parent = kNoTdNode;
+  std::vector<TdNodeId> children;
+};
+
+class NormalizedTreeDecomposition {
+ public:
+  size_t NumNodes() const { return nodes_.size(); }
+  TdNodeId root() const { return root_; }
+  const NormNode& node(TdNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const std::vector<ElementId>& Bag(TdNodeId id) const { return node(id).bag; }
+  int Width() const;
+
+  /// Every node after its parent / before its parent, respectively.
+  std::vector<TdNodeId> PreOrder() const;
+  std::vector<TdNodeId> PostOrder() const;
+
+  /// Count of nodes per kind (indexed by static_cast<int>(kind)).
+  std::vector<size_t> KindCounts() const;
+
+  /// Conversion back to a raw decomposition (same tree and bags), so that the
+  /// result can be validated against the original structure/graph.
+  TreeDecomposition ToRaw() const;
+
+  /// Internal: appends a node; used by Normalize and by tests building
+  /// decompositions by hand.
+  TdNodeId AddNode(NormNode node);
+  void SetRoot(TdNodeId id) { root_ = id; }
+  NormNode* MutableNode(TdNodeId id) { return &nodes_[static_cast<size_t>(id)]; }
+
+ private:
+  std::vector<NormNode> nodes_;
+  TdNodeId root_ = kNoTdNode;
+};
+
+struct NormalizeOptions {
+  /// Ensure every element occurs in the bag of at least one leaf — required
+  /// by the enumeration algorithm of §5.3 (prime() is read off at leaves).
+  bool ensure_leaf_coverage = false;
+  /// Insert a copy node directly above every branch node, so each branch node
+  /// is surrounded by equal-bag neighbors (§5.3's re-rooting robustness).
+  bool copy_above_branches = false;
+  /// Optional element priority for introduce/forget chains: elements with
+  /// higher priority are forgotten first and introduced last. The PRIMALITY
+  /// solver uses this to forget FD elements before their rhs attribute, so
+  /// the §5.2 invariant "every bag containing f also contains rhs(f)" holds
+  /// at every chain node, not just at the original bags.
+  std::function<int(ElementId)> forget_priority;
+};
+
+/// Transforms a raw tree decomposition into modified normal form. Preserves
+/// width, validity, and the root's bag; linear in the output size.
+StatusOr<NormalizedTreeDecomposition> Normalize(
+    const TreeDecomposition& td, const NormalizeOptions& options = {});
+
+/// Checks the kind/bag invariants listed above NormNodeKind.
+Status ValidateNormalized(const NormalizedTreeDecomposition& ntd);
+
+// ---------------------------------------------------------------------------
+// Tuple normal form (Def 2.3).
+// ---------------------------------------------------------------------------
+
+enum class TupleNodeKind {
+  kLeaf,
+  kPermutation,         // child bag is a permutation of this bag
+  kElementReplacement,  // bags agree except at position 0
+  kBranch,              // two children with identical tuples
+};
+
+const char* TupleNodeKindName(TupleNodeKind kind);
+
+struct TupleNode {
+  TupleNodeKind kind = TupleNodeKind::kLeaf;
+  /// Ordered bag: exactly width+1 pairwise distinct elements.
+  std::vector<ElementId> bag;
+  TdNodeId parent = kNoTdNode;
+  std::vector<TdNodeId> children;
+};
+
+class TupleNormalizedTd {
+ public:
+  explicit TupleNormalizedTd(int width) : width_(width) {}
+
+  int width() const { return width_; }
+  size_t NumNodes() const { return nodes_.size(); }
+  TdNodeId root() const { return root_; }
+  const TupleNode& node(TdNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  std::vector<TdNodeId> PreOrder() const;
+  std::vector<TdNodeId> PostOrder() const;
+
+  TreeDecomposition ToRaw() const;
+
+  TdNodeId AddNode(TupleNode node);
+  void SetRoot(TdNodeId id) { root_ = id; }
+
+ private:
+  int width_;
+  std::vector<TupleNode> nodes_;
+  TdNodeId root_ = kNoTdNode;
+};
+
+/// Transforms a raw decomposition of width w into tuple normal form
+/// (Prop 2.4): pads every bag to w+1 elements with neighbor elements,
+/// binarizes, and interpolates neighboring bags via permutation +
+/// replacement steps. Requires the structure's domain to have >= w+1
+/// elements (guaranteed since some bag already has w+1).
+StatusOr<TupleNormalizedTd> NormalizeTuple(const TreeDecomposition& td);
+
+/// Checks the Def 2.3 invariants (tuple sizes, kind/bag relations).
+Status ValidateTupleNormalized(const TupleNormalizedTd& ntd);
+
+}  // namespace treedl
+
+#endif  // TREEDL_TD_NORMALIZE_HPP_

@@ -1,0 +1,36 @@
+// Rendering of tree decompositions (raw and normalized) as ASCII trees and
+// Graphviz DOT. Used by examples/paper_figures to reproduce Figures 1, 2, 4.
+#ifndef TREEDL_TD_TD_IO_HPP_
+#define TREEDL_TD_TD_IO_HPP_
+
+#include <functional>
+#include <string>
+
+#include "structure/structure.hpp"
+#include "td/normalize.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+/// Maps an element id to a display name. Default: "e<id>".
+using ElementNamer = std::function<std::string(ElementId)>;
+
+ElementNamer DefaultNamer();
+/// Names elements after `structure`'s interned names.
+ElementNamer NamerFor(const Structure& structure);
+
+/// ASCII tree, one node per line, children indented, bags in braces.
+std::string RenderTree(const TreeDecomposition& td,
+                       const ElementNamer& namer = DefaultNamer());
+std::string RenderTree(const NormalizedTreeDecomposition& ntd,
+                       const ElementNamer& namer = DefaultNamer());
+std::string RenderTree(const TupleNormalizedTd& ntd,
+                       const ElementNamer& namer = DefaultNamer());
+
+/// Graphviz DOT rendering of a raw decomposition.
+std::string ToDot(const TreeDecomposition& td,
+                  const ElementNamer& namer = DefaultNamer());
+
+}  // namespace treedl
+
+#endif  // TREEDL_TD_TD_IO_HPP_

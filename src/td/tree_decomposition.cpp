@@ -1,0 +1,154 @@
+#include "td/tree_decomposition.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace treedl {
+
+TdNodeId TreeDecomposition::AddNode(std::vector<ElementId> bag,
+                                    TdNodeId parent) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  TdNodeId id = static_cast<TdNodeId>(nodes_.size());
+  nodes_.push_back(TdNode{std::move(bag), parent, {}});
+  if (parent == kNoTdNode) {
+    TREEDL_CHECK(root_ == kNoTdNode) << "tree decomposition already has a root";
+    root_ = id;
+  } else {
+    TREEDL_CHECK(parent >= 0 && static_cast<size_t>(parent) < nodes_.size() - 1)
+        << "invalid parent id";
+    nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+bool TreeDecomposition::BagContains(TdNodeId id, ElementId e) const {
+  const auto& bag = Bag(id);
+  return std::binary_search(bag.begin(), bag.end(), e);
+}
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const TdNode& n : nodes_) {
+    width = std::max(width, static_cast<int>(n.bag.size()) - 1);
+  }
+  return width;
+}
+
+std::vector<TdNodeId> TreeDecomposition::PreOrder() const {
+  std::vector<TdNodeId> order;
+  if (root_ == kNoTdNode) return order;
+  order.reserve(nodes_.size());
+  std::vector<TdNodeId> stack{root_};
+  while (!stack.empty()) {
+    TdNodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (TdNodeId c : node(id).children) stack.push_back(c);
+  }
+  TREEDL_CHECK(order.size() == nodes_.size()) << "tree is not connected";
+  return order;
+}
+
+std::vector<TdNodeId> TreeDecomposition::PostOrder() const {
+  std::vector<TdNodeId> order = PreOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Status TreeDecomposition::ReRoot(TdNodeId new_root) {
+  if (new_root < 0 || static_cast<size_t>(new_root) >= nodes_.size()) {
+    return Status::InvalidArgument("ReRoot: node id out of range");
+  }
+  if (new_root == root_) return Status::OK();
+  // Collect the path new_root -> old root, then reverse every parent edge on
+  // it.
+  std::vector<TdNodeId> path;
+  for (TdNodeId cur = new_root; cur != kNoTdNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    path.push_back(cur);
+  }
+  TREEDL_CHECK(path.back() == root_) << "broken parent chain";
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    TdNodeId child = path[i];       // becomes the parent
+    TdNodeId parent = path[i + 1];  // becomes the child
+    auto& pc = nodes_[static_cast<size_t>(parent)].children;
+    pc.erase(std::remove(pc.begin(), pc.end(), child), pc.end());
+    nodes_[static_cast<size_t>(child)].children.push_back(parent);
+    nodes_[static_cast<size_t>(parent)].parent = child;
+  }
+  nodes_[static_cast<size_t>(new_root)].parent = kNoTdNode;
+  root_ = new_root;
+  return Status::OK();
+}
+
+TdNodeId TreeDecomposition::FindNodeContaining(ElementId e) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (BagContains(static_cast<TdNodeId>(i), e)) {
+      return static_cast<TdNodeId>(i);
+    }
+  }
+  return kNoTdNode;
+}
+
+void TreeDecomposition::SetBag(TdNodeId id, std::vector<ElementId> bag) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  nodes_[static_cast<size_t>(id)].bag = std::move(bag);
+}
+
+std::vector<TdNodeId> SubtreeNodes(const TreeDecomposition& td, TdNodeId t) {
+  std::vector<TdNodeId> out;
+  std::vector<TdNodeId> stack{t};
+  while (!stack.empty()) {
+    TdNodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    for (TdNodeId c : td.node(id).children) stack.push_back(c);
+  }
+  return out;
+}
+
+std::vector<TdNodeId> EnvelopeNodes(const TreeDecomposition& td, TdNodeId t) {
+  std::vector<bool> in_subtree(td.NumNodes(), false);
+  for (TdNodeId id : SubtreeNodes(td, t)) {
+    in_subtree[static_cast<size_t>(id)] = true;
+  }
+  std::vector<TdNodeId> out;
+  for (size_t i = 0; i < td.NumNodes(); ++i) {
+    if (!in_subtree[i] || static_cast<TdNodeId>(i) == t) {
+      out.push_back(static_cast<TdNodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<ElementId> ElementsInBags(const TreeDecomposition& td,
+                                      const std::vector<TdNodeId>& nodes) {
+  std::vector<ElementId> out;
+  for (TdNodeId id : nodes) {
+    const auto& bag = td.Bag(id);
+    out.insert(out.end(), bag.begin(), bag.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Structure InducedStructure(const Structure& structure,
+                           const TreeDecomposition& td, TdNodeId t,
+                           bool envelope, std::vector<ElementId>* bag_out) {
+  std::vector<TdNodeId> nodes =
+      envelope ? EnvelopeNodes(td, t) : SubtreeNodes(td, t);
+  std::vector<ElementId> elements = ElementsInBags(td, nodes);
+  std::unordered_map<ElementId, ElementId> old_to_new;
+  Structure sub = structure.InducedSubstructure(elements, &old_to_new);
+  if (bag_out != nullptr) {
+    bag_out->clear();
+    for (ElementId e : td.Bag(t)) bag_out->push_back(old_to_new.at(e));
+  }
+  return sub;
+}
+
+}  // namespace treedl

@@ -1,0 +1,86 @@
+// Tree decompositions (§2.2): a rooted tree whose nodes carry bags of domain
+// elements, satisfying (1) coverage of elements, (2) coverage of facts/edges,
+// (3) connectedness. This class is the *raw* decomposition; the normalized
+// forms used by the algorithms live in td/normalize.hpp.
+#ifndef TREEDL_TD_TREE_DECOMPOSITION_HPP_
+#define TREEDL_TD_TREE_DECOMPOSITION_HPP_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl {
+
+using TdNodeId = int;
+inline constexpr TdNodeId kNoTdNode = -1;
+
+struct TdNode {
+  /// Bag contents, kept sorted and duplicate-free.
+  std::vector<ElementId> bag;
+  TdNodeId parent = kNoTdNode;
+  std::vector<TdNodeId> children;
+};
+
+class TreeDecomposition {
+ public:
+  TreeDecomposition() = default;
+
+  /// Adds a node with the given bag under `parent` (kNoTdNode makes it the
+  /// root; only one root is allowed). The bag is sorted and deduplicated.
+  TdNodeId AddNode(std::vector<ElementId> bag, TdNodeId parent = kNoTdNode);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  bool Empty() const { return nodes_.empty(); }
+  TdNodeId root() const { return root_; }
+  const TdNode& node(TdNodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<ElementId>& Bag(TdNodeId id) const { return node(id).bag; }
+  bool BagContains(TdNodeId id, ElementId e) const;
+
+  /// max |bag| - 1, or -1 for the empty decomposition.
+  int Width() const;
+
+  /// Node ids in an order where every node appears after its parent.
+  std::vector<TdNodeId> PreOrder() const;
+  /// Node ids in an order where every node appears before its parent.
+  std::vector<TdNodeId> PostOrder() const;
+
+  /// Re-roots the tree at `new_root` by reversing parent pointers along the
+  /// root path. Bags are unchanged (validity of a tree decomposition does not
+  /// depend on the choice of root).
+  Status ReRoot(TdNodeId new_root);
+
+  /// Any node whose bag contains `e`, or kNoTdNode.
+  TdNodeId FindNodeContaining(ElementId e) const;
+
+  /// Replaces the bag of `id` (sorted/deduplicated). Caller is responsible
+  /// for re-validating afterwards.
+  void SetBag(TdNodeId id, std::vector<ElementId> bag);
+
+ private:
+  std::vector<TdNode> nodes_;
+  TdNodeId root_ = kNoTdNode;
+};
+
+/// Node ids of the subtree rooted at `t` (Def 3.1, T_t), including `t`.
+std::vector<TdNodeId> SubtreeNodes(const TreeDecomposition& td, TdNodeId t);
+
+/// Node ids of the envelope (Def 3.1, T̄_t): all of T minus T_t, plus t itself.
+std::vector<TdNodeId> EnvelopeNodes(const TreeDecomposition& td, TdNodeId t);
+
+/// Distinct elements occurring in the bags of `nodes`, sorted.
+std::vector<ElementId> ElementsInBags(const TreeDecomposition& td,
+                                      const std::vector<TdNodeId>& nodes);
+
+/// The induced structure I(A, S, s) of Def 3.2 for S = the subtree rooted at
+/// `t` (`envelope` = false) or the envelope of `t` (`envelope` = true):
+/// substructure of `structure` induced by the elements in S's bags. The
+/// distinguished tuple (the bag of `t`) is returned via `bag_out` translated
+/// to the new ids.
+Structure InducedStructure(const Structure& structure,
+                           const TreeDecomposition& td, TdNodeId t,
+                           bool envelope, std::vector<ElementId>* bag_out);
+
+}  // namespace treedl
+
+#endif  // TREEDL_TD_TREE_DECOMPOSITION_HPP_

@@ -1,0 +1,147 @@
+#include "td/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace treedl {
+
+namespace {
+
+// Condition (3): for every element, its occurrence set induces a subtree.
+// Equivalent check: for each element e, the number of occurrence nodes whose
+// parent also contains e must be exactly (#occurrences - 1) — i.e. the
+// occurrence nodes form one connected component in the tree.
+Status CheckConnectedness(const TreeDecomposition& td) {
+  std::unordered_map<ElementId, int> occurrences;
+  std::unordered_map<ElementId, int> linked;
+  for (size_t i = 0; i < td.NumNodes(); ++i) {
+    TdNodeId id = static_cast<TdNodeId>(i);
+    for (ElementId e : td.Bag(id)) {
+      occurrences[e] += 1;
+      TdNodeId p = td.node(id).parent;
+      if (p != kNoTdNode && td.BagContains(p, e)) linked[e] += 1;
+    }
+  }
+  for (const auto& [e, count] : occurrences) {
+    if (linked[e] != count - 1) {
+      return Status::InvalidArgument(
+          "connectedness violated for element id " + std::to_string(e) + ": " +
+          std::to_string(count) + " occurrences, " + std::to_string(linked[e]) +
+          " parent links");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckTreeShape(const TreeDecomposition& td) {
+  if (td.Empty()) return Status::InvalidArgument("empty tree decomposition");
+  if (td.root() == kNoTdNode) {
+    return Status::InvalidArgument("tree decomposition has no root");
+  }
+  // PreOrder checks reachability of all nodes from the root.
+  size_t seen = 0;
+  std::vector<TdNodeId> stack{td.root()};
+  std::vector<bool> visited(td.NumNodes(), false);
+  while (!stack.empty()) {
+    TdNodeId id = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(id)]) {
+      return Status::InvalidArgument("cycle in tree decomposition");
+    }
+    visited[static_cast<size_t>(id)] = true;
+    ++seen;
+    for (TdNodeId c : td.node(id).children) {
+      if (td.node(c).parent != id) {
+        return Status::InvalidArgument("parent/child pointers inconsistent");
+      }
+      stack.push_back(c);
+    }
+  }
+  if (seen != td.NumNodes()) {
+    return Status::InvalidArgument("tree decomposition is not connected");
+  }
+  return Status::OK();
+}
+
+// True iff some bag contains all of `elements` (sorted).
+bool SomeBagCovers(const TreeDecomposition& td,
+                   const std::vector<ElementId>& elements) {
+  for (size_t i = 0; i < td.NumNodes(); ++i) {
+    const auto& bag = td.Bag(static_cast<TdNodeId>(i));
+    if (std::includes(bag.begin(), bag.end(), elements.begin(),
+                      elements.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateConnectedness(const TreeDecomposition& td) {
+  TREEDL_RETURN_IF_ERROR(CheckTreeShape(td));
+  return CheckConnectedness(td);
+}
+
+Status ValidateForStructure(const Structure& structure,
+                            const TreeDecomposition& td) {
+  TREEDL_RETURN_IF_ERROR(ValidateConnectedness(td));
+  // (1) element coverage.
+  std::vector<bool> covered(structure.NumElements(), false);
+  for (size_t i = 0; i < td.NumNodes(); ++i) {
+    for (ElementId e : td.Bag(static_cast<TdNodeId>(i))) {
+      if (e >= structure.NumElements()) {
+        return Status::InvalidArgument("bag element not in structure domain");
+      }
+      covered[e] = true;
+    }
+  }
+  for (ElementId e = 0; e < structure.NumElements(); ++e) {
+    if (!covered[e]) {
+      return Status::InvalidArgument("element not covered by any bag: " +
+                                     structure.ElementName(e));
+    }
+  }
+  // (2) fact coverage.
+  for (const Fact& fact : structure.AllFacts()) {
+    std::vector<ElementId> args = fact.args;
+    std::sort(args.begin(), args.end());
+    args.erase(std::unique(args.begin(), args.end()), args.end());
+    if (!SomeBagCovers(td, args)) {
+      return Status::InvalidArgument(
+          "fact not covered by any bag: predicate " +
+          structure.signature().name(fact.predicate));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateForGraph(const Graph& graph, const TreeDecomposition& td) {
+  TREEDL_RETURN_IF_ERROR(ValidateConnectedness(td));
+  std::vector<bool> covered(graph.NumVertices(), false);
+  for (size_t i = 0; i < td.NumNodes(); ++i) {
+    for (ElementId e : td.Bag(static_cast<TdNodeId>(i))) {
+      if (e >= graph.NumVertices()) {
+        return Status::InvalidArgument("bag element not a graph vertex");
+      }
+      covered[e] = true;
+    }
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!covered[v]) {
+      return Status::InvalidArgument("vertex not covered by any bag: v" +
+                                     std::to_string(v));
+    }
+  }
+  for (auto [u, v] : graph.Edges()) {
+    std::vector<ElementId> pair{std::min(u, v), std::max(u, v)};
+    if (!SomeBagCovers(td, pair)) {
+      return Status::InvalidArgument("edge not covered by any bag: {v" +
+                                     std::to_string(u) + ", v" +
+                                     std::to_string(v) + "}");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace treedl

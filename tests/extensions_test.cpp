@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/extensions.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algorithms.hpp"
+
+namespace treedl::core {
+namespace {
+
+TEST(ExtensionsTest, KnownGraphs) {
+  Graph c5 = CycleGraph(5);
+  EXPECT_EQ(MinVertexCoverTd(c5).value(), 3u);
+  EXPECT_EQ(MaxIndependentSetTd(c5).value(), 2u);
+  EXPECT_EQ(MinDominatingSetTd(c5).value(), 2u);
+
+  Graph star(6);
+  for (VertexId v = 1; v < 6; ++v) star.AddEdge(0, v);
+  EXPECT_EQ(MinVertexCoverTd(star).value(), 1u);
+  EXPECT_EQ(MaxIndependentSetTd(star).value(), 5u);
+  EXPECT_EQ(MinDominatingSetTd(star).value(), 1u);
+
+  Graph k4 = CompleteGraph(4);
+  EXPECT_EQ(MinVertexCoverTd(k4).value(), 3u);
+  EXPECT_EQ(MaxIndependentSetTd(k4).value(), 1u);
+  EXPECT_EQ(MinDominatingSetTd(k4).value(), 1u);
+
+  Graph edgeless(4);
+  EXPECT_EQ(MinVertexCoverTd(edgeless).value(), 0u);
+  EXPECT_EQ(MaxIndependentSetTd(edgeless).value(), 4u);
+  EXPECT_EQ(MinDominatingSetTd(edgeless).value(), 4u);
+
+  EXPECT_EQ(MinVertexCoverTd(PetersenGraph()).value(), 6u);
+  EXPECT_EQ(MaxIndependentSetTd(PetersenGraph()).value(), 4u);
+  EXPECT_EQ(MinDominatingSetTd(PetersenGraph()).value(), 3u);
+}
+
+class ExtensionsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtensionsPropertyTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  Graph g = RandomPartialKTree(11, 3, 0.7, &rng);
+  EXPECT_EQ(MinVertexCoverTd(g).value(), MinVertexCoverBruteForce(g));
+  EXPECT_EQ(MaxIndependentSetTd(g).value(), MaxIndependentSetBruteForce(g));
+  EXPECT_EQ(MinDominatingSetTd(g).value(), MinDominatingSetBruteForce(g));
+}
+
+TEST_P(ExtensionsPropertyTest, GallaiIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 2);
+  Graph g = RandomPartialKTree(16, 3, 0.6, &rng);
+  // min VC + max IS = n, checked DP-vs-DP at sizes beyond the brute force.
+  EXPECT_EQ(MinVertexCoverTd(g).value() + MaxIndependentSetTd(g).value(),
+            g.NumVertices());
+  // DS never exceeds VC on graphs without isolated vertices; with possible
+  // isolated vertices only the trivial bound DS <= n holds, so check that.
+  EXPECT_LE(MinDominatingSetTd(g).value(), g.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionsPropertyTest, ::testing::Range(0, 15));
+
+TEST(ExtensionsTest, RejectsInvalidDecomposition) {
+  Graph g = CycleGraph(4);
+  TreeDecomposition bad;
+  bad.AddNode({0});
+  EXPECT_FALSE(MinVertexCoverTd(g, bad).ok());
+  EXPECT_FALSE(MaxIndependentSetTd(g, bad).ok());
+  EXPECT_FALSE(MinDominatingSetTd(g, bad).ok());
+}
+
+}  // namespace
+}  // namespace treedl::core

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/grounder.hpp"
+#include "datalog/tau_td.hpp"
+#include "graph/gaifman.hpp"
+#include "graph/generators.hpp"
+#include "mso/evaluator.hpp"
+#include "mso/formulas.hpp"
+#include "mso/parser.hpp"
+#include "mso2dl/mso_to_datalog.hpp"
+#include "td/heuristics.hpp"
+#include "td/normalize.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::mso2dl {
+namespace {
+
+// The end-to-end tests run over the unary signature τ = {p/1}: its type
+// space saturates within dozens of types, so the faithful Thm 4.5
+// construction completes and can be validated against direct MSO evaluation.
+// Over τ = {e/2} the very same construction state-explodes already at rank 1
+// — asserted in StateExplosionOnBinarySignature below, which is exactly the
+// §1 motivation for the hand-crafted §5 programs.
+Signature UnarySignature() {
+  return Signature::Make({{"p", 1}}).value();
+}
+
+// A random {p}-structure with n elements, each marked with probability 1/2.
+Structure RandomUnaryStructure(size_t n, Rng* rng) {
+  Structure s(UnarySignature());
+  for (size_t i = 0; i < n; ++i) {
+    ElementId e = s.AddElement("u" + std::to_string(i));
+    if (rng->Bernoulli(0.5)) {
+      EXPECT_TRUE(s.AddFact(0, {e}).ok());
+    }
+  }
+  return s;
+}
+
+// A width-1 tree decomposition with a branch at the root, covering elements
+// 0..n-1 of an (edgeless) structure: root {0,1} with a chain {1,2},{2,3},…
+// under child 1 and a chain {0,h},{h,h+1},… under child 2.
+TreeDecomposition BranchyWidth1Td(size_t n) {
+  TreeDecomposition td;
+  EXPECT_GE(n, 4u);
+  TdNodeId root = td.AddNode({0, 1});
+  size_t h = n / 2 + 1;
+  TdNodeId cur = td.AddNode({1, 2}, root);
+  for (size_t i = 2; i + 1 < h; ++i) {
+    cur = td.AddNode({static_cast<ElementId>(i), static_cast<ElementId>(i + 1)},
+                     cur);
+  }
+  cur = td.AddNode({0, static_cast<ElementId>(h)}, root);
+  for (size_t i = h; i + 1 < n; ++i) {
+    cur = td.AddNode({static_cast<ElementId>(i), static_cast<ElementId>(i + 1)},
+                     cur);
+  }
+  return td;
+}
+
+// Evaluates the generated unary-query program on A_td (built from the given
+// raw TD) and returns the selected elements.
+std::vector<bool> RunUnaryProgram(const Mso2DlResult& result, const Structure& a,
+                                  const TreeDecomposition& raw) {
+  EXPECT_TRUE(ValidateForStructure(a, raw).ok());
+  auto tuple_td = NormalizeTuple(raw);
+  EXPECT_TRUE(tuple_td.ok()) << tuple_td.status();
+  auto atd = datalog::BuildTauTd(a, *tuple_td);
+  EXPECT_TRUE(atd.ok());
+  auto eval = datalog::SemiNaiveEvaluate(result.program, atd->structure);
+  EXPECT_TRUE(eval.ok()) << eval.status();
+  std::vector<bool> selected(a.NumElements(), false);
+  PredicateId phi_p = eval->signature().PredicateIdOf("phi").value();
+  for (const Tuple& t : eval->Relation(phi_p)) {
+    if (t[0] < a.NumElements()) selected[t[0]] = true;
+  }
+  return selected;
+}
+
+TEST(Mso2DlTest, RankZeroQueryEndToEnd) {
+  // φ(x) = p(x): rank 0 — types are plain atomic bag diagrams.
+  auto phi = mso::ParseFormula("p(x)");
+  ASSERT_TRUE(phi.ok());
+  Mso2DlOptions options;
+  options.width = 1;
+  auto result = MsoToDatalog(UnarySignature(), *phi, "x", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rank, 0);
+
+  Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    Structure a = RandomUnaryStructure(8, &rng);
+    std::vector<bool> selected =
+        RunUnaryProgram(*result, a, BranchyWidth1Td(8));
+    for (ElementId e = 0; e < a.NumElements(); ++e) {
+      EXPECT_EQ(selected[e], a.HasFact(0, {e})) << "element " << e;
+    }
+  }
+}
+
+TEST(Mso2DlTest, RankOneQueryEndToEnd) {
+  // φ(x) = p(x) & ∃y (y ≠ x & p(y)): "x is marked but not the only mark" —
+  // a genuinely global property that the types must carry across the tree.
+  auto phi = mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))");
+  ASSERT_TRUE(phi.ok());
+  Mso2DlOptions options;
+  options.width = 1;
+  auto result = MsoToDatalog(UnarySignature(), *phi, "x", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rank, 1);
+  EXPECT_GT(result->num_up_types, 0u);
+  EXPECT_GT(result->num_down_types, 0u);
+
+  // Thm 4.5 promises: monadic and quasi-guarded.
+  auto info = datalog::AnalyzeProgram(result->program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_monadic);
+  EXPECT_TRUE(datalog::CheckQuasiGuarded(result->program).ok());
+
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    size_t n = 6 + static_cast<size_t>(trial);
+    Structure a = RandomUnaryStructure(n, &rng);
+    std::vector<bool> selected =
+        RunUnaryProgram(*result, a, BranchyWidth1Td(n));
+    for (ElementId e = 0; e < a.NumElements(); ++e) {
+      bool direct = *mso::EvaluateUnary(a, **mso::ParseFormula(
+                                               "p(x) & (ex1 y: (~(y = x) & "
+                                               "p(y)))"),
+                                        "x", e);
+      EXPECT_EQ(selected[e], direct) << "trial " << trial << " element " << e;
+    }
+  }
+}
+
+TEST(Mso2DlTest, RankOneSentenceEndToEnd) {
+  // ψ = ∃x p(x): only Θ↑ is constructed; "phi" is 0-ary at the root.
+  auto phi = mso::ParseFormula("ex1 x: p(x)");
+  ASSERT_TRUE(phi.ok());
+  Mso2DlOptions options;
+  options.width = 1;
+  auto result = MsoToDatalogSentence(UnarySignature(), *phi, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_down_types, 0u);
+
+  for (bool any_marked : {false, true}) {
+    Structure a(UnarySignature());
+    for (int i = 0; i < 6; ++i) a.AddElement("u" + std::to_string(i));
+    if (any_marked) {
+      ASSERT_TRUE(a.AddFact(0, {3}).ok());
+    }
+    auto tuple_td = NormalizeTuple(BranchyWidth1Td(6));
+    ASSERT_TRUE(tuple_td.ok());
+    auto atd = datalog::BuildTauTd(a, *tuple_td);
+    ASSERT_TRUE(atd.ok());
+    auto eval = datalog::SemiNaiveEvaluate(result->program, atd->structure);
+    ASSERT_TRUE(eval.ok()) << eval.status();
+    PredicateId phi_p = eval->signature().PredicateIdOf("phi").value();
+    EXPECT_EQ(eval->HasFact(phi_p, {}), any_marked);
+  }
+}
+
+TEST(Mso2DlTest, GroundedEvaluationAgreesOnGeneratedProgram) {
+  // Thm 4.4 + Thm 4.5 together: the generated program runs through the
+  // grounding + LTUR pipeline with identical results.
+  auto phi = mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))");
+  Mso2DlOptions options;
+  options.width = 1;
+  auto result = MsoToDatalog(UnarySignature(), *phi, "x", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  Rng rng(17);
+  Structure a = RandomUnaryStructure(9, &rng);
+  auto tuple_td = NormalizeTuple(BranchyWidth1Td(9));
+  ASSERT_TRUE(tuple_td.ok());
+  auto atd = datalog::BuildTauTd(a, *tuple_td);
+  ASSERT_TRUE(atd.ok());
+  auto semi = datalog::SemiNaiveEvaluate(result->program, atd->structure);
+  auto grounded = datalog::GroundedEvaluate(result->program, atd->structure);
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  ASSERT_TRUE(grounded.ok()) << grounded.status();
+  EXPECT_TRUE(*semi == *grounded);
+}
+
+TEST(Mso2DlTest, ProgramSizeGrowsWithRank) {
+  // §5 discussion: the generic program is exponential in the formula. Rank 1
+  // must produce strictly more types and rules than rank 0.
+  Mso2DlOptions options;
+  options.width = 1;
+  auto r0 = MsoToDatalog(UnarySignature(), *mso::ParseFormula("p(x)"), "x",
+                         options);
+  auto r1 = MsoToDatalog(UnarySignature(),
+                         *mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))"),
+                         "x", options);
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  EXPECT_GT(r1->num_up_types, r0->num_up_types);
+  EXPECT_GT(r1->program.NumRules(), r0->program.NumRules());
+}
+
+TEST(Mso2DlTest, StateExplosionOnBinarySignature) {
+  // The faithful construction over τ = {e/2} explodes already at rank 1 —
+  // the "state explosion" of §1/[26] that motivates the entire §5 approach.
+  // The budget guards turn it into a reported error.
+  Mso2DlOptions options;
+  options.width = 1;
+  options.max_types = 256;
+  options.max_witness_elements = 18;
+  auto result = MsoToDatalog(Signature::GraphSignature(),
+                             mso::HasNeighborQuery("x"), "x", options);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Mso2DlTest, RejectsBadInputs) {
+  Mso2DlOptions options;
+  options.width = 0;
+  EXPECT_FALSE(
+      MsoToDatalog(UnarySignature(), *mso::ParseFormula("p(x)"), "x", options)
+          .ok());
+  options.width = 1;
+  // Sentence passed to the unary API.
+  EXPECT_FALSE(MsoToDatalog(UnarySignature(), *mso::ParseFormula("ex1 x: p(x)"),
+                            "x", options)
+                   .ok());
+  // Unary query passed to the sentence API.
+  EXPECT_FALSE(
+      MsoToDatalogSentence(UnarySignature(), *mso::ParseFormula("p(x)"), options)
+          .ok());
+  // Wrong free variable name.
+  EXPECT_FALSE(
+      MsoToDatalog(UnarySignature(), *mso::ParseFormula("p(y)"), "x", options)
+          .ok());
+  // Formula over predicates missing from the signature.
+  EXPECT_FALSE(
+      MsoToDatalog(UnarySignature(), *mso::ParseFormula("q(x)"), "x", options)
+          .ok());
+}
+
+TEST(Mso2DlTest, BudgetExhaustionIsReported) {
+  Mso2DlOptions options;
+  options.width = 1;
+  options.type_work_budget = 50;
+  auto result =
+      MsoToDatalog(UnarySignature(),
+                   *mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))"), "x",
+                   options);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace treedl::mso2dl

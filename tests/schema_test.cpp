@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "graph/gaifman.hpp"
+#include "schema/closure.hpp"
+#include "schema/encode.hpp"
+#include "schema/generators.hpp"
+#include "schema/primality_bruteforce.hpp"
+#include "schema/schema.hpp"
+#include "td/heuristics.hpp"
+#include "td/validate.hpp"
+
+namespace treedl {
+namespace {
+
+TEST(SchemaTest, ParseAndToString) {
+  auto schema = Schema::Parse("attributes: a, b, c\na b -> c\nc -> a\n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->NumAttributes(), 3);
+  EXPECT_EQ(schema->NumFds(), 2);
+  EXPECT_EQ(schema->ToString(), "R = {a, b, c};  F = {a b -> c, c -> a}");
+}
+
+TEST(SchemaTest, ParseErrors) {
+  EXPECT_EQ(Schema::Parse("a b c\n").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Schema::Parse("-> c\n").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Schema::Parse("a 1x -> c\n").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(SchemaTest, FdsDeduplicateLhs) {
+  Schema s;
+  AttributeId a = s.AddAttribute("a");
+  AttributeId b = s.AddAttribute("b");
+  FdId f = s.AddFd({b, a, b}, a).value();
+  EXPECT_EQ(s.Fd(f).lhs, (std::vector<AttributeId>{a, b}));
+}
+
+TEST(ClosureTest, PaperExampleClosures) {
+  Schema s = Schema::PaperExampleSchema();
+  auto attr = [&](const char* n) { return s.AttributeByName(n).value(); };
+  // {a, b}⁺ = {a, b, c} (via ab -> c, then c -> b adds nothing new).
+  AttrSet ab = MakeAttrSet(s, {attr("a"), attr("b")});
+  AttrSet closure = Closure(s, ab);
+  EXPECT_TRUE(closure[static_cast<size_t>(attr("c"))]);
+  EXPECT_FALSE(closure[static_cast<size_t>(attr("d"))]);
+  EXPECT_FALSE(closure[static_cast<size_t>(attr("e"))]);
+  // {a, b, d}⁺ = R.
+  EXPECT_TRUE(IsSuperkey(s, MakeAttrSet(s, {attr("a"), attr("b"), attr("d")})));
+  // {g}⁺ = {g, e}: closed check.
+  AttrSet ge = MakeAttrSet(s, {attr("g"), attr("e")});
+  EXPECT_TRUE(IsClosed(s, ge));
+  EXPECT_FALSE(IsClosed(s, MakeAttrSet(s, {attr("g")})));
+}
+
+TEST(ClosureTest, PaperExampleKeys) {
+  Schema s = Schema::PaperExampleSchema();
+  auto attr = [&](const char* n) { return s.AttributeByName(n).value(); };
+  AttrSet abd = MakeAttrSet(s, {attr("a"), attr("b"), attr("d")});
+  AttrSet acd = MakeAttrSet(s, {attr("a"), attr("c"), attr("d")});
+  EXPECT_TRUE(IsKey(s, abd));
+  EXPECT_TRUE(IsKey(s, acd));
+  // Ex 2.1: these are the only two keys.
+  auto keys = AllKeysBruteForce(s);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_TRUE((keys[0] == abd && keys[1] == acd) ||
+              (keys[0] == acd && keys[1] == abd));
+}
+
+TEST(ClosureTest, EmptySetAndFullSet) {
+  Schema s = Schema::PaperExampleSchema();
+  EXPECT_TRUE(IsClosed(s, EmptyAttrSet(s)));
+  EXPECT_TRUE(IsSuperkey(s, FullAttrSet(s)));
+  EXPECT_FALSE(IsKey(s, FullAttrSet(s)));  // not minimal
+}
+
+TEST(ClosureTest, ClosureIsMonotoneIdempotentExtensive) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Schema s = RandomWindowSchema(10, 6, 4, &rng);
+    AttrSet x = EmptyAttrSet(s);
+    AttrSet y = EmptyAttrSet(s);
+    for (int a = 0; a < s.NumAttributes(); ++a) {
+      bool in_x = rng.Bernoulli(0.3);
+      x[static_cast<size_t>(a)] = in_x;
+      y[static_cast<size_t>(a)] = in_x || rng.Bernoulli(0.2);  // x ⊆ y
+    }
+    AttrSet cx = Closure(s, x);
+    AttrSet cy = Closure(s, y);
+    for (size_t a = 0; a < cx.size(); ++a) {
+      EXPECT_TRUE(!x[a] || cx[a]) << "extensive";
+      EXPECT_TRUE(!cx[a] || cy[a]) << "monotone";
+    }
+    EXPECT_EQ(Closure(s, cx), cx) << "idempotent";
+  }
+}
+
+TEST(PrimalityBruteForceTest, PaperExamplePrimes) {
+  Schema s = Schema::PaperExampleSchema();
+  auto primes = AllPrimesBruteForce(s);
+  auto attr = [&](const char* n) {
+    return static_cast<size_t>(s.AttributeByName(n).value());
+  };
+  EXPECT_TRUE(primes[attr("a")]);
+  EXPECT_TRUE(primes[attr("b")]);
+  EXPECT_TRUE(primes[attr("c")]);
+  EXPECT_TRUE(primes[attr("d")]);
+  EXPECT_FALSE(primes[attr("e")]);
+  EXPECT_FALSE(primes[attr("g")]);
+}
+
+TEST(PrimalityBruteForceTest, MatchesKeyMembership) {
+  // Definition check: prime iff member of some minimal key.
+  Rng rng(19);
+  for (int trial = 0; trial < 15; ++trial) {
+    Schema s = RandomWindowSchema(8, 5, 4, &rng);
+    auto keys = AllKeysBruteForce(s);
+    std::vector<bool> in_some_key(static_cast<size_t>(s.NumAttributes()), false);
+    for (const AttrSet& key : keys) {
+      for (size_t a = 0; a < key.size(); ++a) {
+        if (key[a]) in_some_key[a] = true;
+      }
+    }
+    for (AttributeId a = 0; a < s.NumAttributes(); ++a) {
+      EXPECT_EQ(IsPrimeBruteForce(s, a), in_some_key[static_cast<size_t>(a)])
+          << "trial " << trial << " attribute " << a;
+    }
+  }
+}
+
+TEST(EncodeTest, PaperExampleEncoding) {
+  Schema s = Schema::PaperExampleSchema();
+  SchemaEncoding enc = EncodeSchema(s);
+  EXPECT_EQ(enc.structure.NumElements(), 11u);
+  EXPECT_EQ(enc.num_attributes, 6);
+  EXPECT_EQ(enc.num_fds, 5);
+  EXPECT_TRUE(enc.IsAttrElement(enc.AttrElement(0)));
+  EXPECT_TRUE(enc.IsFdElement(enc.FdElement(0)));
+  EXPECT_EQ(enc.AttrOf(enc.AttrElement(3)), 3);
+  EXPECT_EQ(enc.FdOf(enc.FdElement(2)), 2);
+  PredicateId lh = enc.structure.signature().PredicateIdOf("lh").value();
+  EXPECT_EQ(enc.structure.Relation(lh).size(), 8u);
+}
+
+TEST(EncodeTest, DecodeRoundTrip) {
+  Schema s = Schema::PaperExampleSchema();
+  SchemaEncoding enc = EncodeSchema(s);
+  auto back = DecodeSchema(enc.structure);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumAttributes(), s.NumAttributes());
+  EXPECT_EQ(back->NumFds(), s.NumFds());
+  // Same primality profile (semantic round trip).
+  EXPECT_EQ(AllPrimesBruteForce(*back), AllPrimesBruteForce(s));
+}
+
+TEST(EncodeTest, EncodedPaperExampleHasTreewidthTwo) {
+  // Ex 2.2 argues tw(A) = 2; exact search on the Gaifman graph confirms.
+  Schema s = Schema::PaperExampleSchema();
+  SchemaEncoding enc = EncodeSchema(s);
+  Graph gaifman = GaifmanGraph(enc.structure);
+  EXPECT_EQ(ExactTreewidth(gaifman).value(), 2);
+}
+
+TEST(GeneratorTest, BalancedInstanceStructure) {
+  for (int g : {1, 2, 3, 7}) {
+    BalancedInstance inst = GenerateBalancedInstance(g);
+    EXPECT_EQ(inst.schema.NumAttributes(), 3 * g);
+    EXPECT_EQ(inst.schema.NumFds(), g);
+    EXPECT_EQ(inst.td.Width(), 3);
+    EXPECT_TRUE(ValidateForStructure(inst.encoding.structure, inst.td).ok());
+    // Root bag contains both distinguished attributes.
+    EXPECT_TRUE(inst.td.BagContains(
+        inst.td.root(), inst.encoding.AttrElement(inst.query_attribute)));
+    EXPECT_TRUE(inst.td.BagContains(
+        inst.td.root(), inst.encoding.AttrElement(inst.nonprime_attribute)));
+  }
+}
+
+TEST(GeneratorTest, BalancedInstanceGroundTruthPrimality) {
+  for (int g : {1, 2, 4}) {
+    BalancedInstance inst = GenerateBalancedInstance(g);
+    auto primes = AllPrimesBruteForce(inst.schema);
+    for (AttributeId a = 0; a < inst.schema.NumAttributes(); ++a) {
+      const std::string& name = inst.schema.AttributeName(a);
+      bool expect_prime = name[0] == 'x' || name[0] == 'y';
+      EXPECT_EQ(primes[static_cast<size_t>(a)], expect_prime)
+          << "g=" << g << " attr " << name;
+    }
+    EXPECT_TRUE(primes[static_cast<size_t>(inst.query_attribute)]);
+    EXPECT_FALSE(primes[static_cast<size_t>(inst.nonprime_attribute)]);
+  }
+}
+
+TEST(GeneratorTest, RandomWindowSchemaShape) {
+  Rng rng(3);
+  Schema s = RandomWindowSchema(12, 8, 4, &rng);
+  EXPECT_EQ(s.NumAttributes(), 12);
+  EXPECT_EQ(s.NumFds(), 8);
+  for (const auto& fd : s.fds()) {
+    EXPECT_GE(fd.lhs.size(), 1u);
+    // Window constraint: lhs and rhs span < window.
+    AttributeId lo = std::min(fd.lhs.front(), fd.rhs);
+    AttributeId hi = std::max(fd.lhs.back(), fd.rhs);
+    EXPECT_LT(hi - lo, 4);
+  }
+}
+
+}  // namespace
+}  // namespace treedl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "structure/signature.hpp"
+#include "structure/structure.hpp"
+#include "structure/structure_io.hpp"
+
+namespace treedl {
+namespace {
+
+TEST(SignatureTest, MakeAndLookup) {
+  auto sig = Signature::Make({{"e", 2}, {"color", 1}});
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->size(), 2);
+  EXPECT_EQ(sig->PredicateIdOf("e").value(), 0);
+  EXPECT_EQ(sig->arity(sig->PredicateIdOf("color").value()), 1);
+  EXPECT_FALSE(sig->PredicateIdOf("missing").ok());
+}
+
+TEST(SignatureTest, RejectsDuplicatesAndBadArity) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("p", 1).ok());
+  EXPECT_EQ(sig.AddPredicate("p", 2).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(sig.AddPredicate("q", -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sig.AddPredicate("", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SignatureTest, BuiltinSignatures) {
+  Signature schema = Signature::SchemaSignature();
+  EXPECT_EQ(schema.size(), 4);
+  EXPECT_EQ(schema.arity(schema.PredicateIdOf("lh").value()), 2);
+  Signature graph = Signature::GraphSignature();
+  EXPECT_EQ(graph.size(), 1);
+  EXPECT_EQ(graph.arity(0), 2);
+}
+
+Structure PaperStructure() {
+  // Ex 2.2: the τ-structure of the running-example schema.
+  auto parsed = ParseStructure(Signature::SchemaSignature(),
+                               "att(a). att(b). att(c). att(d). att(e). att(g).\n"
+                               "fd(f1). fd(f2). fd(f3). fd(f4). fd(f5).\n"
+                               "lh(a, f1). lh(b, f1). lh(c, f2). lh(c, f3).\n"
+                               "lh(d, f3). lh(d, f4). lh(e, f4). lh(g, f5).\n"
+                               "rh(c, f1). rh(b, f2). rh(e, f3). rh(g, f4).\n"
+                               "rh(e, f5).\n");
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return std::move(parsed).value();
+}
+
+TEST(StructureTest, PaperExampleCounts) {
+  Structure s = PaperStructure();
+  EXPECT_EQ(s.NumElements(), 11u);  // 6 attributes + 5 FDs
+  PredicateId lh = s.signature().PredicateIdOf("lh").value();
+  PredicateId rh = s.signature().PredicateIdOf("rh").value();
+  EXPECT_EQ(s.Relation(lh).size(), 8u);
+  EXPECT_EQ(s.Relation(rh).size(), 5u);
+  EXPECT_EQ(s.NumFacts(), 6u + 5u + 8u + 5u);
+}
+
+TEST(StructureTest, FactDeduplicationAndMembership) {
+  Structure s(Signature::GraphSignature());
+  ElementId a = s.AddElement("a");
+  ElementId b = s.AddElement("b");
+  PredicateId e = 0;
+  ASSERT_TRUE(s.AddFact(e, {a, b}).ok());
+  ASSERT_TRUE(s.AddFact(e, {a, b}).ok());  // duplicate ignored
+  EXPECT_EQ(s.NumFacts(), 1u);
+  EXPECT_TRUE(s.HasFact(e, {a, b}));
+  EXPECT_FALSE(s.HasFact(e, {b, a}));
+}
+
+TEST(StructureTest, ArityAndRangeChecks) {
+  Structure s(Signature::GraphSignature());
+  ElementId a = s.AddElement("a");
+  EXPECT_EQ(s.AddFact(0, {a}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddFact(0, {a, 99}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddFact(5, {a, a}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StructureTest, ElementInterningIsIdempotent) {
+  Structure s(Signature::GraphSignature());
+  EXPECT_EQ(s.AddElement("x"), s.AddElement("x"));
+  EXPECT_EQ(s.NumElements(), 1u);
+  EXPECT_TRUE(s.HasElementNamed("x"));
+  EXPECT_FALSE(s.ElementByName("y").ok());
+}
+
+TEST(StructureTest, InducedSubstructureKeepsOnlyInternalFacts) {
+  Structure s = PaperStructure();
+  // Keep {b, c, f1, f2}: the cycle from Ex 2.2's width argument.
+  std::vector<ElementId> keep;
+  for (const char* name : {"b", "c", "f1", "f2"}) {
+    keep.push_back(s.ElementByName(name).value());
+  }
+  std::unordered_map<ElementId, ElementId> translation;
+  Structure sub = s.InducedSubstructure(keep, &translation);
+  EXPECT_EQ(sub.NumElements(), 4u);
+  PredicateId lh = sub.signature().PredicateIdOf("lh").value();
+  PredicateId rh = sub.signature().PredicateIdOf("rh").value();
+  // lh: (b,f1), (c,f2); rh: (c,f1), (b,f2). lh(a,f1) dropped since a is gone.
+  EXPECT_EQ(sub.Relation(lh).size(), 2u);
+  EXPECT_EQ(sub.Relation(rh).size(), 2u);
+  ElementId b_new = translation.at(s.ElementByName("b").value());
+  EXPECT_EQ(sub.ElementName(b_new), "b");
+}
+
+TEST(StructureTest, EqualityIsOrderInsensitiveOnFacts) {
+  Structure s1(Signature::GraphSignature());
+  Structure s2(Signature::GraphSignature());
+  ElementId a1 = s1.AddElement("a"), b1 = s1.AddElement("b");
+  ElementId a2 = s2.AddElement("a"), b2 = s2.AddElement("b");
+  ASSERT_TRUE(s1.AddFact(0, {a1, b1}).ok());
+  ASSERT_TRUE(s1.AddFact(0, {b1, a1}).ok());
+  ASSERT_TRUE(s2.AddFact(0, {b2, a2}).ok());
+  ASSERT_TRUE(s2.AddFact(0, {a2, b2}).ok());
+  EXPECT_TRUE(s1 == s2);
+}
+
+TEST(StructureIoTest, RoundTrip) {
+  Structure s = PaperStructure();
+  std::string text = FormatStructure(s);
+  auto reparsed = ParseStructure(Signature::SchemaSignature(), text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(s == *reparsed);
+}
+
+TEST(StructureIoTest, RoundTripIsolatedElement) {
+  Structure s(Signature::GraphSignature());
+  s.AddElement("lonely");
+  std::string text = FormatStructure(s);
+  auto reparsed = ParseStructure(Signature::GraphSignature(), text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->NumElements(), 1u);
+  EXPECT_TRUE(reparsed->HasElementNamed("lonely"));
+}
+
+TEST(StructureIoTest, ParseErrors) {
+  Signature sig = Signature::GraphSignature();
+  EXPECT_EQ(ParseStructure(sig, "e(a, b)\n").status().code(),
+            StatusCode::kParseError);  // missing dot
+  EXPECT_EQ(ParseStructure(sig, "e(a.\n").status().code(),
+            StatusCode::kParseError);  // unbalanced parens
+  EXPECT_EQ(ParseStructure(sig, "unknown(a, b).\n").status().code(),
+            StatusCode::kParseError);  // unknown predicate
+  EXPECT_EQ(ParseStructure(sig, "e(a).\n").status().code(),
+            StatusCode::kParseError);  // arity
+}
+
+TEST(StructureIoTest, CommentsAndBlanksIgnored) {
+  auto parsed = ParseStructure(Signature::GraphSignature(),
+                               "% a comment\n\n  e(a, b). % trailing\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumFacts(), 1u);
+}
+
+}  // namespace
+}  // namespace treedl

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "graph/gaifman.hpp"
+#include "graph/generators.hpp"
+#include "schema/generators.hpp"
+#include "td/heuristics.hpp"
+#include "td/normalize.hpp"
+#include "td/validate.hpp"
+
+namespace treedl {
+namespace {
+
+// --- Modified normal form (§5) ---------------------------------------------
+
+TEST(NormalizeTest, PreservesValidityAndWidth) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomPartialKTree(16, 3, 0.7, &rng);
+    auto td = Decompose(g);
+    ASSERT_TRUE(td.ok());
+    auto norm = Normalize(*td);
+    ASSERT_TRUE(norm.ok()) << norm.status();
+    EXPECT_EQ(norm->Width(), td->Width());
+    EXPECT_TRUE(ValidateNormalized(*norm).ok());
+    EXPECT_TRUE(ValidateForGraph(g, norm->ToRaw()).ok());
+  }
+}
+
+TEST(NormalizeTest, RootBagPreserved) {
+  Graph g = CycleGraph(6);
+  auto td = Decompose(g);
+  ASSERT_TRUE(td.ok());
+  auto norm = Normalize(*td);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->Bag(norm->root()), td->Bag(td->root()));
+}
+
+TEST(NormalizeTest, SingleNodeBecomesLeaf) {
+  TreeDecomposition td;
+  td.AddNode({0, 1, 2});
+  auto norm = Normalize(td);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->NumNodes(), 1u);
+  EXPECT_EQ(norm->node(norm->root()).kind, NormNodeKind::kLeaf);
+}
+
+TEST(NormalizeTest, IntroduceForgetChainsAreSingleStep) {
+  TreeDecomposition td;
+  TdNodeId root = td.AddNode({0, 1, 2});
+  td.AddNode({3, 4, 5, 0}, root);  // differs by 3 removals + 2 introductions
+  auto norm = Normalize(td);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(ValidateNormalized(*norm).ok());
+  // Chain: leaf{0,3,4,5} -f3 -f4 -f5 +1 +2 → root: 1 leaf + 5 unary = 6.
+  EXPECT_EQ(norm->NumNodes(), 6u);
+  auto counts = norm->KindCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(NormNodeKind::kLeaf)], 1u);
+  EXPECT_EQ(counts[static_cast<size_t>(NormNodeKind::kForget)], 3u);
+  EXPECT_EQ(counts[static_cast<size_t>(NormNodeKind::kIntroduce)], 2u);
+}
+
+TEST(NormalizeTest, BranchNodesHaveEqualBags) {
+  TreeDecomposition td;
+  TdNodeId root = td.AddNode({0, 1});
+  td.AddNode({1, 2}, root);
+  td.AddNode({0, 3}, root);
+  td.AddNode({0, 4}, root);  // three children force two branch nodes
+  auto norm = Normalize(td);
+  ASSERT_TRUE(norm.ok());
+  auto counts = norm->KindCounts();
+  EXPECT_EQ(counts[static_cast<size_t>(NormNodeKind::kBranch)], 2u);
+  EXPECT_TRUE(ValidateNormalized(*norm).ok());
+}
+
+TEST(NormalizeTest, LeafCoverageOptionCoversAllElements) {
+  Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomPartialKTree(14, 2, 0.8, &rng);
+    auto td = Decompose(g);
+    ASSERT_TRUE(td.ok());
+    NormalizeOptions options;
+    options.ensure_leaf_coverage = true;
+    auto norm = Normalize(*td, options);
+    ASSERT_TRUE(norm.ok());
+    std::vector<bool> in_leaf(g.NumVertices(), false);
+    for (TdNodeId id : norm->PreOrder()) {
+      if (norm->node(id).kind == NormNodeKind::kLeaf) {
+        for (ElementId e : norm->Bag(id)) in_leaf[e] = true;
+      }
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_TRUE(in_leaf[v]) << "vertex " << v << " in no leaf bag";
+    }
+    EXPECT_TRUE(ValidateForGraph(g, norm->ToRaw()).ok());
+  }
+}
+
+TEST(NormalizeTest, CopyAboveBranchesOption) {
+  TreeDecomposition td;
+  TdNodeId root = td.AddNode({0, 1});
+  td.AddNode({0, 1}, root);
+  td.AddNode({0, 1}, root);
+  NormalizeOptions options;
+  options.copy_above_branches = true;
+  auto norm = Normalize(td, options);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(ValidateNormalized(*norm).ok());
+  for (TdNodeId id : norm->PreOrder()) {
+    if (norm->node(id).kind != NormNodeKind::kBranch) continue;
+    TdNodeId parent = norm->node(id).parent;
+    ASSERT_NE(parent, kNoTdNode) << "branch node must not be the root";
+    EXPECT_EQ(norm->Bag(parent), norm->Bag(id));
+    EXPECT_EQ(norm->node(parent).children.size(), 1u);
+  }
+}
+
+TEST(NormalizeTest, ValidatorCatchesBadKinds) {
+  NormalizedTreeDecomposition bad;
+  TdNodeId leaf = bad.AddNode({NormNodeKind::kLeaf, 0, {0, 1}, kNoTdNode, {}});
+  // Introduce node whose bag does not add the element.
+  TdNodeId intro = bad.AddNode(
+      {NormNodeKind::kIntroduce, 5, {0, 1}, kNoTdNode, {leaf}});
+  bad.SetRoot(intro);
+  EXPECT_FALSE(ValidateNormalized(bad).ok());
+}
+
+TEST(NormalizeTest, BalancedInstanceNormalizes) {
+  BalancedInstance inst = GenerateBalancedInstance(7);
+  ASSERT_TRUE(ValidateForStructure(inst.encoding.structure, inst.td).ok());
+  EXPECT_EQ(inst.td.Width(), 3);
+  NormalizeOptions options;
+  options.ensure_leaf_coverage = true;
+  options.copy_above_branches = true;
+  auto norm = Normalize(inst.td, options);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(ValidateNormalized(*norm).ok());
+  EXPECT_TRUE(ValidateForStructure(inst.encoding.structure, norm->ToRaw()).ok());
+  // All kinds of nodes occur (§6: "all different kinds of nodes occur evenly").
+  auto counts = norm->KindCounts();
+  EXPECT_GT(counts[static_cast<size_t>(NormNodeKind::kLeaf)], 0u);
+  EXPECT_GT(counts[static_cast<size_t>(NormNodeKind::kIntroduce)], 0u);
+  EXPECT_GT(counts[static_cast<size_t>(NormNodeKind::kForget)], 0u);
+  EXPECT_GT(counts[static_cast<size_t>(NormNodeKind::kBranch)], 0u);
+}
+
+// --- Tuple normal form (Def 2.3) --------------------------------------------
+
+class TupleNormalizeParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TupleNormalizeParamTest, RandomPartialKTrees) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Graph g = RandomPartialKTree(12 + seed % 5, 2 + seed % 2, 0.75, &rng);
+  auto td = Decompose(g);
+  ASSERT_TRUE(td.ok());
+  auto tuple = NormalizeTuple(*td);
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  EXPECT_EQ(tuple->width(), td->Width());
+  EXPECT_TRUE(ValidateTupleNormalized(*tuple).ok());
+  // The tuple form is still a valid decomposition of the graph (bags only
+  // ever grew during padding).
+  EXPECT_TRUE(ValidateForGraph(g, tuple->ToRaw()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleNormalizeParamTest,
+                         ::testing::Range(0, 12));
+
+TEST(TupleNormalizeTest, AllBagsFullSize) {
+  Graph g = CycleGraph(7);
+  auto td = Decompose(g);
+  ASSERT_TRUE(td.ok());
+  auto tuple = NormalizeTuple(*td);
+  ASSERT_TRUE(tuple.ok());
+  size_t full = static_cast<size_t>(tuple->width()) + 1;
+  for (TdNodeId id : tuple->PreOrder()) {
+    EXPECT_EQ(tuple->node(id).bag.size(), full);
+  }
+}
+
+TEST(TupleNormalizeTest, KindInvariantsHold) {
+  Rng rng(55);
+  Graph g = RandomPartialKTree(15, 3, 0.65, &rng);
+  auto tuple = NormalizeTuple(*Decompose(g));
+  ASSERT_TRUE(tuple.ok());
+  for (TdNodeId id : tuple->PreOrder()) {
+    const TupleNode& n = tuple->node(id);
+    switch (n.kind) {
+      case TupleNodeKind::kLeaf:
+        EXPECT_TRUE(n.children.empty());
+        break;
+      case TupleNodeKind::kPermutation:
+      case TupleNodeKind::kElementReplacement:
+        EXPECT_EQ(n.children.size(), 1u);
+        break;
+      case TupleNodeKind::kBranch:
+        EXPECT_EQ(n.children.size(), 2u);
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treedl

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/program_listings.hpp"
+#include "core/tree_dp.hpp"
+#include "graph/generators.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl::core {
+namespace {
+
+// Toy problem exercising every hook: a single "unit" state whose value counts
+// the vertices of the subtree (each vertex counted once, at leaves and
+// introduces). Copy keeps counts, join adds and subtracts the shared bag.
+struct UnitState {
+  size_t bag_size = 0;
+  bool operator==(const UnitState&) const = default;
+  size_t hash() const { return bag_size; }
+};
+
+struct CountProblem {
+  using State = UnitState;
+  using Value = size_t;
+  using Emit = std::function<void(State, Value)>;
+
+  void Leaf(const std::vector<ElementId>& bag, const Emit& emit) const {
+    emit(UnitState{bag.size()}, bag.size());
+  }
+  void Introduce(const std::vector<ElementId>& bag, ElementId, const State&,
+                 const Value& value, const Emit& emit) const {
+    emit(UnitState{bag.size()}, value + 1);
+  }
+  void Forget(const std::vector<ElementId>& bag, ElementId, const State&,
+              const Value& value, const Emit& emit) const {
+    emit(UnitState{bag.size()}, value);
+  }
+  UnitState KeyOf(const State& s) const { return s; }
+  void Join(const std::vector<ElementId>& bag, const State&, const Value& va,
+            const State&, const Value& vb, const Emit& emit) const {
+    emit(UnitState{bag.size()}, va + vb - bag.size());
+  }
+  Value Merge(const Value& a, const Value& b) const {
+    // Both derivations must agree for this deterministic problem.
+    EXPECT_EQ(a, b);
+    return a;
+  }
+};
+
+TEST(TreeDpTest, CountsVerticesOnRandomDecompositions) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomPartialKTree(6 + trial, 2, 0.7, &rng);
+    auto td = Decompose(g);
+    ASSERT_TRUE(td.ok());
+    NormalizeOptions options;
+    options.ensure_leaf_coverage = trial % 2 == 0;
+    options.copy_above_branches = trial % 3 == 0;
+    auto ntd = Normalize(*td, options);
+    ASSERT_TRUE(ntd.ok());
+    CountProblem problem;
+    DpStats stats;
+    auto table = RunTreeDp(*ntd, &problem, &stats);
+    const auto& root = table.at(ntd->root());
+    ASSERT_EQ(root.size(), 1u);
+    EXPECT_EQ(root.begin()->second, g.NumVertices());
+    EXPECT_GT(stats.total_states, 0u);
+    EXPECT_GE(stats.max_states_per_node, 1u);
+  }
+}
+
+TEST(TreeDpTest, SingleNodeDecomposition) {
+  TreeDecomposition td;
+  td.AddNode({0, 1, 2});
+  auto ntd = Normalize(td);
+  ASSERT_TRUE(ntd.ok());
+  CountProblem problem;
+  auto table = RunTreeDp(*ntd, &problem);
+  EXPECT_EQ(table.at(ntd->root()).begin()->second, 3u);
+}
+
+TEST(ProgramListingsTest, ListingsPresent) {
+  // The listings are documentation artifacts; sanity-check the key rules.
+  const std::string& fig5 = ThreeColorabilityProgramListing();
+  EXPECT_NE(fig5.find("solve(s, R, G, B)"), std::string::npos);
+  EXPECT_NE(fig5.find("branch node"), std::string::npos);
+  EXPECT_NE(fig5.find("success <- root(s)"), std::string::npos);
+  const std::string& fig6 = PrimalityProgramListing();
+  EXPECT_NE(fig6.find("solve(s, Y, FY, Co, DC, FC)"), std::string::npos);
+  EXPECT_NE(fig6.find("unique(DC1, DC2, FC)"), std::string::npos);
+  const std::string& enum_listing = MonadicPrimalityProgramListing();
+  EXPECT_NE(enum_listing.find("prime(a)"), std::string::npos);
+  EXPECT_NE(enum_listing.find("solveDown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treedl::core
