@@ -6,6 +6,7 @@
 
 #include "common/timer.hpp"
 #include "core/primality_enum.hpp"
+#include "engine/engine.hpp"
 #include "schema/generators.hpp"
 
 namespace treedl {
@@ -26,8 +27,14 @@ void RunEnumerationBench() {
   for (int g : {2, 4, 8, 16, 32, 64}) {
     BalancedInstance inst = GenerateBalancedInstance(g);
     std::vector<bool> linear_result, quadratic_result;
+    EngineOptions options;
+    options.decomposition = inst.td;
+    Engine engine(inst.schema, options);
+    // Warm the encoding so both arms start from the same prebuilt state
+    // (the quadratic baseline receives inst.encoding ready-made).
+    TREEDL_CHECK(engine.structure().ok());
     double linear_ms = Once([&] {
-      auto r = core::EnumeratePrimes(inst.schema, inst.encoding, inst.td);
+      auto r = engine.AllPrimes();
       TREEDL_CHECK(r.ok()) << r.status();
       linear_result = std::move(*r);
     });

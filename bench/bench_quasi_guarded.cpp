@@ -4,9 +4,8 @@
 // generic engines.
 #include <benchmark/benchmark.h>
 
-#include "datalog/eval.hpp"
-#include "datalog/grounder.hpp"
 #include "datalog/parser.hpp"
+#include "engine/engine.hpp"
 #include "datalog/tau_td.hpp"
 #include "graph/gaifman.hpp"
 #include "graph/generators.hpp"
@@ -35,42 +34,30 @@ Structure Atd(size_t n) {
   return std::move(atd->structure);
 }
 
-void BM_GroundedLtur(benchmark::State& state) {
+void BM_Backend(benchmark::State& state, DatalogBackend backend) {
   auto program = datalog::ParseProgram(kProgram);
   TREEDL_CHECK(program.ok());
-  Structure atd = Atd(static_cast<size_t>(state.range(0)));
+  Engine engine(Atd(static_cast<size_t>(state.range(0))));
   for (auto _ : state) {
-    auto result = datalog::GroundedEvaluate(*program, atd);
+    auto result = engine.EvaluateDatalog(*program, backend);
     TREEDL_CHECK(result.ok());
     benchmark::DoNotOptimize(result->NumFacts());
   }
   state.SetComplexityN(state.range(0));
+}
+
+void BM_GroundedLtur(benchmark::State& state) {
+  BM_Backend(state, DatalogBackend::kGrounded);
 }
 BENCHMARK(BM_GroundedLtur)->RangeMultiplier(2)->Range(16, 512)->Complexity();
 
 void BM_SemiNaive(benchmark::State& state) {
-  auto program = datalog::ParseProgram(kProgram);
-  TREEDL_CHECK(program.ok());
-  Structure atd = Atd(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto result = datalog::SemiNaiveEvaluate(*program, atd);
-    TREEDL_CHECK(result.ok());
-    benchmark::DoNotOptimize(result->NumFacts());
-  }
-  state.SetComplexityN(state.range(0));
+  BM_Backend(state, DatalogBackend::kSemiNaive);
 }
 BENCHMARK(BM_SemiNaive)->RangeMultiplier(2)->Range(16, 512)->Complexity();
 
 void BM_Naive(benchmark::State& state) {
-  auto program = datalog::ParseProgram(kProgram);
-  TREEDL_CHECK(program.ok());
-  Structure atd = Atd(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto result = datalog::NaiveEvaluate(*program, atd);
-    TREEDL_CHECK(result.ok());
-    benchmark::DoNotOptimize(result->NumFacts());
-  }
-  state.SetComplexityN(state.range(0));
+  BM_Backend(state, DatalogBackend::kNaive);
 }
 // Naive evaluation is quadratic-ish in rounds; keep sizes smaller.
 BENCHMARK(BM_Naive)->RangeMultiplier(2)->Range(16, 128)->Complexity();

@@ -4,10 +4,8 @@
 #include <cstdio>
 
 #include "common/timer.hpp"
-#include "core/primality_enum.hpp"
-#include "schema/encode.hpp"
+#include "engine/engine.hpp"
 #include "schema/generators.hpp"
-#include "td/heuristics.hpp"
 
 namespace treedl {
 namespace {
@@ -19,16 +17,15 @@ void RunWidthSweep() {
   for (int window : {2, 3, 4, 5, 6}) {
     Rng rng(static_cast<uint64_t>(window) * 31 + 5);
     Schema schema = RandomWindowSchema(36, 24, window, &rng);
-    SchemaEncoding encoding = EncodeSchema(schema);
-    auto td = DecomposeStructure(encoding.structure);
-    TREEDL_CHECK(td.ok());
+    Engine engine(schema);
+    int width = engine.Width().value_or(-1);
     Timer timer;
-    core::DpStats stats;
-    auto primes = core::EnumeratePrimes(schema, encoding, *td, &stats);
+    RunStats run;
+    auto primes = engine.AllPrimes(&run);
     double ms = timer.ElapsedMillis();
     TREEDL_CHECK(primes.ok()) << primes.status();
-    std::printf("%7d %6d %10.2f %14zu %14zu\n", window, td->Width(), ms,
-                stats.total_states, stats.max_states_per_node);
+    std::printf("%7d %6d %10.2f %14zu %14zu\n", window, width, ms,
+                run.dp_states, run.dp_max_states_per_node);
   }
   std::printf("\n(time and states grow exponentially in the width — the f(w) "
               "of Cor 4.6 —\n while Table 1 shows linear growth in the data "

@@ -8,9 +8,8 @@
 #include <sstream>
 
 #include "datalog/analysis.hpp"
-#include "datalog/eval.hpp"
-#include "datalog/grounder.hpp"
 #include "datalog/parser.hpp"
+#include "engine/engine.hpp"
 #include "structure/structure_io.hpp"
 
 namespace {
@@ -83,21 +82,25 @@ int main(int argc, char** argv) {
             << "):\n"
             << program->ToString() << "\n";
 
-  StatusOr<Structure> result = Status::Internal("no engine");
-  EvalStats stats;
-  if (engine == "naive") {
-    result = NaiveEvaluate(*program, *edb, &stats);
-  } else if (engine == "grounded") {
-    GroundingStats gstats;
-    result = GroundedEvaluate(*program, *edb, &gstats);
-    std::cout << "grounded: " << gstats.ground_clauses << " clauses over "
-              << gstats.ground_atoms << " atoms\n";
-  } else {
-    result = SemiNaiveEvaluate(*program, *edb, &stats);
-  }
+  // One Engine session over the EDB; the backend is an option, not a
+  // different API.
+  EngineOptions options;
+  options.backend = engine == "naive"      ? DatalogBackend::kNaive
+                    : engine == "grounded" ? DatalogBackend::kGrounded
+                                           : DatalogBackend::kSemiNaive;
+  Engine session(*edb, options);
+  RunStats run;
+  StatusOr<Structure> result = session.EvaluateDatalog(*program, &run);
   if (!result.ok()) {
     std::cerr << "evaluation failed: " << result.status() << "\n";
     return 1;
+  }
+  if (options.backend == DatalogBackend::kGrounded) {
+    std::cout << "grounded: " << run.ground_clauses << " clauses over "
+              << run.ground_atoms << " atoms\n";
+  } else {
+    std::cout << "fixpoint: " << run.eval_iterations << " rounds, "
+              << run.derived_facts << " facts derived\n";
   }
   std::cout << "Derived facts (" << engine << "):\n";
   for (PredicateId p = 0; p < result->signature().size(); ++p) {

@@ -6,15 +6,13 @@
 #include <iostream>
 
 #include "datalog/analysis.hpp"
-#include "datalog/eval.hpp"
-#include "datalog/tau_td.hpp"
+#include "engine/engine.hpp"
 #include "graph/gaifman.hpp"
 #include "graph/generators.hpp"
 #include "mso/evaluator.hpp"
 #include "mso/formulas.hpp"
 #include "mso/parser.hpp"
 #include "mso2dl/mso_to_datalog.hpp"
-#include "td/normalize.hpp"
 
 int main() {
   using namespace treedl;
@@ -54,7 +52,10 @@ int main() {
                                                                    : "no")
             << "\n";
 
-  // 3. Run the program on a small {p}-structure.
+  // 3. Run the same query through an Engine session on a small
+  // {p}-structure: the engine compiles via Thm 4.5, builds the τ_td
+  // structure from the session decomposition, and evaluates with the
+  // configured datalog backend.
   Structure a(unary);
   for (int i = 0; i < 6; ++i) a.AddElement("u" + std::to_string(i));
   (void)a.AddFact(0, {1});
@@ -62,17 +63,20 @@ int main() {
   TreeDecomposition td;
   TdNodeId prev = td.AddNode({0, 1});
   for (ElementId e = 1; e + 1 < 6; ++e) prev = td.AddNode({e, e + 1}, prev);
-  auto tuple = NormalizeTuple(td);
-  auto atd = datalog::BuildTauTd(a, *tuple);
-  auto eval = datalog::SemiNaiveEvaluate(compiled->program, atd->structure);
-  if (!eval.ok()) {
-    std::cerr << "evaluation failed: " << eval.status() << "\n";
+
+  EngineOptions session_options;
+  // Unary structures have an edgeless Gaifman graph, so supply the path
+  // decomposition explicitly.
+  session_options.decomposition = td;
+  Engine session{Structure(a), session_options};
+  auto via_engine = session.EvaluateMsoUnary(*phi, "x");
+  if (!via_engine.ok()) {
+    std::cerr << "engine evaluation failed: " << via_engine.status() << "\n";
     return 1;
   }
-  PredicateId phi_p = eval->signature().PredicateIdOf("phi").value();
   std::cout << "\nφ(x) = p(x) & ∃y (y≠x & p(y)) on {u1, u4 marked}:\n";
   for (ElementId e = 0; e < a.NumElements(); ++e) {
-    bool via_datalog = eval->HasFact(phi_p, {e});
+    bool via_datalog = (*via_engine)[e];
     bool direct = mso::EvaluateUnary(a, **phi, "x", e).value_or(false);
     std::cout << "  " << a.ElementName(e) << ": datalog=" << via_datalog
               << " direct=" << direct

@@ -7,10 +7,10 @@
 #include <iostream>
 
 #include "core/program_listings.hpp"
+#include "engine/engine.hpp"
 #include "schema/encode.hpp"
 #include "schema/schema.hpp"
 #include "structure/structure_io.hpp"
-#include "td/heuristics.hpp"
 #include "td/normalize.hpp"
 #include "td/td_io.hpp"
 
@@ -23,16 +23,19 @@ int main() {
 
   std::cout << "== The Ex 2.2 structure A ==\n" << FormatStructure(a) << "\n";
 
-  auto raw = DecomposeStructure(a);
+  // The session decomposition of an Engine over the same schema is exactly
+  // the Figure 1 decomposition (min-fill over the Gaifman graph of A).
+  Engine session(schema);
+  auto raw = session.Decomposition();
   if (!raw.ok()) {
     std::cerr << raw.status() << "\n";
     return 1;
   }
-  std::cout << "== Figure 1: tree decomposition of A (width " << raw->Width()
+  std::cout << "== Figure 1: tree decomposition of A (width " << (*raw)->Width()
             << ") ==\n"
-            << RenderTree(*raw, namer) << "\n";
+            << RenderTree(**raw, namer) << "\n";
 
-  auto tuple = NormalizeTuple(*raw);
+  auto tuple = NormalizeTuple(**raw);
   if (!tuple.ok()) {
     std::cerr << tuple.status() << "\n";
     return 1;
@@ -43,18 +46,18 @@ int main() {
 
   // Figure 3: pick the node whose bag is {c, f3} if present, else any
   // internal node, and show the two induced substructures.
-  TdNodeId s = raw->node(raw->root()).children.empty()
-                   ? raw->root()
-                   : raw->node(raw->root()).children[0];
+  TdNodeId s = (*raw)->node((*raw)->root()).children.empty()
+                   ? (*raw)->root()
+                   : (*raw)->node((*raw)->root()).children[0];
   std::vector<ElementId> bag;
-  Structure down = InducedStructure(a, *raw, s, /*envelope=*/false, &bag);
-  Structure up = InducedStructure(a, *raw, s, /*envelope=*/true, &bag);
+  Structure down = InducedStructure(a, **raw, s, /*envelope=*/false, &bag);
+  Structure up = InducedStructure(a, **raw, s, /*envelope=*/true, &bag);
   std::cout << "== Figure 3: induced substructures at node n" << s << " ==\n";
   std::cout << "-- I(A, T_s, s) (subtree):\n" << FormatStructure(down);
   std::cout << "-- I(A, T̄_s, s) (envelope):\n" << FormatStructure(up) << "\n";
 
   NormalizeOptions options;
-  auto norm = Normalize(*raw, options);
+  auto norm = Normalize(**raw, options);
   if (!norm.ok()) {
     std::cerr << norm.status() << "\n";
     return 1;

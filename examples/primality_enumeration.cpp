@@ -1,10 +1,12 @@
 // PRIMALITY enumeration (§5.3) on a Table 1-scale instance: 31 FDs and 93
 // attributes in a balanced width-3 decomposition, far beyond the reach of
-// exponential methods, solved by one bottom-up + one top-down pass.
+// exponential methods, solved by one bottom-up + one top-down pass through
+// an Engine session (the instance's own decomposition is injected via
+// EngineOptions::decomposition).
 #include <iostream>
 
 #include "common/timer.hpp"
-#include "core/primality_enum.hpp"
+#include "engine/engine.hpp"
 #include "schema/generators.hpp"
 
 int main() {
@@ -15,10 +17,13 @@ int main() {
             << " FDs, decomposition width " << inst.td.Width() << " with "
             << inst.td.NumNodes() << " raw nodes\n";
 
+  EngineOptions options;
+  options.decomposition = inst.td;
+  Engine engine(inst.schema, options);
+
   Timer timer;
-  core::DpStats stats;
-  auto primes = core::EnumeratePrimes(inst.schema, inst.encoding, inst.td,
-                                      &stats);
+  RunStats run;
+  auto primes = engine.AllPrimes(&run);
   double ms = timer.ElapsedMillis();
   if (!primes.ok()) {
     std::cerr << "enumeration failed: " << primes.status() << "\n";
@@ -27,9 +32,18 @@ int main() {
   size_t count = 0;
   for (bool p : *primes) count += p;
   std::cout << "Enumerated primes in " << ms << " ms (" << count << " of "
-            << primes->size() << " attributes are prime; "
-            << stats.total_states << " solve() facts materialized, max "
-            << stats.max_states_per_node << " per node)\n";
+            << primes->size() << " attributes are prime; " << run.dp_states
+            << " solve() facts materialized, max "
+            << run.dp_max_states_per_node << " per node)\n";
+
+  // A follow-up decision query answers from the memoized enumeration.
+  RunStats decide;
+  auto x1 = inst.schema.AttributeByName("x1");
+  if (x1.ok() && engine.IsPrime(*x1, &decide).ok()) {
+    std::cout << "Follow-up IsPrime(x1): " << decide.cache_hits
+              << " cache hit(s), " << decide.dp_states
+              << " new DP states (answered from the memoized enumeration)\n";
+  }
 
   std::cout << "Sample: ";
   for (const char* name : {"x1", "y1", "z1", "x7", "z31"}) {

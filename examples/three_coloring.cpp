@@ -1,49 +1,51 @@
-// 3-Colorability (§5.1) on a few graph families, with witness extraction,
-// counting, and the further DP problems (vertex cover, independent set,
-// dominating set) on the same decompositions.
+// Graph DPs through the Engine session API: 3-Colorability (§5.1) with
+// witness extraction and counting, plus vertex cover, independent set, and
+// dominating set — all five queries on ONE cached decomposition per graph.
 #include <iostream>
 
-#include "core/extensions.hpp"
-#include "core/three_color.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
-#include "td/heuristics.hpp"
 
 namespace {
 
 void Report(const std::string& name, const treedl::Graph& g) {
   using namespace treedl;
-  auto td = Decompose(g);
-  if (!td.ok()) {
-    std::cerr << name << ": " << td.status() << "\n";
+  Engine engine = Engine::FromGraph(g);
+  auto width = engine.Width();
+  if (!width.ok()) {
+    std::cerr << name << ": " << width.status() << "\n";
     return;
   }
-  auto result = core::SolveThreeColor(g, *td);
+  auto result = engine.Solve(Engine::Problem::kThreeColor);
   if (!result.ok()) {
     std::cerr << name << ": " << result.status() << "\n";
     return;
   }
   std::cout << name << ": n=" << g.NumVertices() << " m=" << g.NumEdges()
-            << " width=" << td->Width() << " -> "
-            << (result->colorable ? "3-colorable" : "NOT 3-colorable");
-  if (result->coloring.has_value()) {
+            << " width=" << *width << " -> "
+            << (result->feasible ? "3-colorable" : "NOT 3-colorable");
+  if (result->witness.has_value()) {
     std::cout << "  coloring:";
-    for (size_t v = 0; v < result->coloring->size(); ++v) {
-      std::cout << " " << "rgb"[static_cast<size_t>((*result->coloring)[v])];
+    for (size_t v = 0; v < result->witness->size(); ++v) {
+      std::cout << " " << "rgb"[static_cast<size_t>((*result->witness)[v])];
     }
   }
   std::cout << "\n";
-  if (result->colorable) {
-    auto count = core::CountThreeColorings(g, *td);
-    if (count.ok()) std::cout << "  #3-colorings = " << *count << "\n";
+  if (result->feasible) {
+    auto count = engine.Solve(Engine::Problem::kThreeColorCount);
+    if (count.ok()) std::cout << "  #3-colorings = " << count->count << "\n";
   }
-  auto vc = core::MinVertexCoverTd(g, *td);
-  auto is = core::MaxIndependentSetTd(g, *td);
-  auto ds = core::MinDominatingSetTd(g, *td);
+  auto vc = engine.Solve(Engine::Problem::kVertexCover);
+  auto is = engine.Solve(Engine::Problem::kIndependentSet);
+  auto ds = engine.Solve(Engine::Problem::kDominatingSet);
   if (vc.ok() && is.ok() && ds.ok()) {
-    std::cout << "  min vertex cover = " << *vc
-              << ", max independent set = " << *is
-              << ", min dominating set = " << *ds << "\n";
+    std::cout << "  min vertex cover = " << vc->optimum
+              << ", max independent set = " << is->optimum
+              << ", min dominating set = " << ds->optimum << "\n";
   }
+  std::cout << "  session: " << engine.CumulativeStats().td_builds
+            << " decomposition build(s) served "
+            << "all queries\n";
 }
 
 }  // namespace

@@ -2,8 +2,8 @@
 
 #include "common/hash.hpp"
 #include "core/extensions.hpp"
-#include "td/heuristics.hpp"
-#include "td/validate.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
 
 namespace treedl::core {
 
@@ -142,11 +142,9 @@ class DominatingProblem {
 
 }  // namespace
 
-StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
-                                    const TreeDecomposition& td,
-                                    DpStats* stats) {
-  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
-  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+StatusOr<size_t> MinDominatingSetNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats) {
   DominatingProblem problem(graph);
   auto table = RunTreeDp(ntd, &problem, stats);
   size_t best = graph.NumVertices() + 1;
@@ -165,9 +163,12 @@ StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
   return best;
 }
 
-StatusOr<size_t> MinDominatingSetTd(const Graph& graph, DpStats* stats) {
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
-  return MinDominatingSetTd(graph, td, stats);
+StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
+                                    const TreeDecomposition& td,
+                                    DpStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd,
+                          engine::PrepareForGraph(graph, td));
+  return MinDominatingSetNormalized(graph, ntd, stats);
 }
 
 }  // namespace treedl::core

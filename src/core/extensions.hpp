@@ -15,12 +15,21 @@ namespace treedl::core {
 StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
                                   const TreeDecomposition& td,
                                   DpStats* stats = nullptr);
+StatusOr<size_t> MinVertexCoverNormalized(const Graph& graph,
+                                          const NormalizedTreeDecomposition& ntd,
+                                          DpStats* stats = nullptr);
+/// Deprecated convenience: rebuilds a decomposition per call (one-shot
+/// treedl::Engine); batch callers should hold an Engine instead.
 StatusOr<size_t> MinVertexCoverTd(const Graph& graph, DpStats* stats = nullptr);
 
 /// Size of a maximum independent set.
 StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
                                      const TreeDecomposition& td,
                                      DpStats* stats = nullptr);
+StatusOr<size_t> MaxIndependentSetNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats = nullptr);
+/// Deprecated convenience (one-shot Engine).
 StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
                                      DpStats* stats = nullptr);
 
@@ -28,6 +37,10 @@ StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
 StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
                                     const TreeDecomposition& td,
                                     DpStats* stats = nullptr);
+StatusOr<size_t> MinDominatingSetNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats = nullptr);
+/// Deprecated convenience (one-shot Engine).
 StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
                                     DpStats* stats = nullptr);
 

@@ -4,8 +4,8 @@
 
 #include "common/logging.hpp"
 #include "core/primality_internal.hpp"
-#include "td/heuristics.hpp"
-#include "td/validate.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
 
 namespace treedl::core {
 
@@ -55,26 +55,19 @@ struct PrimalityProblem {
 
 }  // namespace
 
-StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
-                            const TreeDecomposition& td, AttributeId a,
-                            DpStats* stats) {
-  if (a < 0 || a >= schema.NumAttributes()) {
-    return Status::InvalidArgument("attribute id out of range");
-  }
-  TREEDL_RETURN_IF_ERROR(ValidateForStructure(encoding.structure, td));
-  PrimalityContext context(schema, encoding);
-  TreeDecomposition closed = internal::CloseBagsForRhs(td, encoding, context);
-  ElementId a_elem = encoding.AttrElement(a);
-  TdNodeId root = closed.FindNodeContaining(a_elem);
-  TREEDL_CHECK(root != kNoTdNode) << "attribute not covered by decomposition";
-  TREEDL_RETURN_IF_ERROR(closed.ReRoot(root));
-  TREEDL_ASSIGN_OR_RETURN(
-      NormalizedTreeDecomposition ntd,
-      Normalize(closed, internal::PrimalityNormalizeOptions(
-                            encoding, /*for_enumeration=*/false)));
+namespace internal {
 
+bool DecidePrimePrepared(const PrimalityContext& context,
+                         const NormalizedTreeDecomposition& ntd,
+                         ElementId a_elem, RunStats* stats) {
   PrimalityProblem problem{&context};
-  auto table = RunTreeDp(ntd, &problem, stats);
+  DpStats dp;
+  auto table = RunTreeDp(ntd, &problem, &dp);
+  if (stats != nullptr) {
+    stats->dp_states += dp.total_states;
+    stats->dp_max_states_per_node =
+        std::max(stats->dp_max_states_per_node, dp.max_states_per_node);
+  }
   const auto& bag = ntd.Bag(ntd.root());
   for (const auto& [state, value] : table.at(ntd.root())) {
     if (context.Accepts(bag, state, a_elem)) return true;
@@ -82,12 +75,45 @@ StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding
   return false;
 }
 
-StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
+}  // namespace internal
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
+                            const TreeDecomposition& td, AttributeId a,
+                            RunStats* stats) {
+  if (stats != nullptr) *stats = RunStats{};
+  if (a < 0 || a >= schema.NumAttributes()) {
+    return Status::InvalidArgument("attribute id out of range");
+  }
+  PrimalityContext context(schema, encoding);
+  ElementId a_elem = encoding.AttrElement(a);
+
+  engine::PipelineState state;
+  state.structure = &encoding.structure;
+  state.td = td;
+  state.normalize_options =
+      internal::PrimalityNormalizeOptions(encoding, /*for_enumeration=*/false);
+  engine::PassPipeline pipeline;
+  pipeline.Emplace<engine::ValidateStructurePass>()
+      .Emplace<engine::RhsClosurePass>(&encoding, &context)
+      .Emplace<engine::ReRootAtElementPass>(a_elem)
+      .Emplace<engine::NormalizePass>();
+  TREEDL_RETURN_IF_ERROR(pipeline.Run(state, stats));
+  if (stats != nullptr) ++stats->normalize_builds;
+
+  return internal::DecidePrimePrepared(context, *state.normalized, a_elem,
+                                       stats);
+}
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
+                            const TreeDecomposition& td, AttributeId a,
                             DpStats* stats) {
-  SchemaEncoding encoding = EncodeSchema(schema);
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td,
-                          DecomposeStructure(encoding.structure));
-  return IsPrimeViaTd(schema, encoding, td, a, stats);
+  RunStats run;
+  auto result = IsPrimeViaTd(schema, encoding, td, a, &run);
+  if (stats != nullptr) {
+    stats->total_states = run.dp_states;
+    stats->max_states_per_node = run.dp_max_states_per_node;
+  }
+  return result;
 }
 
 }  // namespace treedl::core

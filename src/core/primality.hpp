@@ -6,6 +6,7 @@
 
 #include "common/status.hpp"
 #include "core/tree_dp.hpp"
+#include "engine/run_stats.hpp"
 #include "schema/encode.hpp"
 #include "schema/schema.hpp"
 #include "td/tree_decomposition.hpp"
@@ -13,16 +14,28 @@
 namespace treedl::core {
 
 /// Decides primality of `a` using the supplied raw decomposition of the
-/// encoded structure. Pipeline: validate → rhs-closure pass → re-root at a
-/// bag containing a → normalize (modified form, FD-first forget order) →
-/// bottom-up solve() DP → success test at the root.
+/// encoded structure. The preparation flow runs as a named pass pipeline
+/// (engine/passes.hpp): validate → rhs-closure → re-root at a bag containing
+/// a → normalize (modified form, FD-first forget order); then the bottom-up
+/// solve() DP and the success test at the root.
 StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
                             const TreeDecomposition& td, AttributeId a,
-                            DpStats* stats = nullptr);
+                            RunStats* stats = nullptr);
 
-/// Convenience: encodes the schema and builds a min-fill decomposition.
+/// Deprecated shim: forwards into the RunStats form and copies the DP slice
+/// back into the legacy struct.
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, const SchemaEncoding& encoding,
+                            const TreeDecomposition& td, AttributeId a,
+                            DpStats* stats);
+
+/// Deprecated convenience: re-encodes the schema and rebuilds a min-fill
+/// decomposition on every call (a one-shot treedl::Engine). Batch callers
+/// should hold an Engine instead, which pays for the encoding and the
+/// decomposition once across all queries (see engine/engine.hpp).
 StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
-                            DpStats* stats = nullptr);
+                            RunStats* stats = nullptr);
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
+                            DpStats* stats);
 
 }  // namespace treedl::core
 

@@ -5,8 +5,8 @@
 #include "common/logging.hpp"
 #include "core/primality.hpp"
 #include "core/primality_internal.hpp"
-#include "td/heuristics.hpp"
-#include "td/validate.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
 
 namespace treedl::core {
 
@@ -159,26 +159,27 @@ std::vector<StateSet> TopDownTables(const PrimalityContext& context,
 
 }  // namespace
 
-StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
-                                            const SchemaEncoding& encoding,
-                                            const TreeDecomposition& td,
-                                            DpStats* stats) {
-  TREEDL_RETURN_IF_ERROR(ValidateForStructure(encoding.structure, td));
-  PrimalityContext context(schema, encoding);
-  TreeDecomposition closed = internal::CloseBagsForRhs(td, encoding, context);
-  TREEDL_ASSIGN_OR_RETURN(
-      NormalizedTreeDecomposition ntd,
-      Normalize(closed, internal::PrimalityNormalizeOptions(
-                            encoding, /*for_enumeration=*/true)));
+namespace internal {
 
-  std::vector<StateSet> up = BottomUpTables(context, ntd, stats);
-  std::vector<StateSet> down = TopDownTables(context, ntd, up, stats);
+std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
+                                          const SchemaEncoding& encoding,
+                                          int num_attributes,
+                                          const NormalizedTreeDecomposition& ntd,
+                                          RunStats* stats) {
+  DpStats dp;
+  std::vector<StateSet> up = BottomUpTables(context, ntd, &dp);
+  std::vector<StateSet> down = TopDownTables(context, ntd, up, &dp);
+  if (stats != nullptr) {
+    stats->dp_states += dp.total_states;
+    stats->dp_max_states_per_node =
+        std::max(stats->dp_max_states_per_node, dp.max_states_per_node);
+  }
 
   // prime(a) is read off at the leaves (every attribute occurs in some leaf
   // bag by the ensure_leaf_coverage normalization option). Note that
   // solve↓ at a leaf characterizes the envelope of the leaf — the *entire*
   // structure — exactly like solve at the root of a re-rooted decomposition.
-  std::vector<bool> primes(static_cast<size_t>(schema.NumAttributes()), false);
+  std::vector<bool> primes(static_cast<size_t>(num_attributes), false);
   for (TdNodeId id : ntd.PreOrder()) {
     if (ntd.node(id).kind != NormNodeKind::kLeaf) continue;
     const auto& bag = ntd.Bag(id);
@@ -197,12 +198,41 @@ StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
   return primes;
 }
 
+}  // namespace internal
+
 StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            const SchemaEncoding& encoding,
+                                            const TreeDecomposition& td,
+                                            RunStats* stats) {
+  if (stats != nullptr) *stats = RunStats{};
+  PrimalityContext context(schema, encoding);
+  engine::PipelineState state;
+  state.structure = &encoding.structure;
+  state.td = td;
+  state.normalize_options =
+      internal::PrimalityNormalizeOptions(encoding, /*for_enumeration=*/true);
+  engine::PassPipeline pipeline;
+  pipeline.Emplace<engine::ValidateStructurePass>()
+      .Emplace<engine::RhsClosurePass>(&encoding, &context)
+      .Emplace<engine::NormalizePass>();
+  TREEDL_RETURN_IF_ERROR(pipeline.Run(state, stats));
+  if (stats != nullptr) ++stats->normalize_builds;
+
+  return internal::EnumeratePrimesPrepared(
+      context, encoding, schema.NumAttributes(), *state.normalized, stats);
+}
+
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            const SchemaEncoding& encoding,
+                                            const TreeDecomposition& td,
                                             DpStats* stats) {
-  SchemaEncoding encoding = EncodeSchema(schema);
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td,
-                          DecomposeStructure(encoding.structure));
-  return EnumeratePrimes(schema, encoding, td, stats);
+  RunStats run;
+  auto result = EnumeratePrimes(schema, encoding, td, &run);
+  if (stats != nullptr) {
+    stats->total_states = run.dp_states;
+    stats->max_states_per_node = run.dp_max_states_per_node;
+  }
+  return result;
 }
 
 StatusOr<std::vector<bool>> EnumeratePrimesQuadratic(

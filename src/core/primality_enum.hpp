@@ -10,21 +10,33 @@
 
 #include "common/status.hpp"
 #include "core/tree_dp.hpp"
+#include "engine/run_stats.hpp"
 #include "schema/encode.hpp"
 #include "schema/schema.hpp"
 #include "td/tree_decomposition.hpp"
 
 namespace treedl::core {
 
-/// Membership vector of prime attributes, two-pass linear algorithm.
+/// Membership vector of prime attributes, two-pass linear algorithm. The
+/// preparation flow runs as a named pass pipeline: validate → rhs-closure →
+/// normalize (enumeration form: leaf coverage + branch copies).
 StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
                                             const SchemaEncoding& encoding,
                                             const TreeDecomposition& td,
-                                            DpStats* stats = nullptr);
+                                            RunStats* stats = nullptr);
 
-/// Convenience: encodes the schema and builds a min-fill decomposition.
+/// Deprecated shim: forwards into the RunStats form.
 StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
-                                            DpStats* stats = nullptr);
+                                            const SchemaEncoding& encoding,
+                                            const TreeDecomposition& td,
+                                            DpStats* stats);
+
+/// Deprecated convenience: re-encodes and re-decomposes per call (one-shot
+/// treedl::Engine); batch callers should hold an Engine instead.
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            RunStats* stats = nullptr);
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            DpStats* stats);
 
 /// The quadratic baseline: one decision run per attribute ("obviously, this
 /// method has quadratic time complexity" — §5.3).

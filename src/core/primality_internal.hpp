@@ -22,6 +22,7 @@
 
 #include "common/hash.hpp"
 #include "common/status.hpp"
+#include "engine/run_stats.hpp"
 #include "schema/encode.hpp"
 #include "td/normalize.hpp"
 
@@ -134,6 +135,22 @@ TreeDecomposition CloseBagsForRhs(const TreeDecomposition& td,
 /// along every chain.
 NormalizeOptions PrimalityNormalizeOptions(const SchemaEncoding& encoding,
                                            bool for_enumeration);
+
+/// Fig. 6 bottom-up DP over a *prepared* decomposition — already validated,
+/// rhs-closed, re-rooted at a bag containing `a_elem`, and normalized with
+/// PrimalityNormalizeOptions(·, false). Used by IsPrimeViaTd after its pass
+/// pipeline, and by the Engine with its cached artifacts.
+bool DecidePrimePrepared(const PrimalityContext& context,
+                         const NormalizedTreeDecomposition& ntd,
+                         ElementId a_elem, RunStats* stats);
+
+/// §5.3 two-pass enumeration over a prepared decomposition — validated,
+/// rhs-closed, normalized with PrimalityNormalizeOptions(·, true).
+std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
+                                          const SchemaEncoding& encoding,
+                                          int num_attributes,
+                                          const NormalizedTreeDecomposition& ntd,
+                                          RunStats* stats);
 
 }  // namespace treedl::core::internal
 

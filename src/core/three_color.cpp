@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "common/hash.hpp"
-#include "td/heuristics.hpp"
-#include "td/validate.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
 
 namespace treedl::core {
 
@@ -188,11 +188,9 @@ std::vector<int> ExtractColoring(const Graph& graph,
 
 }  // namespace
 
-StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
-                                           const TreeDecomposition& td,
-                                           bool extract_coloring) {
-  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
-  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+StatusOr<ThreeColorResult> SolveThreeColorNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    bool extract_coloring) {
   ColorProblem<false> problem(graph);
   ThreeColorResult result;
   auto table = RunTreeDp(ntd, &problem, &result.stats);
@@ -206,25 +204,28 @@ StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
 }
 
 StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           const TreeDecomposition& td,
                                            bool extract_coloring) {
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
-  return SolveThreeColor(graph, td, extract_coloring);
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd,
+                          engine::PrepareForGraph(graph, td));
+  return SolveThreeColorNormalized(graph, ntd, extract_coloring);
 }
 
-StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
-                                       const TreeDecomposition& td) {
-  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
-  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+StatusOr<uint64_t> CountThreeColoringsNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats) {
   ColorProblem<true> problem(graph);
-  auto table = RunTreeDp(ntd, &problem);
+  auto table = RunTreeDp(ntd, &problem, stats);
   uint64_t total = 0;
   for (const auto& [state, count] : table.at(ntd.root())) total += count;
   return total;
 }
 
-StatusOr<uint64_t> CountThreeColorings(const Graph& graph) {
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
-  return CountThreeColorings(graph, td);
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
+                                       const TreeDecomposition& td) {
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd,
+                          engine::PrepareForGraph(graph, td));
+  return CountThreeColoringsNormalized(graph, ntd);
 }
 
 }  // namespace treedl::core

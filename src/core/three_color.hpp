@@ -28,12 +28,19 @@ struct ThreeColorResult {
 };
 
 /// Decides 3-colorability using the supplied tree decomposition (validated
-/// against `graph`).
+/// against `graph`, then normalized — both as named pipeline passes).
 StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
                                            const TreeDecomposition& td,
                                            bool extract_coloring = true);
 
-/// Convenience: builds a min-fill decomposition internally.
+/// DP kernel over an already-normalized decomposition (no validation or
+/// normalization; the Engine calls this with its cached normal form).
+StatusOr<ThreeColorResult> SolveThreeColorNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    bool extract_coloring = true);
+
+/// Deprecated convenience: rebuilds a min-fill decomposition per call (a
+/// one-shot treedl::Engine); batch callers should hold an Engine instead.
 StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
                                            bool extract_coloring = true);
 
@@ -41,6 +48,10 @@ StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
 /// semiring). Exact for any graph the decomposition covers.
 StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
                                        const TreeDecomposition& td);
+StatusOr<uint64_t> CountThreeColoringsNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats = nullptr);
+/// Deprecated convenience (one-shot Engine; see SolveThreeColor above).
 StatusOr<uint64_t> CountThreeColorings(const Graph& graph);
 
 }  // namespace treedl::core

@@ -2,8 +2,8 @@
 
 #include "common/hash.hpp"
 #include "core/extensions.hpp"
-#include "td/heuristics.hpp"
-#include "td/validate.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
 
 namespace treedl::core {
 
@@ -105,10 +105,9 @@ class SubsetProblem {
 
 }  // namespace
 
-StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
-                                  const TreeDecomposition& td, DpStats* stats) {
-  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
-  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+StatusOr<size_t> MinVertexCoverNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats) {
   SubsetProblem<true> problem(graph);
   auto table = RunTreeDp(ntd, &problem, stats);
   size_t best = graph.NumVertices();
@@ -118,16 +117,16 @@ StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
   return best;
 }
 
-StatusOr<size_t> MinVertexCoverTd(const Graph& graph, DpStats* stats) {
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
-  return MinVertexCoverTd(graph, td, stats);
+StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
+                                  const TreeDecomposition& td, DpStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd,
+                          engine::PrepareForGraph(graph, td));
+  return MinVertexCoverNormalized(graph, ntd, stats);
 }
 
-StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
-                                     const TreeDecomposition& td,
-                                     DpStats* stats) {
-  TREEDL_RETURN_IF_ERROR(ValidateForGraph(graph, td));
-  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd, Normalize(td));
+StatusOr<size_t> MaxIndependentSetNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats) {
   SubsetProblem<false> problem(graph);
   auto table = RunTreeDp(ntd, &problem, stats);
   size_t best = 0;
@@ -137,9 +136,12 @@ StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
   return best;
 }
 
-StatusOr<size_t> MaxIndependentSetTd(const Graph& graph, DpStats* stats) {
-  TREEDL_ASSIGN_OR_RETURN(TreeDecomposition td, Decompose(graph));
-  return MaxIndependentSetTd(graph, td, stats);
+StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
+                                     const TreeDecomposition& td,
+                                     DpStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(NormalizedTreeDecomposition ntd,
+                          engine::PrepareForGraph(graph, td));
+  return MaxIndependentSetNormalized(graph, ntd, stats);
 }
 
 }  // namespace treedl::core

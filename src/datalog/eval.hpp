@@ -11,10 +11,14 @@
 
 #include "common/status.hpp"
 #include "datalog/ast.hpp"
+#include "engine/run_stats.hpp"
 #include "structure/structure.hpp"
 
 namespace treedl::datalog {
 
+/// Deprecated: retained for out-of-tree callers. New code receives the same
+/// numbers through the unified RunStats (eval_iterations / derived_facts /
+/// rule_applications); the EvalStats overloads below forward into RunStats.
 struct EvalStats {
   size_t iterations = 0;
   size_t derived_facts = 0;     // IDB facts derived (beyond the EDB)
@@ -27,11 +31,18 @@ struct EvalStats {
 /// facts. Fails if a program predicate clashes in arity with an EDB
 /// predicate, or if the program is unsafe (see AnalyzeProgram).
 StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
-                                  EvalStats* stats = nullptr);
+                                  RunStats* stats = nullptr);
 
 StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
                                       const Structure& edb,
-                                      EvalStats* stats = nullptr);
+                                      RunStats* stats = nullptr);
+
+/// Deprecated shims: forward into the RunStats forms and copy the fixpoint
+/// slice back into the legacy struct.
+StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
+                                  EvalStats* stats);
+StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
+                                      const Structure& edb, EvalStats* stats);
 
 }  // namespace treedl::datalog
 

@@ -40,8 +40,8 @@ class AtomInterner {
 }  // namespace
 
 StatusOr<Structure> GroundedEvaluate(const Program& program,
-                                     const Structure& edb,
-                                     GroundingStats* stats) {
+                                     const Structure& edb, RunStats* stats) {
+  if (stats != nullptr) *stats = RunStats{};
   TREEDL_ASSIGN_OR_RETURN(std::vector<size_t> guards,
                           FindQuasiGuards(program));
   TREEDL_ASSIGN_OR_RETURN(ProgramInfo info, AnalyzeProgram(program));
@@ -184,8 +184,25 @@ StatusOr<Structure> GroundedEvaluate(const Program& program,
     Status st = prep.result.AddFact(pred, args);
     TREEDL_CHECK(st.ok()) << st.ToString();
   }
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) {
+    stats->ground_clauses += local.ground_clauses;
+    stats->ground_atoms += local.ground_atoms;
+    stats->guard_instantiations += local.guard_instantiations;
+  }
   return std::move(prep.result);
+}
+
+StatusOr<Structure> GroundedEvaluate(const Program& program,
+                                     const Structure& edb,
+                                     GroundingStats* stats) {
+  RunStats run;
+  auto result = GroundedEvaluate(program, edb, &run);
+  if (stats != nullptr) {
+    stats->ground_clauses = run.ground_clauses;
+    stats->ground_atoms = run.ground_atoms;
+    stats->guard_instantiations = run.guard_instantiations;
+  }
+  return result;
 }
 
 }  // namespace treedl::datalog

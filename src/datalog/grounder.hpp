@@ -16,10 +16,13 @@
 #include "common/status.hpp"
 #include "datalog/ast.hpp"
 #include "datalog/ltur.hpp"
+#include "engine/run_stats.hpp"
 #include "structure/structure.hpp"
 
 namespace treedl::datalog {
 
+/// Deprecated: retained for out-of-tree callers; the same numbers live in
+/// RunStats (ground_clauses / ground_atoms / guard_instantiations).
 struct GroundingStats {
   size_t ground_clauses = 0;
   size_t ground_atoms = 0;
@@ -30,7 +33,12 @@ struct GroundingStats {
 /// programs (fails with InvalidArgument otherwise).
 StatusOr<Structure> GroundedEvaluate(const Program& program,
                                      const Structure& edb,
-                                     GroundingStats* stats = nullptr);
+                                     RunStats* stats = nullptr);
+
+/// Deprecated shim: forwards into the RunStats form.
+StatusOr<Structure> GroundedEvaluate(const Program& program,
+                                     const Structure& edb,
+                                     GroundingStats* stats);
 
 }  // namespace treedl::datalog
 

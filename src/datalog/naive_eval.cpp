@@ -5,7 +5,8 @@
 namespace treedl::datalog {
 
 StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
-                                  EvalStats* stats) {
+                                  RunStats* stats) {
+  if (stats != nullptr) *stats = RunStats{};
   TREEDL_ASSIGN_OR_RETURN(internal::PreparedProgram prep,
                           internal::Prepare(program, edb));
   EvalStats local;
@@ -32,8 +33,24 @@ StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
       }
     }
   }
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) {
+    stats->eval_iterations += local.iterations;
+    stats->derived_facts += local.derived_facts;
+    stats->rule_applications += local.rule_applications;
+  }
   return std::move(prep.result);
+}
+
+StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
+                                  EvalStats* stats) {
+  RunStats run;
+  auto result = NaiveEvaluate(program, edb, &run);
+  if (stats != nullptr) {
+    stats->iterations = run.eval_iterations;
+    stats->derived_facts = run.derived_facts;
+    stats->rule_applications = run.rule_applications;
+  }
+  return result;
 }
 
 }  // namespace treedl::datalog

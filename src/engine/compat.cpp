@@ -1,0 +1,101 @@
+// Deprecated convenience free functions, kept as thin shims over a one-shot
+// treedl::Engine. Each call pays for a fresh encoding and decomposition —
+// exactly the repeated-preprocessing pattern §5.3 argues against — and the
+// legacy stats structs are populated by forwarding from the Engine's RunStats
+// so out-of-tree callers still get numbers.
+#include "core/extensions.hpp"
+#include "core/primality.hpp"
+#include "core/primality_enum.hpp"
+#include "core/three_color.hpp"
+#include "engine/engine.hpp"
+
+namespace treedl::core {
+
+namespace {
+
+void CopyDp(const RunStats& run, DpStats* stats) {
+  if (stats == nullptr) return;
+  stats->total_states = run.dp_states;
+  stats->max_states_per_node = run.dp_max_states_per_node;
+}
+
+}  // namespace
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
+                            RunStats* stats) {
+  Engine engine(schema);
+  return engine.IsPrime(a, stats);
+}
+
+StatusOr<bool> IsPrimeViaTd(const Schema& schema, AttributeId a,
+                            DpStats* stats) {
+  RunStats run;
+  auto result = IsPrimeViaTd(schema, a, &run);
+  CopyDp(run, stats);
+  return result;
+}
+
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            RunStats* stats) {
+  Engine engine(schema);
+  return engine.AllPrimes(stats);
+}
+
+StatusOr<std::vector<bool>> EnumeratePrimes(const Schema& schema,
+                                            DpStats* stats) {
+  RunStats run;
+  auto result = EnumeratePrimes(schema, &run);
+  CopyDp(run, stats);
+  return result;
+}
+
+StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
+                                           bool extract_coloring) {
+  EngineOptions options;
+  options.extract_witness = extract_coloring;
+  Engine engine = Engine::FromGraph(graph, options);
+  RunStats run;
+  TREEDL_ASSIGN_OR_RETURN(Engine::SolveResult solved,
+                          engine.Solve(Engine::Problem::kThreeColor, &run));
+  ThreeColorResult result;
+  result.colorable = solved.feasible;
+  result.coloring = std::move(solved.witness);
+  CopyDp(run, &result.stats);
+  return result;
+}
+
+StatusOr<uint64_t> CountThreeColorings(const Graph& graph) {
+  Engine engine = Engine::FromGraph(graph);
+  TREEDL_ASSIGN_OR_RETURN(Engine::SolveResult solved,
+                          engine.Solve(Engine::Problem::kThreeColorCount));
+  return solved.count;
+}
+
+StatusOr<size_t> MinVertexCoverTd(const Graph& graph, DpStats* stats) {
+  Engine engine = Engine::FromGraph(graph);
+  RunStats run;
+  TREEDL_ASSIGN_OR_RETURN(Engine::SolveResult solved,
+                          engine.Solve(Engine::Problem::kVertexCover, &run));
+  CopyDp(run, stats);
+  return solved.optimum;
+}
+
+StatusOr<size_t> MaxIndependentSetTd(const Graph& graph, DpStats* stats) {
+  Engine engine = Engine::FromGraph(graph);
+  RunStats run;
+  TREEDL_ASSIGN_OR_RETURN(Engine::SolveResult solved,
+                          engine.Solve(Engine::Problem::kIndependentSet, &run));
+  CopyDp(run, stats);
+  return solved.optimum;
+}
+
+StatusOr<size_t> MinDominatingSetTd(const Graph& graph, DpStats* stats) {
+  Engine engine = Engine::FromGraph(graph);
+  RunStats run;
+  TREEDL_ASSIGN_OR_RETURN(Engine::SolveResult solved,
+                          engine.Solve(Engine::Problem::kDominatingSet, &run));
+  CopyDp(run, stats);
+  return solved.optimum;
+}
+
+}  // namespace treedl::core

@@ -1,0 +1,477 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "core/extensions.hpp"
+#include "core/three_color.hpp"
+#include "datalog/eval.hpp"
+#include "datalog/grounder.hpp"
+#include "engine/passes.hpp"
+#include "engine/pipeline.hpp"
+#include "graph/gaifman.hpp"
+#include "mso/evaluator.hpp"
+#include "mso2dl/mso_to_datalog.hpp"
+#include "td/elimination_order.hpp"
+#include "td/heuristics.hpp"
+
+namespace treedl {
+
+namespace {
+
+StatusOr<Structure> RunBackend(const datalog::Program& program,
+                               const Structure& edb, DatalogBackend backend,
+                               RunStats* stats) {
+  // Evaluate into a local record and fold it in: the public evaluate
+  // functions reset their stats argument at entry, which must not wipe the
+  // counters the engine already recorded for this query.
+  RunStats eval_run;
+  StatusOr<Structure> result = [&]() -> StatusOr<Structure> {
+    switch (backend) {
+      case DatalogBackend::kNaive:
+        return datalog::NaiveEvaluate(program, edb, &eval_run);
+      case DatalogBackend::kSemiNaive:
+        return datalog::SemiNaiveEvaluate(program, edb, &eval_run);
+      case DatalogBackend::kGrounded:
+        return datalog::GroundedEvaluate(program, edb, &eval_run);
+    }
+    return Status::Internal("unknown datalog backend");
+  }();
+  stats->Accumulate(eval_run);
+  return result;
+}
+
+void MergeDp(const core::DpStats& dp, RunStats* stats) {
+  stats->dp_states += dp.total_states;
+  stats->dp_max_states_per_node =
+      std::max(stats->dp_max_states_per_node, dp.max_states_per_node);
+}
+
+}  // namespace
+
+const char* DatalogBackendName(DatalogBackend backend) {
+  switch (backend) {
+    case DatalogBackend::kNaive: return "naive";
+    case DatalogBackend::kSemiNaive: return "seminaive";
+    case DatalogBackend::kGrounded: return "grounded";
+  }
+  return "?";
+}
+
+Engine::Engine(Schema schema, EngineOptions options)
+    : options_(std::move(options)),
+      schema_(std::make_unique<Schema>(std::move(schema))) {}
+
+Engine::Engine(Structure structure, EngineOptions options)
+    : options_(std::move(options)),
+      owned_structure_(std::make_unique<Structure>(std::move(structure))) {}
+
+Engine Engine::FromGraph(const Graph& graph, EngineOptions options) {
+  return Engine(GraphToStructure(graph), std::move(options));
+}
+
+// --- Cached artifacts -------------------------------------------------------
+
+StatusOr<const SchemaEncoding*> Engine::EnsureEncoding(RunStats* stats) {
+  if (schema_ == nullptr) {
+    return Status::InvalidArgument("not a schema session");
+  }
+  if (encoding_ == nullptr) {
+    encoding_ = std::make_unique<SchemaEncoding>(EncodeSchema(*schema_));
+    ++stats->encode_builds;
+    ++GlobalEngineCounters().encode_builds;
+  } else {
+    ++stats->cache_hits;
+  }
+  return encoding_.get();
+}
+
+StatusOr<const Structure*> Engine::EnsureStructure(RunStats* stats) {
+  if (owned_structure_ != nullptr) return owned_structure_.get();
+  TREEDL_ASSIGN_OR_RETURN(const SchemaEncoding* encoding,
+                          EnsureEncoding(stats));
+  return &encoding->structure;
+}
+
+StatusOr<const Graph*> Engine::EnsureGaifman(RunStats* stats) {
+  if (!gaifman_.has_value()) {
+    TREEDL_ASSIGN_OR_RETURN(const Structure* structure,
+                            EnsureStructure(stats));
+    gaifman_ = GaifmanGraph(*structure);
+  }
+  return &*gaifman_;
+}
+
+StatusOr<const TreeDecomposition*> Engine::EnsureTd(RunStats* stats) {
+  if (td_.has_value()) {
+    ++stats->cache_hits;
+    return &*td_;
+  }
+  TREEDL_ASSIGN_OR_RETURN(const Structure* structure, EnsureStructure(stats));
+  StatusOr<TreeDecomposition> td = [&]() -> StatusOr<TreeDecomposition> {
+    if (options_.decomposition.has_value()) return *options_.decomposition;
+    TREEDL_ASSIGN_OR_RETURN(const Graph* gaifman, EnsureGaifman(stats));
+    if (options_.elimination_order.has_value()) {
+      return DecompositionFromOrder(*gaifman, *options_.elimination_order);
+    }
+    return Decompose(*gaifman, options_.heuristic);
+  }();
+  TREEDL_RETURN_IF_ERROR(td.status());
+  if (options_.validate) {
+    engine::PipelineState state;
+    state.structure = structure;
+    state.td = *td;
+    engine::PassPipeline pipeline;
+    pipeline.Emplace<engine::ValidateStructurePass>();
+    TREEDL_RETURN_IF_ERROR(
+        pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
+  }
+  td_ = std::move(td).value();
+  ++stats->td_builds;
+  ++GlobalEngineCounters().td_builds;
+  return &*td_;
+}
+
+StatusOr<const core::internal::PrimalityContext*> Engine::EnsurePrimality(
+    RunStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(const SchemaEncoding* encoding,
+                          EnsureEncoding(stats));
+  if (primality_ == nullptr) {
+    primality_ = std::make_unique<core::internal::PrimalityContext>(*schema_,
+                                                                    *encoding);
+  }
+  return primality_.get();
+}
+
+StatusOr<const TreeDecomposition*> Engine::EnsureClosedTd(RunStats* stats) {
+  if (closed_td_.has_value()) {
+    ++stats->cache_hits;
+    return &*closed_td_;
+  }
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(stats));
+  TREEDL_ASSIGN_OR_RETURN(const core::internal::PrimalityContext* context,
+                          EnsurePrimality(stats));
+  engine::PipelineState state;
+  state.td = *td;
+  engine::PassPipeline pipeline;
+  pipeline.Emplace<engine::RhsClosurePass>(encoding_.get(), context);
+  TREEDL_RETURN_IF_ERROR(
+      pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
+  closed_td_ = std::move(state.td);
+  return &*closed_td_;
+}
+
+StatusOr<const NormalizedTreeDecomposition*> Engine::EnsureEnumNtd(
+    RunStats* stats) {
+  if (enum_ntd_.has_value()) {
+    ++stats->cache_hits;
+    return &*enum_ntd_;
+  }
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* closed,
+                          EnsureClosedTd(stats));
+  engine::PipelineState state;
+  state.td = *closed;
+  state.normalize_options = core::internal::PrimalityNormalizeOptions(
+      *encoding_, /*for_enumeration=*/true);
+  engine::PassPipeline pipeline;
+  pipeline.Emplace<engine::NormalizePass>();
+  TREEDL_RETURN_IF_ERROR(
+      pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
+  enum_ntd_ = *std::move(state.normalized);
+  ++stats->normalize_builds;
+  ++GlobalEngineCounters().normalize_builds;
+  return &*enum_ntd_;
+}
+
+StatusOr<const NormalizedTreeDecomposition*> Engine::EnsurePlainNtd(
+    RunStats* stats) {
+  if (plain_ntd_.has_value()) {
+    ++stats->cache_hits;
+    return &*plain_ntd_;
+  }
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(stats));
+  engine::PipelineState state;
+  state.td = *td;
+  engine::PassPipeline pipeline;
+  pipeline.Emplace<engine::NormalizePass>();
+  TREEDL_RETURN_IF_ERROR(
+      pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
+  plain_ntd_ = *std::move(state.normalized);
+  ++stats->normalize_builds;
+  ++GlobalEngineCounters().normalize_builds;
+  return &*plain_ntd_;
+}
+
+StatusOr<const datalog::TauTdEncoding*> Engine::EnsureTauTd(RunStats* stats) {
+  if (tau_td_.has_value()) {
+    ++stats->cache_hits;
+    return &*tau_td_;
+  }
+  TREEDL_ASSIGN_OR_RETURN(const Structure* structure, EnsureStructure(stats));
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(stats));
+  TREEDL_ASSIGN_OR_RETURN(TupleNormalizedTd tuple, NormalizeTuple(*td));
+  TREEDL_ASSIGN_OR_RETURN(datalog::TauTdEncoding encoding,
+                          datalog::BuildTauTd(*structure, tuple));
+  tau_td_ = std::move(encoding);
+  ++stats->normalize_builds;
+  ++GlobalEngineCounters().normalize_builds;
+  return &*tau_td_;
+}
+
+// --- Primality ---------------------------------------------------------------
+
+StatusOr<bool> Engine::IsPrime(AttributeId a, RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<bool> result = [&]() -> StatusOr<bool> {
+    if (schema_ == nullptr) {
+      return Status::InvalidArgument("IsPrime requires a schema session");
+    }
+    if (a < 0 || a >= schema_->NumAttributes()) {
+      return Status::InvalidArgument("attribute id out of range");
+    }
+    // O(1) from the memoized §5.3 enumeration, if it already ran.
+    if (primes_.has_value()) {
+      ++s->cache_hits;
+      return static_cast<bool>((*primes_)[static_cast<size_t>(a)]);
+    }
+    TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* closed,
+                            EnsureClosedTd(s));
+    TREEDL_ASSIGN_OR_RETURN(const core::internal::PrimalityContext* context,
+                            EnsurePrimality(s));
+    ElementId a_elem = encoding_->AttrElement(a);
+    engine::PipelineState state;
+    state.td = *closed;
+    state.normalize_options = core::internal::PrimalityNormalizeOptions(
+        *encoding_, /*for_enumeration=*/false);
+    engine::PassPipeline pipeline;
+    pipeline.Emplace<engine::ReRootAtElementPass>(a_elem)
+        .Emplace<engine::NormalizePass>();
+    TREEDL_RETURN_IF_ERROR(
+        pipeline.Run(state, options_.collect_pass_timings ? s : nullptr));
+    ++s->normalize_builds;
+    ++GlobalEngineCounters().normalize_builds;
+    return core::internal::DecidePrimePrepared(*context, *state.normalized,
+                                               a_elem, s);
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<std::vector<bool>> result = [&]() -> StatusOr<std::vector<bool>> {
+    if (schema_ == nullptr) {
+      return Status::InvalidArgument("AllPrimes requires a schema session");
+    }
+    if (primes_.has_value()) {
+      ++s->cache_hits;
+      return *primes_;
+    }
+    TREEDL_ASSIGN_OR_RETURN(const NormalizedTreeDecomposition* ntd,
+                            EnsureEnumNtd(s));
+    TREEDL_ASSIGN_OR_RETURN(const core::internal::PrimalityContext* context,
+                            EnsurePrimality(s));
+    primes_ = core::internal::EnumeratePrimesPrepared(
+        *context, *encoding_, schema_->NumAttributes(), *ntd, s);
+    return *primes_;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- Datalog -----------------------------------------------------------------
+
+StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
+                                            RunStats* stats) {
+  return EvaluateDatalog(program, options_.backend, stats);
+}
+
+StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
+                                            DatalogBackend backend,
+                                            RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<Structure> result = [&]() -> StatusOr<Structure> {
+    TREEDL_ASSIGN_OR_RETURN(const Structure* edb, EnsureStructure(s));
+    return RunBackend(program, *edb, backend, s);
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- MSO ----------------------------------------------------------------------
+
+StatusOr<bool> Engine::UseDirectMso(RunStats* stats) {
+  if (options_.mso_strategy == MsoStrategy::kDirect) return true;
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(stats));
+  return td->Width() < 1;  // Thm 4.5 needs width >= 1
+}
+
+StatusOr<Structure> Engine::RunCompiledMso(const mso::FormulaPtr& phi,
+                                           const std::string* free_var,
+                                           RunStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(stats));
+  mso2dl::Mso2DlOptions mopts = options_.mso_options;
+  mopts.width = td_->Width();
+  StatusOr<mso2dl::Mso2DlResult> compiled =
+      free_var != nullptr
+          ? mso2dl::MsoToDatalog(a->signature(), phi, *free_var, mopts)
+          : mso2dl::MsoToDatalogSentence(a->signature(), phi, mopts);
+  TREEDL_RETURN_IF_ERROR(compiled.status());
+  TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
+                          EnsureTauTd(stats));
+  return RunBackend(compiled->program, atd->structure, options_.backend,
+                    stats);
+}
+
+StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
+                                   RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<bool> result = [&]() -> StatusOr<bool> {
+    TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(s));
+    TREEDL_ASSIGN_OR_RETURN(bool direct, UseDirectMso(s));
+    if (direct) {
+      mso::EvalOptions eopts;
+      eopts.work_budget = options_.mso_direct_work_budget;
+      return mso::EvaluateSentence(*a, *sentence, eopts);
+    }
+    TREEDL_ASSIGN_OR_RETURN(Structure derived,
+                            RunCompiledMso(sentence, nullptr, s));
+    TREEDL_ASSIGN_OR_RETURN(PredicateId phi,
+                            derived.signature().PredicateIdOf("phi"));
+    return derived.HasFact(phi, {});
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
+    const mso::FormulaPtr& phi, const std::string& free_var, RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<std::vector<bool>> result = [&]() -> StatusOr<std::vector<bool>> {
+    TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(s));
+    std::vector<bool> selected(a->NumElements(), false);
+    TREEDL_ASSIGN_OR_RETURN(bool direct, UseDirectMso(s));
+    if (direct) {
+      mso::EvalOptions eopts;
+      eopts.work_budget = options_.mso_direct_work_budget;
+      for (ElementId e = 0; e < a->NumElements(); ++e) {
+        TREEDL_ASSIGN_OR_RETURN(
+            bool holds, mso::EvaluateUnary(*a, *phi, free_var, e, eopts));
+        selected[e] = holds;
+      }
+      return selected;
+    }
+    TREEDL_ASSIGN_OR_RETURN(Structure derived,
+                            RunCompiledMso(phi, &free_var, s));
+    TREEDL_ASSIGN_OR_RETURN(PredicateId phi_pred,
+                            derived.signature().PredicateIdOf("phi"));
+    for (ElementId e = 0; e < a->NumElements(); ++e) {
+      selected[e] = derived.HasFact(phi_pred, {e});
+    }
+    return selected;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- Graph DPs ----------------------------------------------------------------
+
+StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<SolveResult> result = [&]() -> StatusOr<SolveResult> {
+    TREEDL_ASSIGN_OR_RETURN(const Graph* graph, EnsureGaifman(s));
+    TREEDL_ASSIGN_OR_RETURN(const NormalizedTreeDecomposition* ntd,
+                            EnsurePlainNtd(s));
+    SolveResult out;
+    core::DpStats dp;
+    switch (problem) {
+      case Problem::kThreeColor: {
+        TREEDL_ASSIGN_OR_RETURN(
+            core::ThreeColorResult r,
+            core::SolveThreeColorNormalized(*graph, *ntd,
+                                            options_.extract_witness));
+        out.feasible = r.colorable;
+        out.witness = std::move(r.coloring);
+        dp = r.stats;
+        break;
+      }
+      case Problem::kThreeColorCount: {
+        TREEDL_ASSIGN_OR_RETURN(
+            uint64_t count,
+            core::CountThreeColoringsNormalized(*graph, *ntd, &dp));
+        out.feasible = count > 0;
+        out.count = count;
+        break;
+      }
+      case Problem::kVertexCover: {
+        TREEDL_ASSIGN_OR_RETURN(
+            size_t best, core::MinVertexCoverNormalized(*graph, *ntd, &dp));
+        out.feasible = true;
+        out.optimum = best;
+        break;
+      }
+      case Problem::kIndependentSet: {
+        TREEDL_ASSIGN_OR_RETURN(
+            size_t best, core::MaxIndependentSetNormalized(*graph, *ntd, &dp));
+        out.feasible = true;
+        out.optimum = best;
+        break;
+      }
+      case Problem::kDominatingSet: {
+        TREEDL_ASSIGN_OR_RETURN(
+            size_t best, core::MinDominatingSetNormalized(*graph, *ntd, &dp));
+        out.feasible = true;
+        out.optimum = best;
+        break;
+      }
+    }
+    MergeDp(dp, s);
+    return out;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- Session artifacts --------------------------------------------------------
+
+StatusOr<const Structure*> Engine::structure(RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  auto result = EnsureStructure(s);
+  Record(*s);
+  return result;
+}
+
+StatusOr<const TreeDecomposition*> Engine::Decomposition(RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  auto result = EnsureTd(s);
+  Record(*s);
+  return result;
+}
+
+StatusOr<int> Engine::Width(RunStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, Decomposition(stats));
+  return td->Width();
+}
+
+}  // namespace treedl

@@ -1,0 +1,181 @@
+// treedl::Engine — the session API of the library.
+//
+// The paper's headline result (§5.3) is that *one* tree decomposition of the
+// encoded input supports many queries in linear time each. The Engine makes
+// that concrete: constructed from a Schema or a τ-structure plus
+// EngineOptions, it lazily computes and caches the schema encoding, Gaifman
+// graph, tree decomposition, rhs-closed decomposition, normalized forms, and
+// the τ_td structure, then serves batched queries through one surface:
+//
+//   Engine engine(Schema::PaperExampleSchema());
+//   engine.IsPrime(a);                       // §5.2 decision
+//   engine.AllPrimes();                      // §5.3 enumeration (memoized)
+//   engine.EvaluateMso(sentence);            // Thm 4.5 route or direct
+//   engine.EvaluateDatalog(program);         // naive/seminaive/grounded
+//   engine.Solve(Engine::Problem::kThreeColor);  // §5.1 and friends
+//
+// Every query reports a RunStats (build/cache counters, DP and fixpoint
+// work, optional per-pass timings); CumulativeStats() aggregates the session.
+// The deprecated free functions (core::IsPrimeViaTd(schema, a), ...) forward
+// into a one-shot Engine, so they pay encoding + decomposition on every call
+// — the quadratic pattern §5.3 argues against.
+#ifndef TREEDL_ENGINE_ENGINE_HPP_
+#define TREEDL_ENGINE_ENGINE_HPP_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/primality_internal.hpp"
+#include "datalog/ast.hpp"
+#include "datalog/tau_td.hpp"
+#include "engine/options.hpp"
+#include "engine/run_stats.hpp"
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+#include "schema/encode.hpp"
+#include "schema/schema.hpp"
+#include "structure/structure.hpp"
+#include "td/normalize.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+class Engine {
+ public:
+  /// Graph problems served by Solve() on the session's Gaifman graph (for a
+  /// {e/2} session built with FromGraph, that *is* the input graph).
+  enum class Problem {
+    kThreeColor,       // §5.1 decision (+ witness when extract_witness)
+    kThreeColorCount,  // counting-semiring extension
+    kVertexCover,      // minimum vertex cover size
+    kIndependentSet,   // maximum independent set size
+    kDominatingSet,    // minimum dominating set size
+  };
+
+  struct SolveResult {
+    /// kThreeColor: whether 3-colorable. Optimization problems: always true.
+    bool feasible = false;
+    /// kVertexCover / kIndependentSet / kDominatingSet: the optimal size.
+    size_t optimum = 0;
+    /// kThreeColorCount: number of proper 3-colorings.
+    uint64_t count = 0;
+    /// kThreeColor: a proper coloring when feasible and extract_witness.
+    std::optional<std::vector<int>> witness;
+  };
+
+  /// Schema session: primality queries (plus datalog/MSO over the encoding).
+  explicit Engine(Schema schema, EngineOptions options = {});
+  /// Structure session: MSO/datalog/graph queries over an arbitrary
+  /// τ-structure.
+  explicit Engine(Structure structure, EngineOptions options = {});
+  /// Graph session: stores the {e/2} encoding of `graph`.
+  static Engine FromGraph(const Graph& graph, EngineOptions options = {});
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Primality (schema sessions only) -----------------------------------
+
+  /// §5.2 decision: is attribute `a` prime? Reuses the cached encoding and
+  /// decomposition; re-roots and normalizes per query (linear). After
+  /// AllPrimes() has run, answers O(1) from the memoized enumeration.
+  StatusOr<bool> IsPrime(AttributeId a, RunStats* stats = nullptr);
+
+  /// §5.3 enumeration: all prime attributes in one two-pass run. The result
+  /// is memoized; subsequent calls are cache hits.
+  StatusOr<std::vector<bool>> AllPrimes(RunStats* stats = nullptr);
+
+  // --- MSO -----------------------------------------------------------------
+
+  /// Evaluates an MSO sentence on the session structure. Route per
+  /// EngineOptions::mso_strategy: compile through Thm 4.5 into the selected
+  /// datalog backend over the cached τ_td structure, or evaluate directly.
+  StatusOr<bool> EvaluateMso(const mso::FormulaPtr& sentence,
+                             RunStats* stats = nullptr);
+
+  /// Unary MSO query φ(x): membership vector over the session structure's
+  /// elements.
+  StatusOr<std::vector<bool>> EvaluateMsoUnary(const mso::FormulaPtr& phi,
+                                               const std::string& free_var,
+                                               RunStats* stats = nullptr);
+
+  // --- Datalog -------------------------------------------------------------
+
+  /// Evaluates `program` with the session structure as EDB, via the selected
+  /// backend (EngineOptions::backend, overridable per call).
+  StatusOr<Structure> EvaluateDatalog(const datalog::Program& program,
+                                      RunStats* stats = nullptr);
+  StatusOr<Structure> EvaluateDatalog(const datalog::Program& program,
+                                      DatalogBackend backend,
+                                      RunStats* stats = nullptr);
+
+  // --- Graph DPs -----------------------------------------------------------
+
+  StatusOr<SolveResult> Solve(Problem problem, RunStats* stats = nullptr);
+
+  // --- Session artifacts ---------------------------------------------------
+
+  /// The session schema, or null for structure sessions.
+  const Schema* schema() const { return schema_.get(); }
+  const EngineOptions& options() const { return options_; }
+
+  /// The session τ-structure (encodes the schema lazily on first use).
+  StatusOr<const Structure*> structure(RunStats* stats = nullptr);
+  /// The cached raw decomposition (built and validated on first use).
+  StatusOr<const TreeDecomposition*> Decomposition(RunStats* stats = nullptr);
+  /// Width of the session decomposition.
+  StatusOr<int> Width(RunStats* stats = nullptr);
+
+  /// Aggregate of every RunStats this engine produced.
+  const RunStats& CumulativeStats() const { return cumulative_; }
+  void ResetCumulativeStats() { cumulative_ = RunStats{}; }
+
+ private:
+  StatusOr<const SchemaEncoding*> EnsureEncoding(RunStats* stats);
+  StatusOr<const Structure*> EnsureStructure(RunStats* stats);
+  StatusOr<const Graph*> EnsureGaifman(RunStats* stats);
+  StatusOr<const TreeDecomposition*> EnsureTd(RunStats* stats);
+  StatusOr<const core::internal::PrimalityContext*> EnsurePrimality(
+      RunStats* stats);
+  StatusOr<const TreeDecomposition*> EnsureClosedTd(RunStats* stats);
+  StatusOr<const NormalizedTreeDecomposition*> EnsureEnumNtd(RunStats* stats);
+  StatusOr<const NormalizedTreeDecomposition*> EnsurePlainNtd(RunStats* stats);
+  StatusOr<const datalog::TauTdEncoding*> EnsureTauTd(RunStats* stats);
+  /// True when the MSO query must be answered by direct quantifier
+  /// expansion: the kDirect strategy, or a session width < 1 (Thm 4.5 needs
+  /// width >= 1).
+  StatusOr<bool> UseDirectMso(RunStats* stats);
+  /// Thm 4.5 route: compile (sentence form when free_var is null), build the
+  /// τ_td structure, evaluate with the configured backend. Returns the
+  /// derived structure with the "phi" predicate populated.
+  StatusOr<Structure> RunCompiledMso(const mso::FormulaPtr& phi,
+                                     const std::string* free_var,
+                                     RunStats* stats);
+  void Record(const RunStats& stats) { cumulative_.Accumulate(stats); }
+
+  EngineOptions options_;
+  // Owned inputs (unique_ptr keeps references inside cached artifacts stable
+  // across moves).
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Structure> owned_structure_;
+  // Cached artifacts, built lazily.
+  std::unique_ptr<SchemaEncoding> encoding_;
+  std::unique_ptr<core::internal::PrimalityContext> primality_;
+  std::optional<Graph> gaifman_;
+  std::optional<TreeDecomposition> td_;
+  std::optional<TreeDecomposition> closed_td_;
+  std::optional<NormalizedTreeDecomposition> enum_ntd_;
+  std::optional<NormalizedTreeDecomposition> plain_ntd_;
+  std::optional<datalog::TauTdEncoding> tau_td_;
+  std::optional<std::vector<bool>> primes_;
+  RunStats cumulative_;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_ENGINE_ENGINE_HPP_

@@ -1,0 +1,62 @@
+// Configuration of a treedl::Engine session.
+#ifndef TREEDL_ENGINE_OPTIONS_HPP_
+#define TREEDL_ENGINE_OPTIONS_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mso2dl/mso_to_datalog.hpp"
+#include "td/heuristics.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+/// Which datalog fixpoint engine serves EvaluateDatalog / EvaluateMso.
+enum class DatalogBackend {
+  kNaive,      // reference oracle: re-derives everything each round
+  kSemiNaive,  // delta-driven (the general default)
+  kGrounded,   // Thm 4.4 two-phase ground + LTUR (quasi-guarded programs only)
+};
+
+const char* DatalogBackendName(DatalogBackend backend);
+
+/// How EvaluateMso answers: compile through Thm 4.5 into the datalog backend
+/// (linear data complexity, exponential compile in rank/width), or evaluate
+/// directly by quantifier expansion (exponential data complexity — the MONA
+/// stand-in role).
+enum class MsoStrategy {
+  kCompileToDatalog,
+  kDirect,
+};
+
+struct EngineOptions {
+  /// Elimination heuristic for the session decomposition.
+  TdHeuristic heuristic = TdHeuristic::kMinFill;
+  /// Custom elimination order (a permutation of the Gaifman-graph vertices).
+  /// When set, overrides `heuristic`.
+  std::optional<std::vector<VertexId>> elimination_order;
+  /// Caller-supplied decomposition of the session structure. When set,
+  /// overrides both `heuristic` and `elimination_order` (validated on first
+  /// use unless `validate` is off).
+  std::optional<TreeDecomposition> decomposition;
+  /// Validate the decomposition once after construction (§2.2 conditions).
+  /// Queries then reuse the validated decomposition without re-checking.
+  bool validate = true;
+  /// Datalog backend for EvaluateDatalog and compiled MSO queries.
+  DatalogBackend backend = DatalogBackend::kSemiNaive;
+  /// MSO evaluation route.
+  MsoStrategy mso_strategy = MsoStrategy::kCompileToDatalog;
+  /// Budgets for the Thm 4.5 MSO-to-datalog construction.
+  mso2dl::Mso2DlOptions mso_options;
+  /// Budget for MsoStrategy::kDirect (0 = unlimited).
+  uint64_t mso_direct_work_budget = 0;
+  /// Extract a witness (e.g. an actual coloring) from Solve when available.
+  bool extract_witness = true;
+  /// Record per-pass wall-clock timings into RunStats::passes.
+  bool collect_pass_timings = false;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_ENGINE_OPTIONS_HPP_

@@ -1,0 +1,119 @@
+// Concrete pipeline passes for the §5 preparation flows.
+//
+//   ValidateStructurePass  — §2.2 conditions against a τ-structure
+//   ValidateGraphPass      — §2.2 conditions against a graph
+//   RhsClosurePass         — §5.2 bag closure: add rhs(f) to every bag with f
+//   ReRootAtElementPass    — re-root at a bag containing the query element
+//   NormalizePass          — modified normal form (Fig. 4) per state options
+//
+// Inline so that core/ can assemble pipelines without linking the engine
+// library; the heavy lifting stays in the td/ and core/ functions each pass
+// delegates to.
+#ifndef TREEDL_ENGINE_PASSES_HPP_
+#define TREEDL_ENGINE_PASSES_HPP_
+
+#include <string>
+#include <utility>
+
+#include "core/primality_internal.hpp"
+#include "engine/pipeline.hpp"
+#include "graph/graph.hpp"
+#include "td/normalize.hpp"
+#include "td/validate.hpp"
+
+namespace treedl::engine {
+
+/// Checks the three tree-decomposition conditions against state.structure.
+class ValidateStructurePass final : public Pass {
+ public:
+  std::string name() const override { return "validate-structure"; }
+  Status apply(PipelineState& state) const override {
+    if (state.structure == nullptr) {
+      return Status::InvalidArgument("no structure to validate against");
+    }
+    return ValidateForStructure(*state.structure, state.td);
+  }
+};
+
+/// Graph flavor of validation (edges instead of facts).
+class ValidateGraphPass final : public Pass {
+ public:
+  explicit ValidateGraphPass(const Graph* graph) : graph_(graph) {}
+  std::string name() const override { return "validate-graph"; }
+  Status apply(PipelineState& state) const override {
+    return ValidateForGraph(*graph_, state.td);
+  }
+
+ private:
+  const Graph* graph_;
+};
+
+/// §5.2 preprocessing: extends every bag containing an FD element with that
+/// FD's rhs attribute, establishing the "f in bag ⇒ rhs(f) in bag" invariant
+/// the Fig. 6 transitions rely on.
+class RhsClosurePass final : public Pass {
+ public:
+  RhsClosurePass(const SchemaEncoding* encoding,
+                 const core::internal::PrimalityContext* context)
+      : encoding_(encoding), context_(context) {}
+  std::string name() const override { return "rhs-closure"; }
+  Status apply(PipelineState& state) const override {
+    state.td = core::internal::CloseBagsForRhs(state.td, *encoding_, *context_);
+    return Status::OK();
+  }
+
+ private:
+  const SchemaEncoding* encoding_;
+  const core::internal::PrimalityContext* context_;
+};
+
+/// Re-roots the working decomposition at a bag containing `element` (the §5.2
+/// decision algorithm reads off success at such a root).
+class ReRootAtElementPass final : public Pass {
+ public:
+  explicit ReRootAtElementPass(ElementId element) : element_(element) {}
+  std::string name() const override { return "re-root"; }
+  Status apply(PipelineState& state) const override {
+    TdNodeId target = state.td.FindNodeContaining(element_);
+    if (target == kNoTdNode) {
+      return Status::InvalidArgument(
+          "query element not covered by the decomposition");
+    }
+    return state.td.ReRoot(target);
+  }
+
+ private:
+  ElementId element_;
+};
+
+/// Transforms the working decomposition into modified normal form (Fig. 4),
+/// honoring state.normalize_options (leaf coverage, branch copies, forget
+/// priority).
+class NormalizePass final : public Pass {
+ public:
+  std::string name() const override { return "normalize"; }
+  Status apply(PipelineState& state) const override {
+    auto normalized = Normalize(state.td, state.normalize_options);
+    if (!normalized.ok()) return normalized.status();
+    state.normalized = std::move(normalized).value();
+    return Status::OK();
+  }
+};
+
+/// Validate-against-graph + normalize as one pipeline — the shared
+/// preparation of the graph DPs (3-coloring, vertex cover, independent set,
+/// dominating set).
+inline StatusOr<NormalizedTreeDecomposition> PrepareForGraph(
+    const Graph& graph, const TreeDecomposition& td,
+    RunStats* stats = nullptr) {
+  PipelineState state;
+  state.td = td;
+  PassPipeline pipeline;
+  pipeline.Emplace<ValidateGraphPass>(&graph).Emplace<NormalizePass>();
+  TREEDL_RETURN_IF_ERROR(pipeline.Run(state, stats));
+  return *std::move(state.normalized);
+}
+
+}  // namespace treedl::engine
+
+#endif  // TREEDL_ENGINE_PASSES_HPP_

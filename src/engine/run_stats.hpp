@@ -1,0 +1,101 @@
+// RunStats: the single per-query statistics record of the Engine API.
+//
+// Supersedes the scattered per-subsystem out-params (core::DpStats,
+// datalog::EvalStats, datalog::GroundingStats): one struct carries build/cache
+// counters of the session cache, DP table sizes, datalog fixpoint work, and
+// optional per-pass timings. The deprecated free-function signatures keep
+// their old stats structs, now populated by forwarding from a RunStats
+// computed internally (see engine/compat.cpp).
+//
+// Header-only on purpose: core/ and datalog/ include this file to fill in
+// their slices without linking against the engine library.
+#ifndef TREEDL_ENGINE_RUN_STATS_HPP_
+#define TREEDL_ENGINE_RUN_STATS_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treedl {
+
+/// Wall-clock time of one named pipeline pass (see engine/pipeline.hpp).
+struct PassTiming {
+  std::string pass;
+  double millis = 0;
+};
+
+struct RunStats {
+  // --- Session-cache activity ---------------------------------------------
+  /// Schema encodings built by this query (0 on a cache hit).
+  size_t encode_builds = 0;
+  /// Raw tree decompositions built by this query (0 on a cache hit).
+  size_t td_builds = 0;
+  /// Normalized decompositions built (modified or tuple normal form).
+  size_t normalize_builds = 0;
+  /// Cached artifacts reused instead of rebuilt.
+  size_t cache_hits = 0;
+
+  // --- Tree-DP work (core::DpStats slice) ---------------------------------
+  size_t dp_states = 0;
+  size_t dp_max_states_per_node = 0;
+
+  // --- Datalog fixpoint work (datalog::EvalStats slice) -------------------
+  size_t eval_iterations = 0;
+  size_t derived_facts = 0;
+  size_t rule_applications = 0;
+
+  // --- Grounded-LTUR work (datalog::GroundingStats slice) -----------------
+  size_t ground_clauses = 0;
+  size_t ground_atoms = 0;
+  size_t guard_instantiations = 0;
+
+  // --- Pipeline ------------------------------------------------------------
+  /// Per-pass wall-clock timings, in execution order (only filled when
+  /// EngineOptions::collect_pass_timings is set, or a pipeline is run with a
+  /// non-null stats pointer).
+  std::vector<PassTiming> passes;
+  /// Total wall-clock time of the query, milliseconds.
+  double total_millis = 0;
+
+  /// Folds `other` into this (used for the engine's cumulative stats).
+  void Accumulate(const RunStats& other) {
+    encode_builds += other.encode_builds;
+    td_builds += other.td_builds;
+    normalize_builds += other.normalize_builds;
+    cache_hits += other.cache_hits;
+    dp_states += other.dp_states;
+    dp_max_states_per_node =
+        dp_max_states_per_node > other.dp_max_states_per_node
+            ? dp_max_states_per_node
+            : other.dp_max_states_per_node;
+    eval_iterations += other.eval_iterations;
+    derived_facts += other.derived_facts;
+    rule_applications += other.rule_applications;
+    ground_clauses += other.ground_clauses;
+    ground_atoms += other.ground_atoms;
+    guard_instantiations += other.guard_instantiations;
+    passes.insert(passes.end(), other.passes.begin(), other.passes.end());
+    total_millis += other.total_millis;
+  }
+
+  /// One-line human-readable rendering (implemented in engine/stats.cpp).
+  std::string ToString() const;
+};
+
+/// Process-wide build counters, bumped by every Engine (and therefore by every
+/// deprecated convenience free function, which forwards into a one-shot
+/// Engine). Tests use the deltas to demonstrate the §5.3 amortization
+/// argument: N queries on one Engine cost one encoding + one decomposition,
+/// N convenience calls cost N of each.
+struct EngineCounters {
+  std::atomic<size_t> encode_builds{0};
+  std::atomic<size_t> td_builds{0};
+  std::atomic<size_t> normalize_builds{0};
+};
+
+EngineCounters& GlobalEngineCounters();
+
+}  // namespace treedl
+
+#endif  // TREEDL_ENGINE_RUN_STATS_HPP_

@@ -1,0 +1,42 @@
+#include "engine/run_stats.hpp"
+
+#include <sstream>
+
+
+namespace treedl {
+
+EngineCounters& GlobalEngineCounters() {
+  static EngineCounters counters;
+  return counters;
+}
+
+std::string RunStats::ToString() const {
+  std::ostringstream out;
+  out << "builds{encode=" << encode_builds << " td=" << td_builds
+      << " normalize=" << normalize_builds << " cache_hits=" << cache_hits
+      << "}";
+  if (dp_states > 0) {
+    out << " dp{states=" << dp_states
+        << " max_per_node=" << dp_max_states_per_node << "}";
+  }
+  if (eval_iterations > 0) {
+    out << " eval{iters=" << eval_iterations << " derived=" << derived_facts
+        << " rule_apps=" << rule_applications << "}";
+  }
+  if (ground_clauses > 0) {
+    out << " ground{clauses=" << ground_clauses << " atoms=" << ground_atoms
+        << " guards=" << guard_instantiations << "}";
+  }
+  if (!passes.empty()) {
+    out << " passes{";
+    for (size_t i = 0; i < passes.size(); ++i) {
+      if (i > 0) out << " ";
+      out << passes[i].pass << "=" << passes[i].millis << "ms";
+    }
+    out << "}";
+  }
+  out << " total=" << total_millis << "ms";
+  return out.str();
+}
+
+}  // namespace treedl

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "core/extensions.hpp"
+#include "core/primality.hpp"
+#include "core/primality_enum.hpp"
+#include "core/three_color.hpp"
+#include "datalog/parser.hpp"
+#include "engine/engine.hpp"
+#include "graph/gaifman.hpp"
+#include "graph/generators.hpp"
+#include "mso/evaluator.hpp"
+#include "mso/formulas.hpp"
+#include "mso/parser.hpp"
+#include "schema/primality_bruteforce.hpp"
+
+namespace treedl {
+namespace {
+
+// --- Amortization (the §5.3 linearity argument, acceptance criterion) -------
+
+TEST(EngineTest, AmortizesEncodingAndDecompositionAcrossQueries) {
+  Schema schema = Schema::PaperExampleSchema();
+  const AttributeId n = schema.NumAttributes();
+  EngineCounters& global = GlobalEngineCounters();
+
+  // N primality queries on one Engine: exactly one encoding and one
+  // decomposition build, session-wide.
+  size_t encode_before = global.encode_builds;
+  size_t td_before = global.td_builds;
+  Engine engine(schema);
+  for (AttributeId a = 0; a < n; ++a) {
+    RunStats run;
+    auto result = engine.IsPrime(a, &run);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (a > 0) {
+      // Every query after the first reuses the cached artifacts.
+      EXPECT_EQ(run.encode_builds, 0u) << "query " << a;
+      EXPECT_EQ(run.td_builds, 0u) << "query " << a;
+      EXPECT_GT(run.cache_hits, 0u) << "query " << a;
+    }
+  }
+  EXPECT_EQ(engine.CumulativeStats().encode_builds, 1u);
+  EXPECT_EQ(engine.CumulativeStats().td_builds, 1u);
+  EXPECT_EQ(global.encode_builds - encode_before, 1u);
+  EXPECT_EQ(global.td_builds - td_before, 1u);
+
+  // N calls to the deprecated convenience overload: N encodings and N
+  // decomposition builds (the quadratic pattern the paper argues against).
+  encode_before = global.encode_builds;
+  td_before = global.td_builds;
+  for (AttributeId a = 0; a < n; ++a) {
+    ASSERT_TRUE(core::IsPrimeViaTd(schema, a).ok());
+  }
+  EXPECT_EQ(global.encode_builds - encode_before, static_cast<size_t>(n));
+  EXPECT_EQ(global.td_builds - td_before, static_cast<size_t>(n));
+}
+
+TEST(EngineTest, SecondQueryDoesNotRebuildDecomposition) {
+  Engine engine(Schema::PaperExampleSchema());
+  RunStats first;
+  ASSERT_TRUE(engine.IsPrime(0, &first).ok());
+  EXPECT_EQ(first.encode_builds, 1u);
+  EXPECT_EQ(first.td_builds, 1u);
+
+  RunStats second;
+  ASSERT_TRUE(engine.IsPrime(1, &second).ok());
+  EXPECT_EQ(second.encode_builds, 0u);
+  EXPECT_EQ(second.td_builds, 0u);
+  EXPECT_GT(second.cache_hits, 0u);
+}
+
+// --- Correctness against the legacy API and brute force ----------------------
+
+TEST(EngineTest, PrimalityMatchesBruteForce) {
+  Schema schema = Schema::PaperExampleSchema();
+  Engine engine(schema);
+  std::vector<bool> expected = AllPrimesBruteForce(schema);
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    auto result = engine.IsPrime(a);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(*result, expected[static_cast<size_t>(a)])
+        << schema.AttributeName(a);
+  }
+  auto primes = engine.AllPrimes();
+  ASSERT_TRUE(primes.ok()) << primes.status();
+  EXPECT_EQ(*primes, expected);
+}
+
+TEST(EngineTest, AllPrimesIsMemoized) {
+  Engine engine(Schema::PaperExampleSchema());
+  RunStats first;
+  ASSERT_TRUE(engine.AllPrimes(&first).ok());
+  EXPECT_GT(first.dp_states, 0u);
+
+  RunStats second;
+  ASSERT_TRUE(engine.AllPrimes(&second).ok());
+  EXPECT_EQ(second.dp_states, 0u);
+  EXPECT_EQ(second.normalize_builds, 0u);
+  EXPECT_GT(second.cache_hits, 0u);
+
+  // IsPrime after AllPrimes answers from the memoized enumeration.
+  RunStats decide;
+  auto result = engine.IsPrime(0, &decide);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(decide.dp_states, 0u);
+  EXPECT_GT(decide.cache_hits, 0u);
+}
+
+TEST(EngineTest, RejectsBadQueries) {
+  Engine engine(Schema::PaperExampleSchema());
+  EXPECT_FALSE(engine.IsPrime(-1).ok());
+  EXPECT_FALSE(engine.IsPrime(99).ok());
+
+  // Structure sessions have no schema to ask primality questions about.
+  Engine graph_engine = Engine::FromGraph(CycleGraph(4));
+  EXPECT_FALSE(graph_engine.IsPrime(0).ok());
+  EXPECT_FALSE(graph_engine.AllPrimes().ok());
+}
+
+// --- Graph DPs ----------------------------------------------------------------
+
+TEST(EngineTest, SolvesGraphProblemsOnOneDecomposition) {
+  Graph petersen = PetersenGraph();
+  Engine engine = Engine::FromGraph(petersen);
+
+  auto three_color = engine.Solve(Engine::Problem::kThreeColor);
+  ASSERT_TRUE(three_color.ok()) << three_color.status();
+  EXPECT_TRUE(three_color->feasible);
+  ASSERT_TRUE(three_color->witness.has_value());
+  // The witness must be a proper coloring.
+  for (VertexId u = 0; u < static_cast<VertexId>(petersen.NumVertices()); ++u) {
+    for (VertexId v : petersen.Neighbors(u)) {
+      EXPECT_NE((*three_color->witness)[static_cast<size_t>(u)],
+                (*three_color->witness)[static_cast<size_t>(v)]);
+    }
+  }
+
+  auto count = engine.Solve(Engine::Problem::kThreeColorCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count->count, 0u);
+
+  auto vc = engine.Solve(Engine::Problem::kVertexCover);
+  auto is = engine.Solve(Engine::Problem::kIndependentSet);
+  auto ds = engine.Solve(Engine::Problem::kDominatingSet);
+  ASSERT_TRUE(vc.ok() && is.ok() && ds.ok());
+  EXPECT_EQ(vc->optimum, 6u);  // Petersen: τ = 6
+  EXPECT_EQ(is->optimum, 4u);  // Petersen: α = 4
+  EXPECT_EQ(ds->optimum, 3u);  // Petersen: γ = 3
+  // α + τ = n (Gallai).
+  EXPECT_EQ(vc->optimum + is->optimum, petersen.NumVertices());
+
+  // All five queries shared one decomposition build.
+  EXPECT_EQ(engine.CumulativeStats().td_builds, 1u);
+  // ... and one normalization.
+  EXPECT_EQ(engine.CumulativeStats().normalize_builds, 1u);
+}
+
+TEST(EngineTest, DeprecatedGraphShimsForwardStats) {
+  Graph g = CycleGraph(5);
+  core::DpStats stats;
+  auto vc = core::MinVertexCoverTd(g, &stats);
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(*vc, 3u);
+  EXPECT_GT(stats.total_states, 0u);  // numbers flow through RunStats
+
+  auto colored = core::SolveThreeColor(g);
+  ASSERT_TRUE(colored.ok());
+  EXPECT_TRUE(colored->colorable);
+  EXPECT_GT(colored->stats.total_states, 0u);
+}
+
+// --- Datalog backends ---------------------------------------------------------
+
+TEST(EngineTest, DatalogBackendsAgree) {
+  Structure edb(Signature::GraphSignature());
+  for (int i = 0; i < 5; ++i) edb.AddElement("n" + std::to_string(i));
+  ASSERT_TRUE(edb.AddFactNamed("e", {"n0", "n1"}).ok());
+  ASSERT_TRUE(edb.AddFactNamed("e", {"n1", "n2"}).ok());
+  ASSERT_TRUE(edb.AddFactNamed("e", {"n2", "n3"}).ok());
+  ASSERT_TRUE(edb.AddFactNamed("e", {"n3", "n1"}).ok());
+
+  auto program = datalog::ParseProgram(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  Engine engine(edb);
+  RunStats naive_stats, semi_stats;
+  auto naive =
+      engine.EvaluateDatalog(*program, DatalogBackend::kNaive, &naive_stats);
+  auto semi = engine.EvaluateDatalog(*program, DatalogBackend::kSemiNaive,
+                                     &semi_stats);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  EXPECT_TRUE(*naive == *semi);
+  EXPECT_GT(naive_stats.derived_facts, 0u);
+  EXPECT_EQ(naive_stats.derived_facts, semi_stats.derived_facts);
+  // Semi-naive attempts no more rule applications than naive.
+  EXPECT_LE(semi_stats.rule_applications, naive_stats.rule_applications);
+}
+
+// --- MSO routing and backend equivalence on quasi-guarded programs ------------
+
+TEST(EngineTest, MsoUnaryAgreesAcrossBackendsAndWithDirectEvaluation) {
+  // Rank-1 unary query over {p/1} — the regime where the Thm 4.5
+  // construction is practical (over {e/2} it state-explodes by design).
+  Signature unary = Signature::Make({{"p", 1}}).value();
+  Structure a(unary);
+  for (int i = 0; i < 6; ++i) a.AddElement("u" + std::to_string(i));
+  ASSERT_TRUE(a.AddFactNamed("p", {"u1"}).ok());
+  ASSERT_TRUE(a.AddFactNamed("p", {"u4"}).ok());
+  auto query = mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))");
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  // The Gaifman graph of a unary structure is edgeless, so supply a width-1
+  // path decomposition for the τ_td encoding.
+  TreeDecomposition path_td;
+  TdNodeId prev = path_td.AddNode({0, 1});
+  for (ElementId e = 1; e + 1 < 6; ++e) {
+    prev = path_td.AddNode({e, e + 1}, prev);
+  }
+
+  // Direct evaluation as ground truth.
+  EngineOptions direct_options;
+  direct_options.mso_strategy = MsoStrategy::kDirect;
+  Engine direct_engine{Structure(a), direct_options};
+  auto expected = direct_engine.EvaluateMsoUnary(*query, "x");
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(*expected, (std::vector<bool>{false, true, false, false, true,
+                                          false}));
+
+  // Compiled route through each backend; the Thm 4.5 program is
+  // quasi-guarded, so even the grounded-LTUR backend applies.
+  for (DatalogBackend backend :
+       {DatalogBackend::kNaive, DatalogBackend::kSemiNaive,
+        DatalogBackend::kGrounded}) {
+    EngineOptions options;
+    options.backend = backend;
+    options.decomposition = path_td;
+    Engine engine{Structure(a), options};
+    auto selected = engine.EvaluateMsoUnary(*query, "x");
+    ASSERT_TRUE(selected.ok())
+        << DatalogBackendName(backend) << ": " << selected.status();
+    EXPECT_EQ(*selected, *expected) << DatalogBackendName(backend);
+    // The compiled route reuses the session decomposition and τ_td encoding.
+    EXPECT_EQ(engine.CumulativeStats().td_builds, 1u);
+  }
+}
+
+TEST(EngineTest, MsoSentenceOnTrivialStructureFallsBackToDirect) {
+  // A single marked element: width-0 decomposition, Thm 4.5 inapplicable —
+  // the engine must still answer (directly).
+  Signature unary = Signature::Make({{"p", 1}}).value();
+  Structure a(unary);
+  a.AddElement("u");
+  ASSERT_TRUE(a.AddFactNamed("p", {"u"}).ok());
+
+  Engine engine{Structure(a)};
+  auto sentence = mso::ParseFormula("ex1 x: p(x)");
+  ASSERT_TRUE(sentence.ok()) << sentence.status();
+  auto result = engine.EvaluateMso(*sentence);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+}
+
+// --- Options -----------------------------------------------------------------
+
+TEST(EngineTest, CustomEliminationOrderIsUsed) {
+  Schema schema = Schema::PaperExampleSchema();
+  SchemaEncoding encoding = EncodeSchema(schema);
+  Graph gaifman = GaifmanGraph(encoding.structure);
+
+  // Identity order: valid, if not optimal.
+  std::vector<VertexId> order(gaifman.NumVertices());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<VertexId>(i);
+  }
+  EngineOptions options;
+  options.elimination_order = order;
+  Engine engine(schema, options);
+  auto width = engine.Width();
+  ASSERT_TRUE(width.ok()) << width.status();
+  EXPECT_GE(*width, 2);  // the paper's example has treewidth 2
+
+  std::vector<bool> expected = AllPrimesBruteForce(schema);
+  auto primes = engine.AllPrimes();
+  ASSERT_TRUE(primes.ok()) << primes.status();
+  EXPECT_EQ(*primes, expected);
+}
+
+TEST(EngineTest, PassTimingsAreCollectedWhenRequested) {
+  EngineOptions options;
+  options.collect_pass_timings = true;
+  Engine engine(Schema::PaperExampleSchema(), options);
+  RunStats run;
+  ASSERT_TRUE(engine.IsPrime(0, &run).ok());
+  ASSERT_FALSE(run.passes.empty());
+  bool saw_normalize = false;
+  for (const PassTiming& timing : run.passes) {
+    if (timing.pass == "normalize") saw_normalize = true;
+  }
+  EXPECT_TRUE(saw_normalize);
+  EXPECT_FALSE(run.ToString().empty());
+}
+
+// --- Deprecated primality shims ----------------------------------------------
+
+TEST(EngineTest, DeprecatedPrimalityShimsForwardStats) {
+  Schema schema = Schema::PaperExampleSchema();
+  core::DpStats stats;
+  auto result = core::IsPrimeViaTd(schema, 0, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.total_states, 0u);
+
+  core::DpStats enum_stats;
+  auto primes = core::EnumeratePrimes(schema, &enum_stats);
+  ASSERT_TRUE(primes.ok());
+  EXPECT_GT(enum_stats.total_states, 0u);
+  EXPECT_EQ(*primes, AllPrimesBruteForce(schema));
+}
+
+}  // namespace
+}  // namespace treedl
