@@ -144,9 +144,9 @@ class DominatingProblem {
 
 StatusOr<size_t> MinDominatingSetNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats) {
+    DpStats* stats, const DpExec& exec) {
   DominatingProblem problem(graph);
-  auto table = RunTreeDp(ntd, &problem, stats);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
   size_t best = graph.NumVertices() + 1;
   for (const auto& [state, value] : table.at(ntd.root())) {
     bool complete = true;

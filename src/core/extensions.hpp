@@ -17,7 +17,8 @@ StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
                                   DpStats* stats = nullptr);
 StatusOr<size_t> MinVertexCoverNormalized(const Graph& graph,
                                           const NormalizedTreeDecomposition& ntd,
-                                          DpStats* stats = nullptr);
+                                          DpStats* stats = nullptr,
+                                          const DpExec& exec = {});
 /// Deprecated convenience: rebuilds a decomposition per call (one-shot
 /// treedl::Engine); batch callers should hold an Engine instead.
 StatusOr<size_t> MinVertexCoverTd(const Graph& graph, DpStats* stats = nullptr);
@@ -28,7 +29,7 @@ StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
                                      DpStats* stats = nullptr);
 StatusOr<size_t> MaxIndependentSetNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats = nullptr);
+    DpStats* stats = nullptr, const DpExec& exec = {});
 /// Deprecated convenience (one-shot Engine).
 StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,
                                      DpStats* stats = nullptr);
@@ -39,7 +40,7 @@ StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
                                     DpStats* stats = nullptr);
 StatusOr<size_t> MinDominatingSetNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats = nullptr);
+    DpStats* stats = nullptr, const DpExec& exec = {});
 /// Deprecated convenience (one-shot Engine).
 StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
                                     DpStats* stats = nullptr);

@@ -190,10 +190,10 @@ std::vector<int> ExtractColoring(const Graph& graph,
 
 StatusOr<ThreeColorResult> SolveThreeColorNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    bool extract_coloring) {
+    bool extract_coloring, const DpExec& exec) {
   ColorProblem<false> problem(graph);
   ThreeColorResult result;
-  auto table = RunTreeDp(ntd, &problem, &result.stats);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, &result.stats);
   const auto& root_states = table.at(ntd.root());
   result.colorable = !root_states.empty();
   if (result.colorable && extract_coloring) {
@@ -213,9 +213,9 @@ StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
 
 StatusOr<uint64_t> CountThreeColoringsNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats) {
+    DpStats* stats, const DpExec& exec) {
   ColorProblem<true> problem(graph);
-  auto table = RunTreeDp(ntd, &problem, stats);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
   uint64_t total = 0;
   for (const auto& [state, count] : table.at(ntd.root())) total += count;
   return total;

@@ -34,10 +34,11 @@ StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
                                            bool extract_coloring = true);
 
 /// DP kernel over an already-normalized decomposition (no validation or
-/// normalization; the Engine calls this with its cached normal form).
+/// normalization; the Engine calls this with its cached normal form). `exec`
+/// optionally carries a bag sharding and thread pool for the parallel driver.
 StatusOr<ThreeColorResult> SolveThreeColorNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    bool extract_coloring = true);
+    bool extract_coloring = true, const DpExec& exec = {});
 
 /// Deprecated convenience: rebuilds a min-fill decomposition per call (a
 /// one-shot treedl::Engine); batch callers should hold an Engine instead.
@@ -50,7 +51,7 @@ StatusOr<uint64_t> CountThreeColorings(const Graph& graph,
                                        const TreeDecomposition& td);
 StatusOr<uint64_t> CountThreeColoringsNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats = nullptr);
+    DpStats* stats = nullptr, const DpExec& exec = {});
 /// Deprecated convenience (one-shot Engine; see SolveThreeColor above).
 StatusOr<uint64_t> CountThreeColorings(const Graph& graph);
 

@@ -17,16 +17,31 @@
 //   };
 //
 // `emit(state, value)` may be called any number of times per transition.
+//
+// Two drivers share the per-node transition logic:
+//   RunTreeDp         — sequential post-order traversal;
+//   RunTreeDpSharded  — bag-sharded parallel traversal: independent subtree
+//                       shards (td/shard.hpp) execute concurrently on a
+//                       ThreadPool, a shard becoming runnable when all of its
+//                       child shards have completed. Problem hooks must be
+//                       const and stateless (all in-tree problems are); the
+//                       resulting table is bit-identical to the sequential
+//                       one, because every node still sees fully-built child
+//                       tables and processes them in the same order.
 #ifndef TREEDL_CORE_TREE_DP_HPP_
 #define TREEDL_CORE_TREE_DP_HPP_
 
+#include <atomic>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "td/normalize.hpp"
+#include "td/shard.hpp"
 
 namespace treedl::core {
 
@@ -51,79 +66,193 @@ struct DpTable {
 struct DpStats {
   size_t total_states = 0;
   size_t max_states_per_node = 0;
+  /// Shard tasks executed (0 when the traversal ran sequentially).
+  size_t shards = 0;
+  /// Wall-clock per shard task, indexed by shard id (parallel runs only).
+  std::vector<double> shard_millis;
 };
 
-/// Runs the bottom-up pass of `problem` over `ntd` and returns the full
-/// table. The table at the root characterizes the whole structure.
+/// Execution context for the parallel driver. Default-constructed (or with
+/// either pointer null, or a single shard) every driver below degrades to the
+/// sequential traversal.
+struct DpExec {
+  const BagSharding* sharding = nullptr;
+  ThreadPool* pool = nullptr;
+
+  bool Parallel() const {
+    return sharding != nullptr && pool != nullptr && sharding->NumShards() > 1;
+  }
+};
+
+namespace internal {
+
+/// Computes one node's state map from its children's completed maps — the
+/// single source of the transition semantics for both drivers.
+template <typename Problem>
+void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
+                   Problem* problem,
+                   DpTable<typename Problem::State,
+                           typename Problem::Value>* table) {
+  using State = typename Problem::State;
+  using Value = typename Problem::Value;
+  const NormNode& node = ntd.node(id);
+  auto& states = table->nodes[static_cast<size_t>(id)];
+  auto emit = [&](State state, Value value) {
+    auto [it, inserted] = states.emplace(std::move(state), value);
+    if (!inserted) it->second = problem->Merge(it->second, value);
+  };
+  switch (node.kind) {
+    case NormNodeKind::kLeaf:
+      problem->Leaf(node.bag, emit);
+      break;
+    case NormNodeKind::kIntroduce: {
+      const auto& child = table->nodes[static_cast<size_t>(node.children[0])];
+      for (const auto& [state, value] : child) {
+        problem->Introduce(node.bag, node.element, state, value, emit);
+      }
+      break;
+    }
+    case NormNodeKind::kForget: {
+      const auto& child = table->nodes[static_cast<size_t>(node.children[0])];
+      for (const auto& [state, value] : child) {
+        problem->Forget(node.bag, node.element, state, value, emit);
+      }
+      break;
+    }
+    case NormNodeKind::kCopy: {
+      const auto& child = table->nodes[static_cast<size_t>(node.children[0])];
+      for (const auto& [state, value] : child) emit(state, value);
+      break;
+    }
+    case NormNodeKind::kBranch: {
+      const auto& left = table->nodes[static_cast<size_t>(node.children[0])];
+      const auto& right = table->nodes[static_cast<size_t>(node.children[1])];
+      // Bucket the right child's states by join key, then pair.
+      using JoinKey =
+          std::decay_t<decltype(problem->KeyOf(left.begin()->first))>;
+      std::unordered_map<JoinKey, std::vector<const State*>,
+                         MemberHash<JoinKey>>
+          buckets;
+      for (const auto& [state, value] : right) {
+        buckets[problem->KeyOf(state)].push_back(&state);
+      }
+      for (const auto& [state, value] : left) {
+        auto it = buckets.find(problem->KeyOf(state));
+        if (it == buckets.end()) continue;
+        for (const State* rstate : it->second) {
+          problem->Join(node.bag, state, value, *rstate, right.at(*rstate),
+                        emit);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace internal
+
+/// Runs the bottom-up pass of `problem` over `ntd` sequentially and returns
+/// the full table. The table at the root characterizes the whole structure.
 template <typename Problem>
 DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
     DpStats* stats = nullptr) {
-  using State = typename Problem::State;
-  using Value = typename Problem::Value;
-  DpTable<State, Value> table;
+  DpTable<typename Problem::State, typename Problem::Value> table;
   table.nodes.resize(ntd.NumNodes());
-
   for (TdNodeId id : ntd.PostOrder()) {
-    const NormNode& node = ntd.node(id);
-    auto& states = table.nodes[static_cast<size_t>(id)];
-    auto emit = [&](State state, Value value) {
-      auto [it, inserted] = states.emplace(std::move(state), value);
-      if (!inserted) it->second = problem->Merge(it->second, value);
-    };
-    switch (node.kind) {
-      case NormNodeKind::kLeaf:
-        problem->Leaf(node.bag, emit);
-        break;
-      case NormNodeKind::kIntroduce: {
-        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
-        for (const auto& [state, value] : child) {
-          problem->Introduce(node.bag, node.element, state, value, emit);
-        }
-        break;
-      }
-      case NormNodeKind::kForget: {
-        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
-        for (const auto& [state, value] : child) {
-          problem->Forget(node.bag, node.element, state, value, emit);
-        }
-        break;
-      }
-      case NormNodeKind::kCopy: {
-        const auto& child = table.nodes[static_cast<size_t>(node.children[0])];
-        for (const auto& [state, value] : child) emit(state, value);
-        break;
-      }
-      case NormNodeKind::kBranch: {
-        const auto& left = table.nodes[static_cast<size_t>(node.children[0])];
-        const auto& right = table.nodes[static_cast<size_t>(node.children[1])];
-        // Bucket the right child's states by join key, then pair.
-        using JoinKey =
-            std::decay_t<decltype(problem->KeyOf(left.begin()->first))>;
-        std::unordered_map<JoinKey, std::vector<const State*>,
-                           MemberHash<JoinKey>>
-            buckets;
-        for (const auto& [state, value] : right) {
-          buckets[problem->KeyOf(state)].push_back(&state);
-        }
-        for (const auto& [state, value] : left) {
-          auto it = buckets.find(problem->KeyOf(state));
-          if (it == buckets.end()) continue;
-          for (const State* rstate : it->second) {
-            problem->Join(node.bag, state, value, *rstate,
-                          right.at(*rstate), emit);
-          }
-        }
-        break;
-      }
-    }
+    internal::DpProcessNode(ntd, id, problem, &table);
     if (stats != nullptr) {
-      stats->total_states += states.size();
-      stats->max_states_per_node =
-          std::max(stats->max_states_per_node, states.size());
+      size_t size = table.nodes[static_cast<size_t>(id)].size();
+      stats->total_states += size;
+      stats->max_states_per_node = std::max(stats->max_states_per_node, size);
     }
   }
   return table;
+}
+
+/// Parallel driver: executes each shard's nodes in post-order as one pool
+/// task; a shard is submitted once all of its child shards are done, and the
+/// calling thread helps drain the pool while waiting. Requires
+/// exec.Parallel(); the problem's hooks are invoked concurrently from
+/// multiple threads and must be const/stateless.
+template <typename Problem>
+DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
+    const NormalizedTreeDecomposition& ntd, Problem* problem,
+    const DpExec& exec, DpStats* stats = nullptr) {
+  TREEDL_CHECK(exec.Parallel());
+  const BagSharding& sharding = *exec.sharding;
+  size_t num_shards = sharding.NumShards();
+
+  DpTable<typename Problem::State, typename Problem::Value> table;
+  table.nodes.resize(ntd.NumNodes());
+
+  // Per-shard bookkeeping: dependency counters, isolated stats slots (merged
+  // at the end — no contention), and the completion group.
+  std::vector<std::atomic<size_t>> pending(num_shards);
+  std::vector<DpStats> shard_stats(num_shards);
+  std::vector<double> shard_millis(num_shards, 0.0);
+  WaitGroup done;
+  done.Add(num_shards);
+
+  // The task runner; owns no state, everything lives on this frame, which
+  // outlives all tasks because Wait() returns only after the last Done().
+  std::function<void(size_t)> run_shard = [&](size_t s) {
+    Timer timer;
+    DpStats& local = shard_stats[s];
+    for (TdNodeId id : sharding.shards[s].nodes) {
+      internal::DpProcessNode(ntd, id, problem, &table);
+      size_t size = table.nodes[static_cast<size_t>(id)].size();
+      local.total_states += size;
+      local.max_states_per_node = std::max(local.max_states_per_node, size);
+    }
+    shard_millis[s] = timer.ElapsedMillis();
+    int parent = sharding.shards[s].parent;
+    if (parent >= 0 &&
+        pending[static_cast<size_t>(parent)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      exec.pool->Submit([&run_shard, parent] {
+        run_shard(static_cast<size_t>(parent));
+      });
+    }
+    done.Done();
+  };
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    pending[s].store(sharding.shards[s].children.size(),
+                     std::memory_order_relaxed);
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (sharding.shards[s].children.empty()) {
+      exec.pool->Submit([&run_shard, s] { run_shard(s); });
+    }
+  }
+  // Help drain the pool instead of idling (also makes progress on a
+  // single-worker pool shared by several concurrent queries).
+  while (exec.pool->RunOneTask()) {
+  }
+  done.Wait();
+
+  if (stats != nullptr) {
+    for (const DpStats& local : shard_stats) {
+      stats->total_states += local.total_states;
+      stats->max_states_per_node =
+          std::max(stats->max_states_per_node, local.max_states_per_node);
+    }
+    stats->shards += num_shards;
+    stats->shard_millis.insert(stats->shard_millis.end(),
+                               shard_millis.begin(), shard_millis.end());
+  }
+  return table;
+}
+
+/// Dispatches to the sharded driver when `exec` carries a usable sharding and
+/// pool, else to the sequential one.
+template <typename Problem>
+DpTable<typename Problem::State, typename Problem::Value> RunTreeDpAuto(
+    const NormalizedTreeDecomposition& ntd, Problem* problem,
+    const DpExec& exec, DpStats* stats = nullptr) {
+  if (exec.Parallel()) return RunTreeDpSharded(ntd, problem, exec, stats);
+  return RunTreeDp(ntd, problem, stats);
 }
 
 }  // namespace treedl::core

@@ -107,9 +107,9 @@ class SubsetProblem {
 
 StatusOr<size_t> MinVertexCoverNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats) {
+    DpStats* stats, const DpExec& exec) {
   SubsetProblem<true> problem(graph);
-  auto table = RunTreeDp(ntd, &problem, stats);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
   size_t best = graph.NumVertices();
   for (const auto& [state, value] : table.at(ntd.root())) {
     best = std::min(best, value);
@@ -126,9 +126,9 @@ StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
 
 StatusOr<size_t> MaxIndependentSetNormalized(
     const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats) {
+    DpStats* stats, const DpExec& exec) {
   SubsetProblem<false> problem(graph);
-  auto table = RunTreeDp(ntd, &problem, stats);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
   size_t best = 0;
   for (const auto& [state, value] : table.at(ntd.root())) {
     best = std::max(best, value);

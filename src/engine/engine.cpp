@@ -46,6 +46,10 @@ void MergeDp(const core::DpStats& dp, RunStats* stats) {
   stats->dp_states += dp.total_states;
   stats->dp_max_states_per_node =
       std::max(stats->dp_max_states_per_node, dp.max_states_per_node);
+  stats->dp_shards += dp.shards;
+  stats->dp_shard_millis.insert(stats->dp_shard_millis.end(),
+                                dp.shard_millis.begin(),
+                                dp.shard_millis.end());
 }
 
 }  // namespace
@@ -61,17 +65,39 @@ const char* DatalogBackendName(DatalogBackend backend) {
 
 Engine::Engine(Schema schema, EngineOptions options)
     : options_(std::move(options)),
-      schema_(std::make_unique<Schema>(std::move(schema))) {}
+      schema_(std::make_unique<Schema>(std::move(schema))),
+      sync_(std::make_unique<Sync>()) {}
 
 Engine::Engine(Structure structure, EngineOptions options)
     : options_(std::move(options)),
-      owned_structure_(std::make_unique<Structure>(std::move(structure))) {}
+      owned_structure_(std::make_unique<Structure>(std::move(structure))),
+      sync_(std::make_unique<Sync>()) {}
 
 Engine Engine::FromGraph(const Graph& graph, EngineOptions options) {
   return Engine(GraphToStructure(graph), std::move(options));
 }
 
-// --- Cached artifacts -------------------------------------------------------
+void Engine::Record(const RunStats& stats) {
+  std::lock_guard<std::mutex> lock(sync_->stats_mu);
+  cumulative_.Accumulate(stats);
+}
+
+RunStats Engine::CumulativeStats() const {
+  std::lock_guard<std::mutex> lock(sync_->stats_mu);
+  return cumulative_;
+}
+
+void Engine::ResetCumulativeStats() {
+  std::lock_guard<std::mutex> lock(sync_->stats_mu);
+  cumulative_ = RunStats{};
+}
+
+size_t Engine::ResolvedNumThreads() const {
+  return options_.num_threads == 0 ? ThreadPool::DefaultNumThreads()
+                                   : options_.num_threads;
+}
+
+// --- Cached artifacts (sync_->cache_mu held throughout) ---------------------
 
 StatusOr<const SchemaEncoding*> Engine::EnsureEncoding(RunStats* stats) {
   if (schema_ == nullptr) {
@@ -195,9 +221,18 @@ StatusOr<const NormalizedTreeDecomposition*> Engine::EnsurePlainNtd(
   state.td = *td;
   engine::PassPipeline pipeline;
   pipeline.Emplace<engine::NormalizePass>();
+  // Parallel sessions shard right after normalization, on the same spine.
+  size_t threads = ResolvedNumThreads();
+  if (threads > 1) {
+    pipeline.Emplace<engine::ShardBagsPass>(threads *
+                                            options_.shards_per_thread);
+  }
   TREEDL_RETURN_IF_ERROR(
       pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
   plain_ntd_ = *std::move(state.normalized);
+  if (state.sharding.has_value()) {
+    sharding_ = *std::move(state.sharding);
+  }
   ++stats->normalize_builds;
   ++GlobalEngineCounters().normalize_builds;
   return &*plain_ntd_;
@@ -219,6 +254,38 @@ StatusOr<const datalog::TauTdEncoding*> Engine::EnsureTauTd(RunStats* stats) {
   return &*tau_td_;
 }
 
+StatusOr<const mso2dl::Mso2DlResult*> Engine::EnsureMsoProgram(
+    const mso::FormulaPtr& phi, const std::string* free_var, RunStats* stats) {
+  TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(stats));
+  TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(stats));
+  std::string key = free_var != nullptr ? "unary:" + *free_var + ":"
+                                        : "sentence:";
+  key += mso::ToString(*phi);
+  auto it = mso_programs_.find(key);
+  if (it != mso_programs_.end()) {
+    ++stats->cache_hits;
+    return &it->second;
+  }
+  mso2dl::Mso2DlOptions mopts = options_.mso_options;
+  mopts.width = td->Width();
+  StatusOr<mso2dl::Mso2DlResult> compiled =
+      free_var != nullptr
+          ? mso2dl::MsoToDatalog(a->signature(), phi, *free_var, mopts)
+          : mso2dl::MsoToDatalogSentence(a->signature(), phi, mopts);
+  TREEDL_RETURN_IF_ERROR(compiled.status());
+  ++stats->mso_compile_builds;
+  auto [inserted, _] =
+      mso_programs_.emplace(std::move(key), std::move(compiled).value());
+  return &inserted->second;
+}
+
+ThreadPool* Engine::EnsurePool() {
+  size_t threads = ResolvedNumThreads();
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
 // --- Primality ---------------------------------------------------------------
 
 StatusOr<bool> Engine::IsPrime(AttributeId a, RunStats* stats) {
@@ -232,20 +299,26 @@ StatusOr<bool> Engine::IsPrime(AttributeId a, RunStats* stats) {
     if (a < 0 || a >= schema_->NumAttributes()) {
       return Status::InvalidArgument("attribute id out of range");
     }
-    // O(1) from the memoized §5.3 enumeration, if it already ran.
-    if (primes_.has_value()) {
-      ++s->cache_hits;
-      return static_cast<bool>((*primes_)[static_cast<size_t>(a)]);
+    const TreeDecomposition* closed = nullptr;
+    const core::internal::PrimalityContext* context = nullptr;
+    const SchemaEncoding* encoding = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      // O(1) from the memoized §5.3 enumeration, if it already ran.
+      if (primes_.has_value()) {
+        ++s->cache_hits;
+        return static_cast<bool>((*primes_)[static_cast<size_t>(a)]);
+      }
+      TREEDL_ASSIGN_OR_RETURN(closed, EnsureClosedTd(s));
+      TREEDL_ASSIGN_OR_RETURN(context, EnsurePrimality(s));
+      encoding = encoding_.get();
     }
-    TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* closed,
-                            EnsureClosedTd(s));
-    TREEDL_ASSIGN_OR_RETURN(const core::internal::PrimalityContext* context,
-                            EnsurePrimality(s));
-    ElementId a_elem = encoding_->AttrElement(a);
+    // Per-query work on the immutable artifacts, outside the lock.
+    ElementId a_elem = encoding->AttrElement(a);
     engine::PipelineState state;
     state.td = *closed;
     state.normalize_options = core::internal::PrimalityNormalizeOptions(
-        *encoding_, /*for_enumeration=*/false);
+        *encoding, /*for_enumeration=*/false);
     engine::PassPipeline pipeline;
     pipeline.Emplace<engine::ReRootAtElementPass>(a_elem)
         .Emplace<engine::NormalizePass>();
@@ -269,16 +342,25 @@ StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
     if (schema_ == nullptr) {
       return Status::InvalidArgument("AllPrimes requires a schema session");
     }
-    if (primes_.has_value()) {
-      ++s->cache_hits;
-      return *primes_;
+    const NormalizedTreeDecomposition* ntd = nullptr;
+    const core::internal::PrimalityContext* context = nullptr;
+    const SchemaEncoding* encoding = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      if (primes_.has_value()) {
+        ++s->cache_hits;
+        return *primes_;
+      }
+      TREEDL_ASSIGN_OR_RETURN(ntd, EnsureEnumNtd(s));
+      TREEDL_ASSIGN_OR_RETURN(context, EnsurePrimality(s));
+      encoding = encoding_.get();
     }
-    TREEDL_ASSIGN_OR_RETURN(const NormalizedTreeDecomposition* ntd,
-                            EnsureEnumNtd(s));
-    TREEDL_ASSIGN_OR_RETURN(const core::internal::PrimalityContext* context,
-                            EnsurePrimality(s));
-    primes_ = core::internal::EnumeratePrimesPrepared(
-        *context, *encoding_, schema_->NumAttributes(), *ntd, s);
+    // The two-pass enumeration runs outside the lock; concurrent first
+    // callers may duplicate the work, but the memo is written once.
+    std::vector<bool> primes = core::internal::EnumeratePrimesPrepared(
+        *context, *encoding, schema_->NumAttributes(), *ntd, s);
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    if (!primes_.has_value()) primes_ = std::move(primes);
     return *primes_;
   }();
   s->total_millis = timer.ElapsedMillis();
@@ -300,7 +382,11 @@ StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
   StatusOr<Structure> result = [&]() -> StatusOr<Structure> {
-    TREEDL_ASSIGN_OR_RETURN(const Structure* edb, EnsureStructure(s));
+    const Structure* edb = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      TREEDL_ASSIGN_OR_RETURN(edb, EnsureStructure(s));
+    }
     return RunBackend(program, *edb, backend, s);
   }();
   s->total_millis = timer.ElapsedMillis();
@@ -316,38 +402,36 @@ StatusOr<bool> Engine::UseDirectMso(RunStats* stats) {
   return td->Width() < 1;  // Thm 4.5 needs width >= 1
 }
 
-StatusOr<Structure> Engine::RunCompiledMso(const mso::FormulaPtr& phi,
-                                           const std::string* free_var,
-                                           RunStats* stats) {
-  TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(stats));
-  mso2dl::Mso2DlOptions mopts = options_.mso_options;
-  mopts.width = td_->Width();
-  StatusOr<mso2dl::Mso2DlResult> compiled =
-      free_var != nullptr
-          ? mso2dl::MsoToDatalog(a->signature(), phi, *free_var, mopts)
-          : mso2dl::MsoToDatalogSentence(a->signature(), phi, mopts);
-  TREEDL_RETURN_IF_ERROR(compiled.status());
-  TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
-                          EnsureTauTd(stats));
-  return RunBackend(compiled->program, atd->structure, options_.backend,
-                    stats);
-}
-
 StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
                                    RunStats* stats) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
   StatusOr<bool> result = [&]() -> StatusOr<bool> {
-    TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(s));
-    TREEDL_ASSIGN_OR_RETURN(bool direct, UseDirectMso(s));
+    const Structure* a = nullptr;
+    bool direct = false;
+    const datalog::Program* program = nullptr;
+    const Structure* tau_edb = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      TREEDL_ASSIGN_OR_RETURN(a, EnsureStructure(s));
+      TREEDL_ASSIGN_OR_RETURN(direct, UseDirectMso(s));
+      if (!direct) {
+        TREEDL_ASSIGN_OR_RETURN(const mso2dl::Mso2DlResult* compiled,
+                                EnsureMsoProgram(sentence, nullptr, s));
+        program = &compiled->program;
+        TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
+                                EnsureTauTd(s));
+        tau_edb = &atd->structure;
+      }
+    }
     if (direct) {
       mso::EvalOptions eopts;
       eopts.work_budget = options_.mso_direct_work_budget;
       return mso::EvaluateSentence(*a, *sentence, eopts);
     }
-    TREEDL_ASSIGN_OR_RETURN(Structure derived,
-                            RunCompiledMso(sentence, nullptr, s));
+    TREEDL_ASSIGN_OR_RETURN(
+        Structure derived, RunBackend(*program, *tau_edb, options_.backend, s));
     TREEDL_ASSIGN_OR_RETURN(PredicateId phi,
                             derived.signature().PredicateIdOf("phi"));
     return derived.HasFact(phi, {});
@@ -363,9 +447,24 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
   StatusOr<std::vector<bool>> result = [&]() -> StatusOr<std::vector<bool>> {
-    TREEDL_ASSIGN_OR_RETURN(const Structure* a, EnsureStructure(s));
+    const Structure* a = nullptr;
+    bool direct = false;
+    const datalog::Program* program = nullptr;
+    const Structure* tau_edb = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      TREEDL_ASSIGN_OR_RETURN(a, EnsureStructure(s));
+      TREEDL_ASSIGN_OR_RETURN(direct, UseDirectMso(s));
+      if (!direct) {
+        TREEDL_ASSIGN_OR_RETURN(const mso2dl::Mso2DlResult* compiled,
+                                EnsureMsoProgram(phi, &free_var, s));
+        program = &compiled->program;
+        TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
+                                EnsureTauTd(s));
+        tau_edb = &atd->structure;
+      }
+    }
     std::vector<bool> selected(a->NumElements(), false);
-    TREEDL_ASSIGN_OR_RETURN(bool direct, UseDirectMso(s));
     if (direct) {
       mso::EvalOptions eopts;
       eopts.work_budget = options_.mso_direct_work_budget;
@@ -376,8 +475,8 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
       }
       return selected;
     }
-    TREEDL_ASSIGN_OR_RETURN(Structure derived,
-                            RunCompiledMso(phi, &free_var, s));
+    TREEDL_ASSIGN_OR_RETURN(
+        Structure derived, RunBackend(*program, *tau_edb, options_.backend, s));
     TREEDL_ASSIGN_OR_RETURN(PredicateId phi_pred,
                             derived.signature().PredicateIdOf("phi"));
     for (ElementId e = 0; e < a->NumElements(); ++e) {
@@ -397,9 +496,18 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
   StatusOr<SolveResult> result = [&]() -> StatusOr<SolveResult> {
-    TREEDL_ASSIGN_OR_RETURN(const Graph* graph, EnsureGaifman(s));
-    TREEDL_ASSIGN_OR_RETURN(const NormalizedTreeDecomposition* ntd,
-                            EnsurePlainNtd(s));
+    const Graph* graph = nullptr;
+    const NormalizedTreeDecomposition* ntd = nullptr;
+    core::DpExec exec;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      TREEDL_ASSIGN_OR_RETURN(graph, EnsureGaifman(s));
+      TREEDL_ASSIGN_OR_RETURN(ntd, EnsurePlainNtd(s));
+      exec.pool = EnsurePool();
+      exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
+    }
+    // The DP itself runs outside the lock — concurrent Solve calls share the
+    // pool, and with num_threads > 1 each traversal is itself sharded.
     SolveResult out;
     core::DpStats dp;
     switch (problem) {
@@ -407,7 +515,7 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
         TREEDL_ASSIGN_OR_RETURN(
             core::ThreeColorResult r,
             core::SolveThreeColorNormalized(*graph, *ntd,
-                                            options_.extract_witness));
+                                            options_.extract_witness, exec));
         out.feasible = r.colorable;
         out.witness = std::move(r.coloring);
         dp = r.stats;
@@ -416,28 +524,31 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
       case Problem::kThreeColorCount: {
         TREEDL_ASSIGN_OR_RETURN(
             uint64_t count,
-            core::CountThreeColoringsNormalized(*graph, *ntd, &dp));
+            core::CountThreeColoringsNormalized(*graph, *ntd, &dp, exec));
         out.feasible = count > 0;
         out.count = count;
         break;
       }
       case Problem::kVertexCover: {
         TREEDL_ASSIGN_OR_RETURN(
-            size_t best, core::MinVertexCoverNormalized(*graph, *ntd, &dp));
+            size_t best,
+            core::MinVertexCoverNormalized(*graph, *ntd, &dp, exec));
         out.feasible = true;
         out.optimum = best;
         break;
       }
       case Problem::kIndependentSet: {
         TREEDL_ASSIGN_OR_RETURN(
-            size_t best, core::MaxIndependentSetNormalized(*graph, *ntd, &dp));
+            size_t best,
+            core::MaxIndependentSetNormalized(*graph, *ntd, &dp, exec));
         out.feasible = true;
         out.optimum = best;
         break;
       }
       case Problem::kDominatingSet: {
         TREEDL_ASSIGN_OR_RETURN(
-            size_t best, core::MinDominatingSetNormalized(*graph, *ntd, &dp));
+            size_t best,
+            core::MinDominatingSetNormalized(*graph, *ntd, &dp, exec));
         out.feasible = true;
         out.optimum = best;
         break;
@@ -456,7 +567,10 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
 StatusOr<const Structure*> Engine::structure(RunStats* stats) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
-  auto result = EnsureStructure(s);
+  StatusOr<const Structure*> result = [&]() -> StatusOr<const Structure*> {
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    return EnsureStructure(s);
+  }();
   Record(*s);
   return result;
 }
@@ -464,7 +578,11 @@ StatusOr<const Structure*> Engine::structure(RunStats* stats) {
 StatusOr<const TreeDecomposition*> Engine::Decomposition(RunStats* stats) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
-  auto result = EnsureTd(s);
+  StatusOr<const TreeDecomposition*> result =
+      [&]() -> StatusOr<const TreeDecomposition*> {
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    return EnsureTd(s);
+  }();
   Record(*s);
   return result;
 }

@@ -4,8 +4,9 @@
 // encoded input supports many queries in linear time each. The Engine makes
 // that concrete: constructed from a Schema or a τ-structure plus
 // EngineOptions, it lazily computes and caches the schema encoding, Gaifman
-// graph, tree decomposition, rhs-closed decomposition, normalized forms, and
-// the τ_td structure, then serves batched queries through one surface:
+// graph, tree decomposition, rhs-closed decomposition, normalized forms, the
+// τ_td structure, the bag sharding, and compiled Thm 4.5 MSO programs, then
+// serves batched queries through one surface:
 //
 //   Engine engine(Schema::PaperExampleSchema());
 //   engine.IsPrime(a);                       // §5.2 decision
@@ -14,20 +15,35 @@
 //   engine.EvaluateDatalog(program);         // naive/seminaive/grounded
 //   engine.Solve(Engine::Problem::kThreeColor);  // §5.1 and friends
 //
+// Concurrency: one Engine may be shared by any number of threads. The lazy
+// caches are guarded by a session mutex, so N concurrent first queries still
+// trigger exactly one encoding/decomposition/normalization build; the heavy
+// per-query work (tree DPs, datalog fixpoints, direct MSO evaluation) runs
+// outside the lock against the immutable cached artifacts. With
+// EngineOptions::num_threads > 1 the Solve tree DP itself is parallel: a
+// ShardBags pass splits the normalized decomposition into independent
+// subtrees and a work-stealing pool executes them (core::RunTreeDpSharded).
+// Pointers returned by the artifact accessors stay valid for the Engine's
+// lifetime; moving an Engine while another thread uses it is undefined.
+//
 // Every query reports a RunStats (build/cache counters, DP and fixpoint
-// work, optional per-pass timings); CumulativeStats() aggregates the session.
-// The deprecated free functions (core::IsPrimeViaTd(schema, a), ...) forward
-// into a one-shot Engine, so they pay encoding + decomposition on every call
-// — the quadratic pattern §5.3 argues against.
+// work, shard counts/timings, optional per-pass timings); CumulativeStats()
+// aggregates the session. The deprecated free functions
+// (core::IsPrimeViaTd(schema, a), ...) forward into a one-shot Engine, so
+// they pay encoding + decomposition on every call — the quadratic pattern
+// §5.3 argues against.
 #ifndef TREEDL_ENGINE_ENGINE_HPP_
 #define TREEDL_ENGINE_ENGINE_HPP_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "core/primality_internal.hpp"
 #include "datalog/ast.hpp"
 #include "datalog/tau_td.hpp"
@@ -35,10 +51,12 @@
 #include "engine/run_stats.hpp"
 #include "graph/graph.hpp"
 #include "mso/ast.hpp"
+#include "mso2dl/mso_to_datalog.hpp"
 #include "schema/encode.hpp"
 #include "schema/schema.hpp"
 #include "structure/structure.hpp"
 #include "td/normalize.hpp"
+#include "td/shard.hpp"
 #include "td/tree_decomposition.hpp"
 
 namespace treedl {
@@ -95,6 +113,8 @@ class Engine {
   /// Evaluates an MSO sentence on the session structure. Route per
   /// EngineOptions::mso_strategy: compile through Thm 4.5 into the selected
   /// datalog backend over the cached τ_td structure, or evaluate directly.
+  /// Compiled programs are cached per formula — repeated evaluation of the
+  /// same sentence skips the Thm 4.5 construction.
   StatusOr<bool> EvaluateMso(const mso::FormulaPtr& sentence,
                              RunStats* stats = nullptr);
 
@@ -132,10 +152,22 @@ class Engine {
   StatusOr<int> Width(RunStats* stats = nullptr);
 
   /// Aggregate of every RunStats this engine produced.
-  const RunStats& CumulativeStats() const { return cumulative_; }
-  void ResetCumulativeStats() { cumulative_ = RunStats{}; }
+  RunStats CumulativeStats() const;
+  void ResetCumulativeStats();
 
  private:
+  // Mutexes live behind a unique_ptr so the Engine stays movable. cache_mu
+  // serializes every lazy-cache check/build (the Ensure* methods below must
+  // be called with it held); stats_mu guards cumulative_ only.
+  struct Sync {
+    std::mutex cache_mu;
+    std::mutex stats_mu;
+  };
+
+  // All Ensure* methods require sync_->cache_mu to be held by the caller.
+  // The artifacts they return are immutable once built and their addresses
+  // are stable, so callers may keep using the pointers after releasing the
+  // lock.
   StatusOr<const SchemaEncoding*> EnsureEncoding(RunStats* stats);
   StatusOr<const Structure*> EnsureStructure(RunStats* stats);
   StatusOr<const Graph*> EnsureGaifman(RunStats* stats);
@@ -146,24 +178,29 @@ class Engine {
   StatusOr<const NormalizedTreeDecomposition*> EnsureEnumNtd(RunStats* stats);
   StatusOr<const NormalizedTreeDecomposition*> EnsurePlainNtd(RunStats* stats);
   StatusOr<const datalog::TauTdEncoding*> EnsureTauTd(RunStats* stats);
+  /// Compiled Thm 4.5 program for `phi` (sentence form when free_var is
+  /// null), from the per-formula cache or freshly constructed.
+  StatusOr<const mso2dl::Mso2DlResult*> EnsureMsoProgram(
+      const mso::FormulaPtr& phi, const std::string* free_var,
+      RunStats* stats);
+  /// The lazily created DP thread pool, or null when the session is
+  /// configured sequential (resolved num_threads <= 1).
+  ThreadPool* EnsurePool();
+  /// EngineOptions::num_threads with 0 resolved to hardware concurrency.
+  size_t ResolvedNumThreads() const;
   /// True when the MSO query must be answered by direct quantifier
   /// expansion: the kDirect strategy, or a session width < 1 (Thm 4.5 needs
   /// width >= 1).
   StatusOr<bool> UseDirectMso(RunStats* stats);
-  /// Thm 4.5 route: compile (sentence form when free_var is null), build the
-  /// τ_td structure, evaluate with the configured backend. Returns the
-  /// derived structure with the "phi" predicate populated.
-  StatusOr<Structure> RunCompiledMso(const mso::FormulaPtr& phi,
-                                     const std::string* free_var,
-                                     RunStats* stats);
-  void Record(const RunStats& stats) { cumulative_.Accumulate(stats); }
+  void Record(const RunStats& stats);
 
   EngineOptions options_;
   // Owned inputs (unique_ptr keeps references inside cached artifacts stable
   // across moves).
   std::unique_ptr<Schema> schema_;
   std::unique_ptr<Structure> owned_structure_;
-  // Cached artifacts, built lazily.
+  // Cached artifacts, built lazily under sync_->cache_mu and immutable
+  // afterwards.
   std::unique_ptr<SchemaEncoding> encoding_;
   std::unique_ptr<core::internal::PrimalityContext> primality_;
   std::optional<Graph> gaifman_;
@@ -171,8 +208,15 @@ class Engine {
   std::optional<TreeDecomposition> closed_td_;
   std::optional<NormalizedTreeDecomposition> enum_ntd_;
   std::optional<NormalizedTreeDecomposition> plain_ntd_;
+  std::optional<BagSharding> sharding_;
   std::optional<datalog::TauTdEncoding> tau_td_;
   std::optional<std::vector<bool>> primes_;
+  /// Per-formula cache of compiled Thm 4.5 programs, keyed by query form +
+  /// free variable + formula rendering (node-based map: value addresses are
+  /// stable across inserts).
+  std::unordered_map<std::string, mso2dl::Mso2DlResult> mso_programs_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Sync> sync_;
   RunStats cumulative_;
 };
 

@@ -55,6 +55,13 @@ struct EngineOptions {
   bool extract_witness = true;
   /// Record per-pass wall-clock timings into RunStats::passes.
   bool collect_pass_timings = false;
+  /// Worker threads for the bag-sharded parallel tree DP behind Solve.
+  /// 0 = hardware concurrency (the default); 1 = today's sequential
+  /// behavior (no thread pool, no sharding pass).
+  size_t num_threads = 0;
+  /// Shard tasks per worker thread the ShardBags pass aims for (more shards
+  /// = better load balance, more scheduling overhead).
+  size_t shards_per_thread = 4;
 };
 
 }  // namespace treedl

@@ -19,6 +19,7 @@
 #include "engine/pipeline.hpp"
 #include "graph/graph.hpp"
 #include "td/normalize.hpp"
+#include "td/shard.hpp"
 #include "td/validate.hpp"
 
 namespace treedl::engine {
@@ -98,6 +99,26 @@ class NormalizePass final : public Pass {
     state.normalized = std::move(normalized).value();
     return Status::OK();
   }
+};
+
+/// Partitions the normalized decomposition into independent subtree shards
+/// for the parallel DP driver (core::RunTreeDpSharded). Runs after
+/// NormalizePass; deposits the sharding in state.sharding.
+class ShardBagsPass final : public Pass {
+ public:
+  explicit ShardBagsPass(size_t target_shards) : target_(target_shards) {}
+  std::string name() const override { return "shard-bags"; }
+  Status apply(PipelineState& state) const override {
+    if (!state.normalized.has_value()) {
+      return Status::InvalidArgument(
+          "shard-bags requires a normalized decomposition");
+    }
+    state.sharding = ComputeBagSharding(*state.normalized, target_);
+    return Status::OK();
+  }
+
+ private:
+  size_t target_;
 };
 
 /// Validate-against-graph + normalize as one pipeline — the shared

@@ -24,6 +24,7 @@
 #include "engine/run_stats.hpp"
 #include "structure/structure.hpp"
 #include "td/normalize.hpp"
+#include "td/shard.hpp"
 #include "td/tree_decomposition.hpp"
 
 namespace treedl::engine {
@@ -39,6 +40,8 @@ struct PipelineState {
   NormalizeOptions normalize_options;
   /// Result slot filled by NormalizePass.
   std::optional<NormalizedTreeDecomposition> normalized;
+  /// Result slot filled by ShardBagsPass (requires `normalized`).
+  std::optional<BagSharding> sharding;
 };
 
 /// One named transformation of the pipeline state.

@@ -33,12 +33,23 @@ struct RunStats {
   size_t td_builds = 0;
   /// Normalized decompositions built (modified or tuple normal form).
   size_t normalize_builds = 0;
+  /// Thm 4.5 MSO-to-datalog constructions run by this query (0 when the
+  /// compiled program came from the engine's per-formula cache).
+  size_t mso_compile_builds = 0;
   /// Cached artifacts reused instead of rebuilt.
   size_t cache_hits = 0;
 
   // --- Tree-DP work (core::DpStats slice) ---------------------------------
   size_t dp_states = 0;
   size_t dp_max_states_per_node = 0;
+  /// Shard tasks run by the parallel DP driver (0 = sequential traversal).
+  size_t dp_shards = 0;
+  /// Wall-clock per shard task, in shard order. Per-query only: Accumulate
+  /// folds it into dp_slowest_shard_millis instead of concatenating, so a
+  /// long-lived session's cumulative record stays bounded.
+  std::vector<double> dp_shard_millis;
+  /// Slowest shard task seen (aggregated form of dp_shard_millis).
+  double dp_slowest_shard_millis = 0;
 
   // --- Datalog fixpoint work (datalog::EvalStats slice) -------------------
   size_t eval_iterations = 0;
@@ -63,12 +74,21 @@ struct RunStats {
     encode_builds += other.encode_builds;
     td_builds += other.td_builds;
     normalize_builds += other.normalize_builds;
+    mso_compile_builds += other.mso_compile_builds;
     cache_hits += other.cache_hits;
     dp_states += other.dp_states;
     dp_max_states_per_node =
         dp_max_states_per_node > other.dp_max_states_per_node
             ? dp_max_states_per_node
             : other.dp_max_states_per_node;
+    dp_shards += other.dp_shards;
+    double other_slowest = other.dp_slowest_shard_millis;
+    for (double ms : other.dp_shard_millis) {
+      other_slowest = other_slowest > ms ? other_slowest : ms;
+    }
+    dp_slowest_shard_millis = dp_slowest_shard_millis > other_slowest
+                                  ? dp_slowest_shard_millis
+                                  : other_slowest;
     eval_iterations += other.eval_iterations;
     derived_facts += other.derived_facts;
     rule_applications += other.rule_applications;

@@ -15,9 +15,18 @@ std::string RunStats::ToString() const {
   out << "builds{encode=" << encode_builds << " td=" << td_builds
       << " normalize=" << normalize_builds << " cache_hits=" << cache_hits
       << "}";
+  if (mso_compile_builds > 0) {
+    out << " mso{compiles=" << mso_compile_builds << "}";
+  }
   if (dp_states > 0) {
     out << " dp{states=" << dp_states
-        << " max_per_node=" << dp_max_states_per_node << "}";
+        << " max_per_node=" << dp_max_states_per_node;
+    if (dp_shards > 0) {
+      double slowest = dp_slowest_shard_millis;
+      for (double ms : dp_shard_millis) slowest = slowest > ms ? slowest : ms;
+      out << " shards=" << dp_shards << " slowest_shard=" << slowest << "ms";
+    }
+    out << "}";
   }
   if (eval_iterations > 0) {
     out << " eval{iters=" << eval_iterations << " derived=" << derived_facts

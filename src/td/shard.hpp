@@ -1,0 +1,60 @@
+// Bag sharding: partitioning a modified-normalized tree decomposition into
+// independent subtrees for the parallel bottom-up DP.
+//
+// The §5 dynamic programs are bottom-up tree traversals, so disjoint subtrees
+// of the decomposition can be processed concurrently — the only ordering
+// constraint is that a node runs after its children. A BagSharding cuts the
+// tree into connected regions ("shards") of roughly balanced size; the shards
+// themselves form a tree, and a shard becomes runnable exactly when all of
+// its child shards have completed. core/tree_dp.hpp executes this schedule on
+// a ThreadPool (see RunTreeDpSharded).
+#ifndef TREEDL_TD_SHARD_HPP_
+#define TREEDL_TD_SHARD_HPP_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "td/normalize.hpp"
+
+namespace treedl {
+
+/// One connected region of the decomposition tree.
+struct BagShard {
+  /// The topmost node of the shard (its parent, if any, lies in the parent
+  /// shard).
+  TdNodeId top = kNoTdNode;
+  /// The shard's nodes in global post-order — processing them in this order
+  /// sees every child either earlier in the list or in a completed child
+  /// shard.
+  std::vector<TdNodeId> nodes;
+  /// Index of the parent shard, or -1 for the shard containing the root.
+  int parent = -1;
+  /// Indices of the child shards (the shard's dependencies).
+  std::vector<int> children;
+};
+
+struct BagSharding {
+  std::vector<BagShard> shards;
+  /// Node id -> shard index.
+  std::vector<int> shard_of;
+
+  size_t NumShards() const { return shards.size(); }
+};
+
+/// Partitions `ntd` into at most ~`target_shards` connected subtree regions
+/// of roughly equal node count (post-order accumulation with a grain of
+/// ceil(n / target)). target_shards == 1 (or a tiny decomposition) yields a
+/// single shard covering the whole tree. Deterministic.
+BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
+                               size_t target_shards);
+
+/// Checks the sharding invariants: every node assigned to exactly one shard,
+/// shards are connected regions listed in global post-order, shard tree edges
+/// mirror the node tree, and the root's shard has no parent.
+Status ValidateSharding(const NormalizedTreeDecomposition& ntd,
+                        const BagSharding& sharding);
+
+}  // namespace treedl
+
+#endif  // TREEDL_TD_SHARD_HPP_

@@ -6,6 +6,8 @@
 #include "common/status.hpp"
 #include "common/string_util.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl {
 namespace {
 
@@ -103,7 +105,7 @@ TEST(RngTest, DeterministicFromSeed) {
 }
 
 TEST(RngTest, UniformIntRespectsBounds) {
-  Rng rng(7);
+  Rng rng(TestSeed());
   for (int i = 0; i < 1000; ++i) {
     int64_t v = rng.UniformInt(-5, 5);
     EXPECT_GE(v, -5);
@@ -112,7 +114,7 @@ TEST(RngTest, UniformIntRespectsBounds) {
 }
 
 TEST(RngTest, SampleIndicesDistinctAndInRange) {
-  Rng rng(11);
+  Rng rng(TestSeed());
   auto sample = rng.SampleIndices(50, 20);
   ASSERT_EQ(sample.size(), 20u);
   std::vector<bool> seen(50, false);
@@ -124,7 +126,7 @@ TEST(RngTest, SampleIndicesDistinctAndInRange) {
 }
 
 TEST(RngTest, ShufflePreservesMultiset) {
-  Rng rng(3);
+  Rng rng(TestSeed());
   std::vector<int> v{1, 2, 3, 4, 5, 6};
   std::vector<int> orig = v;
   rng.Shuffle(&v);

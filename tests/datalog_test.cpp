@@ -11,6 +11,8 @@
 #include "structure/structure_io.hpp"
 #include "td/heuristics.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl::datalog {
 namespace {
 
@@ -160,7 +162,7 @@ TEST(EvalTest, SemiNaiveMatchesNaive) {
       "path(X, Y) :- e(X, Z), path(Z, Y).\n"
       "sink(X) :- e(X, X).\n");
   ASSERT_TRUE(program.ok());
-  Rng rng(99);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = RandomGnp(8, 0.3, &rng);
     Structure edb = GraphToStructure(g);

@@ -248,6 +248,52 @@ TEST(EngineTest, MsoUnaryAgreesAcrossBackendsAndWithDirectEvaluation) {
   }
 }
 
+TEST(EngineTest, MsoProgramCacheSkipsRepeatedThm45Construction) {
+  // Same rank-1 unary setup as above; what's under test is the per-formula
+  // program cache, via the mso_compile_builds counter.
+  Signature unary = Signature::Make({{"p", 1}}).value();
+  Structure a(unary);
+  for (int i = 0; i < 6; ++i) a.AddElement("u" + std::to_string(i));
+  ASSERT_TRUE(a.AddFactNamed("p", {"u1"}).ok());
+  ASSERT_TRUE(a.AddFactNamed("p", {"u4"}).ok());
+  TreeDecomposition path_td;
+  TdNodeId prev = path_td.AddNode({0, 1});
+  for (ElementId e = 1; e + 1 < 6; ++e) {
+    prev = path_td.AddNode({e, e + 1}, prev);
+  }
+  auto query = mso::ParseFormula("p(x) & (ex1 y: (~(y = x) & p(y)))");
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  EngineOptions options;
+  options.decomposition = path_td;
+  Engine engine{Structure(a), options};
+
+  // First evaluation pays one Thm 4.5 construction...
+  RunStats first;
+  auto selected = engine.EvaluateMsoUnary(*query, "x", &first);
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  EXPECT_EQ(first.mso_compile_builds, 1u);
+
+  // ... repeating the same formula is a cache hit with identical results...
+  RunStats second;
+  auto again = engine.EvaluateMsoUnary(*query, "x", &second);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(second.mso_compile_builds, 0u);
+  EXPECT_GT(second.cache_hits, 0u);
+  EXPECT_EQ(*again, *selected);
+
+  // ... and a different formula misses and compiles anew.
+  auto other = mso::ParseFormula("~p(x)");
+  ASSERT_TRUE(other.ok()) << other.status();
+  RunStats third;
+  auto negated = engine.EvaluateMsoUnary(*other, "x", &third);
+  ASSERT_TRUE(negated.ok()) << negated.status();
+  EXPECT_EQ(third.mso_compile_builds, 1u);
+
+  // Session-wide: exactly two constructions for three evaluations.
+  EXPECT_EQ(engine.CumulativeStats().mso_compile_builds, 2u);
+}
+
 TEST(EngineTest, MsoSentenceOnTrivialStructureFallsBackToDirect) {
   // A single marked element: width-0 decomposition, Thm 4.5 inapplicable —
   // the engine must still answer (directly).

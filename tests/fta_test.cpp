@@ -7,6 +7,8 @@
 #include "graph/graph_algorithms.hpp"
 #include "td/heuristics.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl::fta {
 namespace {
 
@@ -126,7 +128,7 @@ TEST(TreeAutomatonTest, EmptinessViaReachability) {
 }
 
 TEST(TypeAutomatonTest, MeasuresSubsetStates) {
-  Rng rng(3);
+  Rng rng(TestSeed());
   Graph g = RandomPartialKTree(14, 3, 0.8, &rng);
   auto td = Decompose(g);
   ASSERT_TRUE(td.ok());

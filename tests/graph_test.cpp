@@ -6,6 +6,8 @@
 #include "graph/graph_algorithms.hpp"
 #include "structure/structure_io.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl {
 namespace {
 
@@ -41,7 +43,7 @@ TEST(GeneratorsTest, FamiliesHaveExpectedShape) {
 }
 
 TEST(GeneratorsTest, RandomKTreeHasRightEdgeCount) {
-  Rng rng(5);
+  Rng rng(TestSeed());
   // A k-tree on n vertices has k(k+1)/2 + (n-k-1)k edges.
   for (int k : {1, 2, 3}) {
     for (size_t n : {size_t{4}, size_t{8}, size_t{15}}) {
@@ -55,7 +57,7 @@ TEST(GeneratorsTest, RandomKTreeHasRightEdgeCount) {
 }
 
 TEST(GeneratorsTest, PartialKTreeIsSubgraph) {
-  Rng rng(9);
+  Rng rng(TestSeed());
   Graph g = RandomPartialKTree(12, 3, 0.5, &rng);
   EXPECT_EQ(g.NumVertices(), 12u);
   // Edge count at most that of the full 3-tree.
@@ -118,7 +120,7 @@ TEST(AlgorithmsTest, VertexCoverIndependentSetDominatingSet) {
 
 TEST(AlgorithmsTest, GaussIdentityVcPlusIs) {
   // Gallai: min VC + max IS = n on any graph.
-  Rng rng(13);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = RandomGnp(9, 0.35, &rng);
     EXPECT_EQ(MinVertexCoverBruteForce(g) + MaxIndependentSetBruteForce(g),

@@ -14,6 +14,8 @@
 #include "td/normalize.hpp"
 #include "td/validate.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl::mso2dl {
 namespace {
 
@@ -89,7 +91,7 @@ TEST(Mso2DlTest, RankZeroQueryEndToEnd) {
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->rank, 0);
 
-  Rng rng(5);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 4; ++trial) {
     Structure a = RandomUnaryStructure(8, &rng);
     std::vector<bool> selected =
@@ -119,7 +121,7 @@ TEST(Mso2DlTest, RankOneQueryEndToEnd) {
   EXPECT_TRUE(info->is_monadic);
   EXPECT_TRUE(datalog::CheckQuasiGuarded(result->program).ok());
 
-  Rng rng(11);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 6; ++trial) {
     size_t n = 6 + static_cast<size_t>(trial);
     Structure a = RandomUnaryStructure(n, &rng);
@@ -170,7 +172,7 @@ TEST(Mso2DlTest, GroundedEvaluationAgreesOnGeneratedProgram) {
   options.width = 1;
   auto result = MsoToDatalog(UnarySignature(), *phi, "x", options);
   ASSERT_TRUE(result.ok()) << result.status();
-  Rng rng(17);
+  Rng rng(TestSeed());
   Structure a = RandomUnaryStructure(9, &rng);
   auto tuple_td = NormalizeTuple(BranchyWidth1Td(9));
   ASSERT_TRUE(tuple_td.ok());

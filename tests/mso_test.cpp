@@ -11,6 +11,8 @@
 #include "schema/generators.hpp"
 #include "schema/primality_bruteforce.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl::mso {
 namespace {
 
@@ -94,7 +96,7 @@ TEST(MsoAstTest, ToStringReparses) {
 // --- Evaluator -----------------------------------------------------------------
 
 TEST(MsoEvalTest, ThreeColorabilityMatchesBruteForce) {
-  Rng rng(7);
+  Rng rng(TestSeed());
   FormulaPtr phi = ThreeColorabilitySentence();
   std::vector<Graph> graphs{CompleteGraph(3), CompleteGraph(4), CycleGraph(5),
                             PetersenGraph()};
@@ -139,7 +141,7 @@ TEST(MsoEvalTest, PrimalityOnPaperExample) {
 }
 
 TEST(MsoEvalTest, PrimalityMatchesBruteForceOnRandomSchemas) {
-  Rng rng(23);
+  Rng rng(TestSeed());
   FormulaPtr phi = PrimalityFormula("x");
   for (int trial = 0; trial < 5; ++trial) {
     Schema schema = RandomWindowSchema(6, 4, 3, &rng);
@@ -235,7 +237,7 @@ TEST(MsoTypesTest, DistinguishableStructuresDiffer) {
 
 TEST(MsoTypesTest, RefinementMonotonicity) {
   // k+1-equivalence implies k-equivalence.
-  Rng rng(31);
+  Rng rng(TestSeed());
   TypeComputer tc;
   for (int trial = 0; trial < 6; ++trial) {
     Graph g1 = RandomGnp(4, 0.5, &rng);
@@ -252,7 +254,7 @@ TEST(MsoTypesTest, RefinementMonotonicity) {
 
 TEST(MsoTypesTest, TypeDecidesFormulasOfMatchingRank) {
   // If (A, a) ≡MSO_k (B, b) then every φ of qd ≤ k agrees on them.
-  Rng rng(47);
+  Rng rng(TestSeed());
   TypeComputer tc;
   std::vector<FormulaPtr> rank1{HasNeighborQuery("x"), IsolatedQuery("x"),
                                 TwoCycleQuery("x")};

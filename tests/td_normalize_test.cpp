@@ -7,13 +7,15 @@
 #include "td/normalize.hpp"
 #include "td/validate.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl {
 namespace {
 
 // --- Modified normal form (§5) ---------------------------------------------
 
 TEST(NormalizeTest, PreservesValidityAndWidth) {
-  Rng rng(101);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = RandomPartialKTree(16, 3, 0.7, &rng);
     auto td = Decompose(g);
@@ -73,7 +75,7 @@ TEST(NormalizeTest, BranchNodesHaveEqualBags) {
 }
 
 TEST(NormalizeTest, LeafCoverageOptionCoversAllElements) {
-  Rng rng(77);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 6; ++trial) {
     Graph g = RandomPartialKTree(14, 2, 0.8, &rng);
     auto td = Decompose(g);
@@ -178,7 +180,7 @@ TEST(TupleNormalizeTest, AllBagsFullSize) {
 }
 
 TEST(TupleNormalizeTest, KindInvariantsHold) {
-  Rng rng(55);
+  Rng rng(TestSeed());
   Graph g = RandomPartialKTree(15, 3, 0.65, &rng);
   auto tuple = NormalizeTuple(*Decompose(g));
   ASSERT_TRUE(tuple.ok());

@@ -9,6 +9,8 @@
 #include "td/tree_decomposition.hpp"
 #include "td/validate.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl {
 namespace {
 
@@ -162,7 +164,7 @@ TEST(SubtreeTest, InducedStructuresMatchFigure3) {
 }
 
 TEST(EliminationTest, OrderWidthMatchesDecomposition) {
-  Rng rng(17);
+  Rng rng(TestSeed());
   Graph g = RandomPartialKTree(14, 3, 0.7, &rng);
   std::vector<VertexId> order = HeuristicOrder(g, TdHeuristic::kMinFill);
   auto width = OrderWidth(g, order);
@@ -189,7 +191,7 @@ TEST(HeuristicsTest, KnownWidths) {
 }
 
 TEST(HeuristicsTest, AllHeuristicsProduceValidDecompositions) {
-  Rng rng(23);
+  Rng rng(TestSeed());
   for (TdHeuristic h :
        {TdHeuristic::kMinDegree, TdHeuristic::kMinFill, TdHeuristic::kMcs}) {
     Graph g = RandomPartialKTree(20, 3, 0.6, &rng);
@@ -201,7 +203,7 @@ TEST(HeuristicsTest, AllHeuristicsProduceValidDecompositions) {
 }
 
 TEST(HeuristicsTest, PartialKTreeWidthBounded) {
-  Rng rng(31);
+  Rng rng(TestSeed());
   // Min-fill on a full k-tree recovers width k exactly; partial stays <= k
   // most of the time (guaranteed: treewidth <= k, heuristic may overshoot on
   // the partial graph, so only assert on the full k-tree).
@@ -232,7 +234,7 @@ TEST(ExactTreewidthTest, KnownValues) {
 }
 
 TEST(ExactTreewidthTest, HeuristicNeverBeatsExact) {
-  Rng rng(41);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 8; ++trial) {
     Graph g = RandomGnp(9, 0.4, &rng);
     int exact = ExactTreewidth(g).value();

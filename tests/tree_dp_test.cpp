@@ -7,6 +7,8 @@
 #include "graph/generators.hpp"
 #include "td/heuristics.hpp"
 
+#include "test_util.hpp"
+
 namespace treedl::core {
 namespace {
 
@@ -48,7 +50,7 @@ struct CountProblem {
 };
 
 TEST(TreeDpTest, CountsVerticesOnRandomDecompositions) {
-  Rng rng(42);
+  Rng rng(TestSeed());
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = RandomPartialKTree(6 + trial, 2, 0.7, &rng);
     auto td = Decompose(g);
