@@ -1,0 +1,172 @@
+// Bounds-checked little-endian binary encoding.
+//
+// Shared by the per-layer artifact serializers (structure/structure_io,
+// td/td_io, datalog/tau_td) and the engine's session files
+// (engine/session_io, format spec in docs/SESSION_FORMAT.md). The writer
+// appends to an in-memory buffer; the reader consumes a string_view and
+// returns a clean Status on any truncation or oversized length prefix, so a
+// corrupted file can never crash the process or trigger a pathological
+// allocation.
+#ifndef TREEDL_COMMON_BINARY_IO_HPP_
+#define TREEDL_COMMON_BINARY_IO_HPP_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace treedl {
+
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+
+  /// Length-prefixed byte string.
+  void Str(std::string_view s) {
+    U64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of 32-bit values (ElementId, TdNodeId, ...).
+  template <typename T>
+  void Vec32(const std::vector<T>& values) {
+    static_assert(sizeof(T) == 4);
+    U64(values.size());
+    for (const T& v : values) U32(static_cast<uint32_t>(v));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status U8(uint8_t* out) {
+    if (Remaining() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status U32(uint32_t* out) {
+    if (Remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status U64(uint64_t* out) {
+    if (Remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status I32(int32_t* out) {
+    uint32_t v = 0;
+    TREEDL_RETURN_IF_ERROR(U32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+
+  /// Reads a length prefix that promises `min_element_bytes` per element and
+  /// rejects any count the remaining input cannot possibly hold — the guard
+  /// that keeps corrupted prefixes from driving huge allocations.
+  Status Length(size_t* out, size_t min_element_bytes) {
+    uint64_t n = 0;
+    TREEDL_RETURN_IF_ERROR(U64(&n));
+    if (min_element_bytes == 0) min_element_bytes = 1;
+    if (n > Remaining() / min_element_bytes) {
+      return Status::ParseError("binary input: length prefix " +
+                                std::to_string(n) + " exceeds remaining " +
+                                std::to_string(Remaining()) + " bytes");
+    }
+    *out = static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  Status Str(std::string* out) {
+    size_t n = 0;
+    TREEDL_RETURN_IF_ERROR(Length(&n, 1));
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Vec32(std::vector<T>* out) {
+    static_assert(sizeof(T) == 4);
+    size_t n = 0;
+    TREEDL_RETURN_IF_ERROR(Length(&n, 4));
+    out->clear();
+    out->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t v = 0;
+      TREEDL_RETURN_IF_ERROR(U32(&v));
+      out->push_back(static_cast<T>(v));
+    }
+    return Status::OK();
+  }
+
+  /// Sub-reader over the next `n` bytes (for length-delimited sections).
+  Status Slice(size_t n, std::string_view* out) {
+    if (Remaining() < n) return Truncated("slice");
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::ParseError(std::string("binary input truncated reading ") +
+                              what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit over a byte string. Stable across platforms and processes —
+/// used for session-file fingerprints (docs/SESSION_FORMAT.md).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_BINARY_IO_HPP_

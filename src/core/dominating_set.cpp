@@ -140,13 +140,10 @@ class DominatingProblem {
   const Graph& graph_;
 };
 
-}  // namespace
-
-StatusOr<size_t> MinDominatingSetNormalized(
-    const Graph& graph, const NormalizedTreeDecomposition& ntd,
-    DpStats* stats, const DpExec& exec) {
-  DominatingProblem problem(graph);
-  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+// Root scan shared by the standalone solver and the fused-pass finalizer.
+StatusOr<size_t> FinalizeDominating(const Graph& graph,
+                                    const NormalizedTreeDecomposition& ntd,
+                                    const DpTable<DomState, size_t>& table) {
   size_t best = graph.NumVertices() + 1;
   for (const auto& [state, value] : table.at(ntd.root())) {
     bool complete = true;
@@ -161,6 +158,25 @@ StatusOr<size_t> MinDominatingSetNormalized(
     return Status::Internal("no dominating-set state survived to the root");
   }
   return best;
+}
+
+}  // namespace
+
+StatusOr<size_t> MinDominatingSetNormalized(
+    const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    DpStats* stats, const DpExec& exec) {
+  DominatingProblem problem(graph);
+  auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+  return FinalizeDominating(graph, ntd, table);
+}
+
+std::function<StatusOr<size_t>()> AddDominatingSetPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd) {
+  const auto* table = multi->Add(DominatingProblem(graph));
+  return [table, &graph, &ntd]() -> StatusOr<size_t> {
+    return FinalizeDominating(graph, ntd, *table);
+  };
 }
 
 StatusOr<size_t> MinDominatingSetTd(const Graph& graph,

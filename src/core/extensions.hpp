@@ -5,6 +5,8 @@
 #ifndef TREEDL_CORE_EXTENSIONS_HPP_
 #define TREEDL_CORE_EXTENSIONS_HPP_
 
+#include <functional>
+
 #include "common/status.hpp"
 #include "core/tree_dp.hpp"
 #include "graph/graph.hpp"
@@ -44,6 +46,24 @@ StatusOr<size_t> MinDominatingSetNormalized(
 /// Deprecated convenience (one-shot Engine).
 StatusOr<size_t> MinDominatingSetTd(const Graph& graph,
                                     DpStats* stats = nullptr);
+
+// --- Fused-traversal registration (Engine::SolveAll) ------------------------
+//
+// Same contract as core::AddThreeColorPass (three_color.hpp): registers one
+// pass of a MultiDp, returns a finalizer valid once the fused traversal ran;
+// `graph` and `ntd` must outlive both.
+
+std::function<StatusOr<size_t>()> AddVertexCoverPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd);
+
+std::function<StatusOr<size_t>()> AddIndependentSetPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd);
+
+std::function<StatusOr<size_t>()> AddDominatingSetPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd);
 
 }  // namespace treedl::core
 

@@ -186,6 +186,29 @@ std::vector<int> ExtractColoring(const Graph& graph,
   return colors;
 }
 
+// Reads the decision verdict (and optionally a coloring) off a completed
+// table — shared by the standalone solver and the fused-pass finalizer.
+ThreeColorResult FinalizeDecision(const Graph& graph,
+                                  const NormalizedTreeDecomposition& ntd,
+                                  const DpTable<ColorState, std::monostate>& table,
+                                  bool extract_coloring) {
+  ThreeColorResult result;
+  const auto& root_states = table.at(ntd.root());
+  result.colorable = !root_states.empty();
+  if (result.colorable && extract_coloring) {
+    result.coloring =
+        ExtractColoring(graph, ntd, table, root_states.begin()->first);
+  }
+  return result;
+}
+
+uint64_t FinalizeCount(const NormalizedTreeDecomposition& ntd,
+                       const DpTable<ColorState, uint64_t>& table) {
+  uint64_t total = 0;
+  for (const auto& [state, count] : table.at(ntd.root())) total += count;
+  return total;
+}
+
 }  // namespace
 
 StatusOr<ThreeColorResult> SolveThreeColorNormalized(
@@ -194,13 +217,29 @@ StatusOr<ThreeColorResult> SolveThreeColorNormalized(
   ColorProblem<false> problem(graph);
   ThreeColorResult result;
   auto table = RunTreeDpAuto(ntd, &problem, exec, &result.stats);
-  const auto& root_states = table.at(ntd.root());
-  result.colorable = !root_states.empty();
-  if (result.colorable && extract_coloring) {
-    result.coloring =
-        ExtractColoring(graph, ntd, table, root_states.begin()->first);
-  }
-  return result;
+  ThreeColorResult finalized =
+      FinalizeDecision(graph, ntd, table, extract_coloring);
+  finalized.stats = result.stats;
+  return finalized;
+}
+
+std::function<StatusOr<ThreeColorResult>()> AddThreeColorPass(
+    MultiDp* multi, const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    bool extract_coloring) {
+  const auto* table = multi->Add(ColorProblem<false>(graph));
+  return [table, &graph, &ntd,
+          extract_coloring]() -> StatusOr<ThreeColorResult> {
+    return FinalizeDecision(graph, ntd, *table, extract_coloring);
+  };
+}
+
+std::function<StatusOr<uint64_t>()> AddThreeColorCountPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd) {
+  const auto* table = multi->Add(ColorProblem<true>(graph));
+  return [table, &ntd]() -> StatusOr<uint64_t> {
+    return FinalizeCount(ntd, *table);
+  };
 }
 
 StatusOr<ThreeColorResult> SolveThreeColor(const Graph& graph,
@@ -216,9 +255,7 @@ StatusOr<uint64_t> CountThreeColoringsNormalized(
     DpStats* stats, const DpExec& exec) {
   ColorProblem<true> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
-  uint64_t total = 0;
-  for (const auto& [state, count] : table.at(ntd.root())) total += count;
-  return total;
+  return FinalizeCount(ntd, table);
 }
 
 StatusOr<uint64_t> CountThreeColorings(const Graph& graph,

@@ -55,6 +55,21 @@ StatusOr<uint64_t> CountThreeColoringsNormalized(
 /// Deprecated convenience (one-shot Engine; see SolveThreeColor above).
 StatusOr<uint64_t> CountThreeColorings(const Graph& graph);
 
+// --- Fused-traversal registration (Engine::SolveAll) ------------------------
+//
+// Each Add*Pass registers the problem's transitions as one pass of a MultiDp
+// and returns a finalizer that reads the answer out of the pass's table —
+// call it only after RunMultiTreeDp[Sharded|Auto] ran the traversal.
+// `graph` and `ntd` must outlive both the traversal and the finalizer call.
+
+std::function<StatusOr<ThreeColorResult>()> AddThreeColorPass(
+    MultiDp* multi, const Graph& graph, const NormalizedTreeDecomposition& ntd,
+    bool extract_coloring = true);
+
+std::function<StatusOr<uint64_t>()> AddThreeColorCountPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd);
+
 }  // namespace treedl::core
 
 #endif  // TREEDL_CORE_THREE_COLOR_HPP_

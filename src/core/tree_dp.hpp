@@ -28,11 +28,19 @@
 //                       resulting table is bit-identical to the sequential
 //                       one, because every node still sees fully-built child
 //                       tables and processes them in the same order.
+//
+// MultiDp fuses several problems into ONE traversal: each registered problem
+// keeps its own state table, but the tree (and, in the parallel case, the
+// shard schedule) is walked once, with every bag visited a single time
+// driving all tables. This is what Engine::SolveAll runs — N problems cost
+// one traversal family instead of N.
 #ifndef TREEDL_CORE_TREE_DP_HPP_
 #define TREEDL_CORE_TREE_DP_HPP_
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +78,11 @@ struct DpStats {
   size_t shards = 0;
   /// Wall-clock per shard task, indexed by shard id (parallel runs only).
   std::vector<double> shard_millis;
+  /// Bottom-up walks of the decomposition executed by this run.
+  size_t traversals = 0;
+  /// DP state-table passes driven by those walks; a MultiDp traversal drives
+  /// several passes per walk (passes > traversals is the fusion win).
+  size_t passes = 0;
 };
 
 /// Execution context for the parallel driver. Default-constructed (or with
@@ -151,40 +164,90 @@ void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
 
 }  // namespace internal
 
-/// Runs the bottom-up pass of `problem` over `ntd` sequentially and returns
-/// the full table. The table at the root characterizes the whole structure.
-template <typename Problem>
-DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
-    const NormalizedTreeDecomposition& ntd, Problem* problem,
-    DpStats* stats = nullptr) {
-  DpTable<typename Problem::State, typename Problem::Value> table;
-  table.nodes.resize(ntd.NumNodes());
-  for (TdNodeId id : ntd.PostOrder()) {
-    internal::DpProcessNode(ntd, id, problem, &table);
-    if (stats != nullptr) {
-      size_t size = table.nodes[static_cast<size_t>(id)].size();
+/// Runs several fused per-node processors (one per sub-problem) over nodes
+/// delivered by one traversal. Holds type-erased (problem, table) pairs;
+/// Add() copies the problem in and returns a stable pointer to its table,
+/// valid for the MultiDp's lifetime — callers read their results out of it
+/// after the traversal ran (see RunMultiTreeDpAuto).
+class MultiDp {
+ public:
+  template <typename Problem>
+  const DpTable<typename Problem::State, typename Problem::Value>* Add(
+      Problem problem) {
+    auto pass = std::make_unique<Pass<Problem>>(std::move(problem));
+    auto* table = &pass->table;
+    passes_.push_back(std::move(pass));
+    return table;
+  }
+
+  size_t NumPasses() const { return passes_.size(); }
+
+  // --- Driver interface (not for end users) -------------------------------
+
+  void Prepare(size_t num_nodes) {
+    for (auto& pass : passes_) pass->Prepare(num_nodes);
+  }
+
+  /// Runs every registered pass's transition for `id`. Safe to call
+  /// concurrently for distinct nodes (each pass writes only node `id`'s
+  /// slot), which is exactly the sharded driver's access pattern.
+  void ProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id) {
+    for (auto& pass : passes_) pass->ProcessNode(ntd, id);
+  }
+
+  /// Folds node `id`'s table sizes (per pass) into `stats`.
+  void AccumulateNodeStats(TdNodeId id, DpStats* stats) const {
+    for (const auto& pass : passes_) {
+      size_t size = pass->StatesAt(id);
       stats->total_states += size;
       stats->max_states_per_node = std::max(stats->max_states_per_node, size);
     }
   }
-  return table;
-}
 
-/// Parallel driver: executes each shard's nodes in post-order as one pool
-/// task; a shard is submitted once all of its child shards are done, and the
-/// calling thread helps drain the pool while waiting. Requires
-/// exec.Parallel(); the problem's hooks are invoked concurrently from
-/// multiple threads and must be const/stateless.
-template <typename Problem>
-DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
-    const NormalizedTreeDecomposition& ntd, Problem* problem,
-    const DpExec& exec, DpStats* stats = nullptr) {
+ private:
+  struct PassBase {
+    virtual ~PassBase() = default;
+    virtual void Prepare(size_t num_nodes) = 0;
+    virtual void ProcessNode(const NormalizedTreeDecomposition& ntd,
+                             TdNodeId id) = 0;
+    virtual size_t StatesAt(TdNodeId id) const = 0;
+  };
+
+  template <typename Problem>
+  struct Pass : PassBase {
+    explicit Pass(Problem p) : problem(std::move(p)) {}
+
+    void Prepare(size_t num_nodes) override {
+      table.nodes.assign(num_nodes, {});
+    }
+    void ProcessNode(const NormalizedTreeDecomposition& ntd,
+                     TdNodeId id) override {
+      internal::DpProcessNode(ntd, id, &problem, &table);
+    }
+    size_t StatesAt(TdNodeId id) const override {
+      return table.nodes[static_cast<size_t>(id)].size();
+    }
+
+    Problem problem;
+    DpTable<typename Problem::State, typename Problem::Value> table;
+  };
+
+  std::vector<std::unique_ptr<PassBase>> passes_;
+};
+
+namespace internal {
+
+/// The shard schedule shared by every parallel driver: executes
+/// `process_node(id, &local_stats)` for each node, shard-by-shard on the
+/// pool; a shard is submitted once all of its child shards are done, and the
+/// calling thread helps drain the pool while waiting. `process_node` is
+/// invoked concurrently from multiple threads for nodes of distinct shards.
+template <typename ProcessNode>
+void RunShardedWalk(const DpExec& exec, ProcessNode&& process_node,
+                    DpStats* stats) {
   TREEDL_CHECK(exec.Parallel());
   const BagSharding& sharding = *exec.sharding;
   size_t num_shards = sharding.NumShards();
-
-  DpTable<typename Problem::State, typename Problem::Value> table;
-  table.nodes.resize(ntd.NumNodes());
 
   // Per-shard bookkeeping: dependency counters, isolated stats slots (merged
   // at the end — no contention), and the completion group.
@@ -200,10 +263,7 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
     Timer timer;
     DpStats& local = shard_stats[s];
     for (TdNodeId id : sharding.shards[s].nodes) {
-      internal::DpProcessNode(ntd, id, problem, &table);
-      size_t size = table.nodes[static_cast<size_t>(id)].size();
-      local.total_states += size;
-      local.max_states_per_node = std::max(local.max_states_per_node, size);
+      process_node(id, &local);
     }
     shard_millis[s] = timer.ElapsedMillis();
     int parent = sharding.shards[s].parent;
@@ -242,7 +302,101 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
     stats->shard_millis.insert(stats->shard_millis.end(),
                                shard_millis.begin(), shard_millis.end());
   }
+}
+
+}  // namespace internal
+
+/// Runs the bottom-up pass of `problem` over `ntd` sequentially and returns
+/// the full table. The table at the root characterizes the whole structure.
+template <typename Problem>
+DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
+    const NormalizedTreeDecomposition& ntd, Problem* problem,
+    DpStats* stats = nullptr) {
+  DpTable<typename Problem::State, typename Problem::Value> table;
+  table.nodes.resize(ntd.NumNodes());
+  for (TdNodeId id : ntd.PostOrder()) {
+    internal::DpProcessNode(ntd, id, problem, &table);
+    if (stats != nullptr) {
+      size_t size = table.nodes[static_cast<size_t>(id)].size();
+      stats->total_states += size;
+      stats->max_states_per_node = std::max(stats->max_states_per_node, size);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->traversals;
+    ++stats->passes;
+  }
   return table;
+}
+
+/// Parallel driver: one shard-scheduled walk (internal::RunShardedWalk) of
+/// `problem`'s transitions. Requires exec.Parallel(); the problem's hooks are
+/// invoked concurrently from multiple threads and must be const/stateless.
+template <typename Problem>
+DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
+    const NormalizedTreeDecomposition& ntd, Problem* problem,
+    const DpExec& exec, DpStats* stats = nullptr) {
+  DpTable<typename Problem::State, typename Problem::Value> table;
+  table.nodes.resize(ntd.NumNodes());
+  internal::RunShardedWalk(
+      exec,
+      [&](TdNodeId id, DpStats* local) {
+        internal::DpProcessNode(ntd, id, problem, &table);
+        size_t size = table.nodes[static_cast<size_t>(id)].size();
+        local->total_states += size;
+        local->max_states_per_node =
+            std::max(local->max_states_per_node, size);
+      },
+      stats);
+  if (stats != nullptr) {
+    ++stats->traversals;
+    ++stats->passes;
+  }
+  return table;
+}
+
+/// Fused sequential driver: one post-order walk feeding every pass of
+/// `multi`. Results are read out of the table pointers Add() returned.
+inline void RunMultiTreeDp(const NormalizedTreeDecomposition& ntd,
+                           MultiDp* multi, DpStats* stats = nullptr) {
+  multi->Prepare(ntd.NumNodes());
+  for (TdNodeId id : ntd.PostOrder()) {
+    multi->ProcessNode(ntd, id);
+    if (stats != nullptr) multi->AccumulateNodeStats(id, stats);
+  }
+  if (stats != nullptr) {
+    ++stats->traversals;
+    stats->passes += multi->NumPasses();
+  }
+}
+
+/// Fused parallel driver: ONE shard-scheduled walk drives every pass of
+/// `multi` — each bag is visited once, `stats->shards` grows by the shard
+/// count of a single traversal (not one per pass). Requires exec.Parallel().
+inline void RunMultiTreeDpSharded(const NormalizedTreeDecomposition& ntd,
+                                  MultiDp* multi, const DpExec& exec,
+                                  DpStats* stats = nullptr) {
+  multi->Prepare(ntd.NumNodes());
+  internal::RunShardedWalk(
+      exec,
+      [&](TdNodeId id, DpStats* local) {
+        multi->ProcessNode(ntd, id);
+        multi->AccumulateNodeStats(id, local);
+      },
+      stats);
+  if (stats != nullptr) {
+    ++stats->traversals;
+    stats->passes += multi->NumPasses();
+  }
+}
+
+/// Dispatches the fused traversal to the sharded driver when `exec` carries a
+/// usable sharding and pool, else to the sequential one.
+inline void RunMultiTreeDpAuto(const NormalizedTreeDecomposition& ntd,
+                               MultiDp* multi, const DpExec& exec,
+                               DpStats* stats = nullptr) {
+  if (exec.Parallel()) return RunMultiTreeDpSharded(ntd, multi, exec, stats);
+  return RunMultiTreeDp(ntd, multi, stats);
 }
 
 /// Dispatches to the sharded driver when `exec` carries a usable sharding and

@@ -103,6 +103,26 @@ class SubsetProblem {
   const Graph& graph_;
 };
 
+// Root scans shared by the standalone solvers and the fused-pass finalizers.
+size_t FinalizeCover(const Graph& graph,
+                     const NormalizedTreeDecomposition& ntd,
+                     const DpTable<SubsetState, size_t>& table) {
+  size_t best = graph.NumVertices();
+  for (const auto& [state, value] : table.at(ntd.root())) {
+    best = std::min(best, value);
+  }
+  return best;
+}
+
+size_t FinalizeIndependent(const NormalizedTreeDecomposition& ntd,
+                           const DpTable<SubsetState, size_t>& table) {
+  size_t best = 0;
+  for (const auto& [state, value] : table.at(ntd.root())) {
+    best = std::max(best, value);
+  }
+  return best;
+}
+
 }  // namespace
 
 StatusOr<size_t> MinVertexCoverNormalized(
@@ -110,11 +130,25 @@ StatusOr<size_t> MinVertexCoverNormalized(
     DpStats* stats, const DpExec& exec) {
   SubsetProblem<true> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
-  size_t best = graph.NumVertices();
-  for (const auto& [state, value] : table.at(ntd.root())) {
-    best = std::min(best, value);
-  }
-  return best;
+  return FinalizeCover(graph, ntd, table);
+}
+
+std::function<StatusOr<size_t>()> AddVertexCoverPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd) {
+  const auto* table = multi->Add(SubsetProblem<true>(graph));
+  return [table, &graph, &ntd]() -> StatusOr<size_t> {
+    return FinalizeCover(graph, ntd, *table);
+  };
+}
+
+std::function<StatusOr<size_t>()> AddIndependentSetPass(
+    MultiDp* multi, const Graph& graph,
+    const NormalizedTreeDecomposition& ntd) {
+  const auto* table = multi->Add(SubsetProblem<false>(graph));
+  return [table, &ntd]() -> StatusOr<size_t> {
+    return FinalizeIndependent(ntd, *table);
+  };
 }
 
 StatusOr<size_t> MinVertexCoverTd(const Graph& graph,
@@ -129,11 +163,7 @@ StatusOr<size_t> MaxIndependentSetNormalized(
     DpStats* stats, const DpExec& exec) {
   SubsetProblem<false> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
-  size_t best = 0;
-  for (const auto& [state, value] : table.at(ntd.root())) {
-    best = std::max(best, value);
-  }
-  return best;
+  return FinalizeIndependent(ntd, table);
 }
 
 StatusOr<size_t> MaxIndependentSetTd(const Graph& graph,

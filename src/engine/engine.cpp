@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.hpp"
 #include "common/timer.hpp"
 #include "core/extensions.hpp"
 #include "core/three_color.hpp"
@@ -10,9 +11,11 @@
 #include "datalog/grounder.hpp"
 #include "engine/passes.hpp"
 #include "engine/pipeline.hpp"
+#include "engine/session_io.hpp"
 #include "graph/gaifman.hpp"
 #include "mso/evaluator.hpp"
 #include "mso2dl/mso_to_datalog.hpp"
+#include "structure/structure_io.hpp"
 #include "td/elimination_order.hpp"
 #include "td/heuristics.hpp"
 
@@ -50,6 +53,8 @@ void MergeDp(const core::DpStats& dp, RunStats* stats) {
   stats->dp_shard_millis.insert(stats->dp_shard_millis.end(),
                                 dp.shard_millis.begin(),
                                 dp.shard_millis.end());
+  stats->dp_traversals += dp.traversals;
+  stats->dp_passes += dp.passes;
 }
 
 }  // namespace
@@ -556,6 +561,224 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
     }
     MergeDp(dp, s);
     return out;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+Engine::SolveResult Engine::SolveAllResult::Result(Problem problem) const {
+  SolveResult out;
+  switch (problem) {
+    case Problem::kThreeColor:
+      out.feasible = three_colorable;
+      out.witness = coloring;
+      break;
+    case Problem::kThreeColorCount:
+      out.feasible = three_colorings > 0;
+      out.count = three_colorings;
+      break;
+    case Problem::kVertexCover:
+      out.feasible = true;
+      out.optimum = min_vertex_cover;
+      break;
+    case Problem::kIndependentSet:
+      out.feasible = true;
+      out.optimum = max_independent_set;
+      break;
+    case Problem::kDominatingSet:
+      out.feasible = true;
+      out.optimum = min_dominating_set;
+      break;
+  }
+  return out;
+}
+
+StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<SolveAllResult> result = [&]() -> StatusOr<SolveAllResult> {
+    const Graph* graph = nullptr;
+    const NormalizedTreeDecomposition* ntd = nullptr;
+    core::DpExec exec;
+    {
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      TREEDL_ASSIGN_OR_RETURN(graph, EnsureGaifman(s));
+      TREEDL_ASSIGN_OR_RETURN(ntd, EnsurePlainNtd(s));
+      exec.pool = EnsurePool();
+      exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
+    }
+    // One fused traversal outside the lock: five state tables, each bag of
+    // the normal form visited exactly once (sharded when exec.Parallel()).
+    core::MultiDp multi;
+    auto three_color = core::AddThreeColorPass(&multi, *graph, *ntd,
+                                               options_.extract_witness);
+    auto count = core::AddThreeColorCountPass(&multi, *graph, *ntd);
+    auto vertex_cover = core::AddVertexCoverPass(&multi, *graph, *ntd);
+    auto independent = core::AddIndependentSetPass(&multi, *graph, *ntd);
+    auto dominating = core::AddDominatingSetPass(&multi, *graph, *ntd);
+    core::DpStats dp;
+    core::RunMultiTreeDpAuto(*ntd, &multi, exec, &dp);
+
+    SolveAllResult out;
+    TREEDL_ASSIGN_OR_RETURN(core::ThreeColorResult tc, three_color());
+    out.three_colorable = tc.colorable;
+    out.coloring = std::move(tc.coloring);
+    TREEDL_ASSIGN_OR_RETURN(out.three_colorings, count());
+    TREEDL_ASSIGN_OR_RETURN(out.min_vertex_cover, vertex_cover());
+    TREEDL_ASSIGN_OR_RETURN(out.max_independent_set, independent());
+    TREEDL_ASSIGN_OR_RETURN(out.min_dominating_set, dominating());
+    MergeDp(dp, s);
+    return out;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- Persistent sessions ------------------------------------------------------
+
+uint64_t Engine::SessionFingerprint() const {
+  // Stable across processes: hash a canonical text rendering of the session
+  // input, tagged by session kind. Computable without building any artifact
+  // (a load into a cold engine must not count as a build).
+  if (schema_ != nullptr) {
+    return Fnv1a64("schema:" + schema_->ToString());
+  }
+  return Fnv1a64("structure:" + FormatStructure(*owned_structure_));
+}
+
+Status Engine::SaveSession(const std::string& path, RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  Status result = [&]() -> Status {
+    engine::SessionArtifactRefs artifacts;
+    {
+      // Snapshot pointers under the lock: every cache slot is set-once and
+      // address-stable for the engine's lifetime, so serialization runs
+      // outside the lock with no copies and no stalled queries.
+      std::lock_guard<std::mutex> lock(sync_->cache_mu);
+      if (td_.has_value()) artifacts.td = &*td_;
+      if (closed_td_.has_value()) artifacts.closed_td = &*closed_td_;
+      if (plain_ntd_.has_value()) artifacts.plain_ntd = &*plain_ntd_;
+      if (enum_ntd_.has_value()) artifacts.enum_ntd = &*enum_ntd_;
+      if (tau_td_.has_value()) artifacts.tau_td = &*tau_td_;
+      if (encoding_ != nullptr) artifacts.encoding = encoding_.get();
+      if (primes_.has_value()) artifacts.primes = &*primes_;
+    }
+    s->artifact_saves += artifacts.Count();
+    return engine::WriteSessionFile(path, SessionFingerprint(), artifacts);
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+Status Engine::LoadSession(const std::string& path, RunStats* stats) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  Status result = [&]() -> Status {
+    TREEDL_ASSIGN_OR_RETURN(
+        engine::SessionArtifacts artifacts,
+        engine::ReadSessionFile(path, SessionFingerprint()));
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    // Phase 1 — validate everything, mutate nothing: a file that fails any
+    // check below must leave the session exactly as it was.
+    const Structure* structure = nullptr;
+    if (artifacts.td.has_value() || artifacts.closed_td.has_value() ||
+        artifacts.plain_ntd.has_value() || artifacts.enum_ntd.has_value()) {
+      if (schema_ != nullptr && encoding_ == nullptr &&
+          artifacts.encoding.has_value()) {
+        // Cold schema session with the encoding in the file: validate the
+        // decompositions against the file's own structure (it is the one
+        // they were built from) instead of paying an encode build here.
+        structure = &artifacts.encoding->structure;
+      } else {
+        TREEDL_ASSIGN_OR_RETURN(structure, EnsureStructure(s));
+      }
+    }
+    // Every restored bag must stay inside the session domain — the DPs
+    // index bag elements into domain-sized arrays, so an out-of-range id
+    // from a damaged file must be rejected here, not crash a query later.
+    // (ValidateNormalized constrains internal bags relative to each other
+    // but leaves leaf bags free.)
+    size_t domain = structure != nullptr ? structure->NumElements() : 0;
+    auto check_bag = [&](const std::vector<ElementId>& bag) -> Status {
+      for (ElementId e : bag) {
+        if (e >= domain) {
+          return Status::ParseError(
+              "session: bag element " + std::to_string(e) +
+              " outside the session domain of " + std::to_string(domain));
+        }
+      }
+      return Status::OK();
+    };
+    for (const auto* td : {&artifacts.td, &artifacts.closed_td}) {
+      if (!td->has_value()) continue;
+      for (size_t i = 0; i < (*td)->NumNodes(); ++i) {
+        TREEDL_RETURN_IF_ERROR(check_bag((*td)->Bag(static_cast<TdNodeId>(i))));
+      }
+    }
+    for (const auto* ntd : {&artifacts.plain_ntd, &artifacts.enum_ntd}) {
+      if (!ntd->has_value()) continue;
+      for (size_t i = 0; i < (*ntd)->NumNodes(); ++i) {
+        TREEDL_RETURN_IF_ERROR(
+            check_bag((*ntd)->Bag(static_cast<TdNodeId>(i))));
+      }
+    }
+    if (artifacts.td.has_value() && !td_.has_value() && options_.validate) {
+      engine::PipelineState state;
+      state.structure = structure;
+      state.td = *artifacts.td;
+      engine::PassPipeline pipeline;
+      pipeline.Emplace<engine::ValidateStructurePass>();
+      TREEDL_RETURN_IF_ERROR(
+          pipeline.Run(state, options_.collect_pass_timings ? s : nullptr));
+    }
+    // Phase 2 — commit; nothing below can fail.
+    if (artifacts.encoding.has_value() && schema_ != nullptr &&
+        encoding_ == nullptr) {
+      encoding_ =
+          std::make_unique<SchemaEncoding>(*std::move(artifacts.encoding));
+      ++s->artifact_loads;
+    }
+    if (artifacts.td.has_value() && !td_.has_value()) {
+      td_ = *std::move(artifacts.td);
+      ++s->artifact_loads;
+    }
+    if (artifacts.closed_td.has_value() && !closed_td_.has_value()) {
+      closed_td_ = *std::move(artifacts.closed_td);
+      ++s->artifact_loads;
+    }
+    if (artifacts.plain_ntd.has_value() && !plain_ntd_.has_value()) {
+      plain_ntd_ = *std::move(artifacts.plain_ntd);
+      ++s->artifact_loads;
+      // The sharding is thread-count dependent and cheap; recompute it
+      // rather than persisting it (EnsurePlainNtd will now short-circuit and
+      // never run the shard-bags pass).
+      size_t threads = ResolvedNumThreads();
+      if (threads > 1 && !sharding_.has_value()) {
+        sharding_ = ComputeBagSharding(*plain_ntd_,
+                                       threads * options_.shards_per_thread);
+      }
+    }
+    if (artifacts.enum_ntd.has_value() && !enum_ntd_.has_value()) {
+      enum_ntd_ = *std::move(artifacts.enum_ntd);
+      ++s->artifact_loads;
+    }
+    if (artifacts.tau_td.has_value() && !tau_td_.has_value()) {
+      tau_td_ = *std::move(artifacts.tau_td);
+      ++s->artifact_loads;
+    }
+    if (artifacts.primes.has_value() && !primes_.has_value() &&
+        schema_ != nullptr) {
+      primes_ = *std::move(artifacts.primes);
+      ++s->artifact_loads;
+    }
+    return Status::OK();
   }();
   s->total_millis = timer.ElapsedMillis();
   Record(*s);

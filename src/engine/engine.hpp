@@ -14,6 +14,9 @@
 //   engine.EvaluateMso(sentence);            // Thm 4.5 route or direct
 //   engine.EvaluateDatalog(program);         // naive/seminaive/grounded
 //   engine.Solve(Engine::Problem::kThreeColor);  // §5.1 and friends
+//   engine.SolveAll();                       // all five problems, ONE traversal
+//   engine.SaveSession("warm.tdls");         // persist the cached artifacts
+//   engine.LoadSession("warm.tdls");         // ... and restore them on restart
 //
 // Concurrency: one Engine may be shared by any number of threads. The lazy
 // caches are guarded by a session mutex, so N concurrent first queries still
@@ -84,6 +87,21 @@ class Engine {
     std::optional<std::vector<int>> witness;
   };
 
+  /// Batched answers of every Problem, produced by SolveAll's single fused
+  /// traversal.
+  struct SolveAllResult {
+    bool three_colorable = false;
+    /// A proper coloring when three_colorable and extract_witness.
+    std::optional<std::vector<int>> coloring;
+    uint64_t three_colorings = 0;
+    size_t min_vertex_cover = 0;
+    size_t max_independent_set = 0;
+    size_t min_dominating_set = 0;
+
+    /// The per-problem view, field-for-field what Solve(problem) returns.
+    SolveResult Result(Problem problem) const;
+  };
+
   /// Schema session: primality queries (plus datalog/MSO over the encoding).
   explicit Engine(Schema schema, EngineOptions options = {});
   /// Structure session: MSO/datalog/graph queries over an arbitrary
@@ -138,6 +156,32 @@ class Engine {
 
   StatusOr<SolveResult> Solve(Problem problem, RunStats* stats = nullptr);
 
+  /// Evaluates all five Problems in ONE bottom-up traversal of the cached
+  /// normal form (a core::MultiDp fusing the five state tables; with
+  /// num_threads > 1 the single traversal is bag-sharded exactly like
+  /// Solve's). Five answers cost one walk: RunStats reports dp_traversals ==
+  /// 1, dp_passes == 5, and a parallel session's dp_shards equals one
+  /// traversal's shard count, not five.
+  StatusOr<SolveAllResult> SolveAll(RunStats* stats = nullptr);
+
+  // --- Persistent sessions -------------------------------------------------
+
+  /// Writes every currently cached decomposition artifact (raw/closed
+  /// decompositions, normal forms, τ_td, schema encoding, memoized primes)
+  /// to `path` in the versioned format of docs/SESSION_FORMAT.md. Builds
+  /// nothing: warm the cache with the queries you intend to serve, then
+  /// save. The file is stamped with a fingerprint of the session input, so
+  /// it can only be loaded into an Engine over the same schema/structure.
+  Status SaveSession(const std::string& path, RunStats* stats = nullptr);
+
+  /// Restores artifacts from `path` into this session's cache (slots that
+  /// are already built keep the in-memory artifact). Subsequent queries hit
+  /// the cache instead of rebuilding: after a load into a cold engine,
+  /// RunStats shows zero encode/td/normalize builds. Corrupted,
+  /// wrong-fingerprint, or newer-versioned files fail with a clean error
+  /// Status and leave the session unchanged.
+  Status LoadSession(const std::string& path, RunStats* stats = nullptr);
+
   // --- Session artifacts ---------------------------------------------------
 
   /// The session schema, or null for structure sessions.
@@ -186,6 +230,9 @@ class Engine {
   /// The lazily created DP thread pool, or null when the session is
   /// configured sequential (resolved num_threads <= 1).
   ThreadPool* EnsurePool();
+  /// Stable hash of the session input (schema or structure) used to stamp
+  /// and verify session files.
+  uint64_t SessionFingerprint() const;
   /// EngineOptions::num_threads with 0 resolved to hardware concurrency.
   size_t ResolvedNumThreads() const;
   /// True when the MSO query must be answered by direct quantifier

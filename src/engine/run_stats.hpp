@@ -38,6 +38,11 @@ struct RunStats {
   size_t mso_compile_builds = 0;
   /// Cached artifacts reused instead of rebuilt.
   size_t cache_hits = 0;
+  /// Artifacts restored into the session cache from a session file
+  /// (Engine::LoadSession) — the "loads" side of loads vs. builds.
+  size_t artifact_loads = 0;
+  /// Artifacts written out to a session file (Engine::SaveSession).
+  size_t artifact_saves = 0;
 
   // --- Tree-DP work (core::DpStats slice) ---------------------------------
   size_t dp_states = 0;
@@ -50,6 +55,11 @@ struct RunStats {
   std::vector<double> dp_shard_millis;
   /// Slowest shard task seen (aggregated form of dp_shard_millis).
   double dp_slowest_shard_millis = 0;
+  /// Bottom-up decomposition walks this query executed.
+  size_t dp_traversals = 0;
+  /// DP state-table passes those walks drove. Solve: 1 traversal / 1 pass;
+  /// SolveAll: 1 traversal / 5 passes — the fused-batch evidence.
+  size_t dp_passes = 0;
 
   // --- Datalog fixpoint work (datalog::EvalStats slice) -------------------
   size_t eval_iterations = 0;
@@ -76,6 +86,8 @@ struct RunStats {
     normalize_builds += other.normalize_builds;
     mso_compile_builds += other.mso_compile_builds;
     cache_hits += other.cache_hits;
+    artifact_loads += other.artifact_loads;
+    artifact_saves += other.artifact_saves;
     dp_states += other.dp_states;
     dp_max_states_per_node =
         dp_max_states_per_node > other.dp_max_states_per_node
@@ -89,6 +101,8 @@ struct RunStats {
     dp_slowest_shard_millis = dp_slowest_shard_millis > other_slowest
                                   ? dp_slowest_shard_millis
                                   : other_slowest;
+    dp_traversals += other.dp_traversals;
+    dp_passes += other.dp_passes;
     eval_iterations += other.eval_iterations;
     derived_facts += other.derived_facts;
     rule_applications += other.rule_applications;

@@ -1,0 +1,238 @@
+#include "engine/session_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.hpp"
+#include "structure/structure_io.hpp"
+#include "td/td_io.hpp"
+
+namespace treedl::engine {
+
+namespace {
+
+void AppendSection(SessionSection tag, BinaryWriter&& payload,
+                   BinaryWriter* out) {
+  out->U32(static_cast<uint32_t>(tag));
+  out->Str(payload.buffer());
+}
+
+void EncodeSchemaEncoding(const SchemaEncoding& encoding, BinaryWriter* w) {
+  SerializeStructure(encoding.structure, w);
+  w->I32(encoding.num_attributes);
+  w->I32(encoding.num_fds);
+}
+
+StatusOr<SchemaEncoding> DecodeSchemaEncoding(BinaryReader* r) {
+  SchemaEncoding encoding{Structure(Signature()), 0, 0};
+  TREEDL_ASSIGN_OR_RETURN(encoding.structure, DeserializeStructure(r));
+  TREEDL_RETURN_IF_ERROR(r->I32(&encoding.num_attributes));
+  TREEDL_RETURN_IF_ERROR(r->I32(&encoding.num_fds));
+  if (encoding.num_attributes < 0 || encoding.num_fds < 0 ||
+      static_cast<size_t>(encoding.num_attributes) +
+          static_cast<size_t>(encoding.num_fds) >
+          encoding.structure.NumElements()) {
+    return Status::ParseError("session: schema encoding counts exceed domain");
+  }
+  return encoding;
+}
+
+void EncodePrimes(const std::vector<bool>& primes, BinaryWriter* w) {
+  w->U64(primes.size());
+  for (bool p : primes) w->U8(p ? 1 : 0);
+}
+
+StatusOr<std::vector<bool>> DecodePrimes(BinaryReader* r) {
+  size_t n = 0;
+  TREEDL_RETURN_IF_ERROR(r->Length(&n, 1));
+  std::vector<bool> primes(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t bit = 0;
+    TREEDL_RETURN_IF_ERROR(r->U8(&bit));
+    if (bit > 1) return Status::ParseError("session: non-boolean primes bit");
+    primes[i] = bit != 0;
+  }
+  return primes;
+}
+
+}  // namespace
+
+size_t SessionArtifacts::Count() const {
+  return (td.has_value() ? 1u : 0u) + (closed_td.has_value() ? 1u : 0u) +
+         (plain_ntd.has_value() ? 1u : 0u) + (enum_ntd.has_value() ? 1u : 0u) +
+         (tau_td.has_value() ? 1u : 0u) + (encoding.has_value() ? 1u : 0u) +
+         (primes.has_value() ? 1u : 0u);
+}
+
+size_t SessionArtifactRefs::Count() const {
+  return (td != nullptr ? 1u : 0u) + (closed_td != nullptr ? 1u : 0u) +
+         (plain_ntd != nullptr ? 1u : 0u) + (enum_ntd != nullptr ? 1u : 0u) +
+         (tau_td != nullptr ? 1u : 0u) + (encoding != nullptr ? 1u : 0u) +
+         (primes != nullptr ? 1u : 0u);
+}
+
+std::string EncodeSessionFile(uint64_t fingerprint,
+                              const SessionArtifactRefs& artifacts) {
+  BinaryWriter out;
+  out.U32(kSessionMagic);
+  out.U32(kSessionVersion);
+  out.U64(fingerprint);
+  out.U64(artifacts.Count());
+  if (artifacts.td != nullptr) {
+    BinaryWriter payload;
+    SerializeTreeDecomposition(*artifacts.td, &payload);
+    AppendSection(SessionSection::kTreeDecomposition, std::move(payload), &out);
+  }
+  if (artifacts.closed_td != nullptr) {
+    BinaryWriter payload;
+    SerializeTreeDecomposition(*artifacts.closed_td, &payload);
+    AppendSection(SessionSection::kClosedTreeDecomposition, std::move(payload),
+                  &out);
+  }
+  if (artifacts.plain_ntd != nullptr) {
+    BinaryWriter payload;
+    SerializeNormalizedTd(*artifacts.plain_ntd, &payload);
+    AppendSection(SessionSection::kPlainNormalizedTd, std::move(payload), &out);
+  }
+  if (artifacts.enum_ntd != nullptr) {
+    BinaryWriter payload;
+    SerializeNormalizedTd(*artifacts.enum_ntd, &payload);
+    AppendSection(SessionSection::kEnumNormalizedTd, std::move(payload), &out);
+  }
+  if (artifacts.tau_td != nullptr) {
+    BinaryWriter payload;
+    datalog::SerializeTauTd(*artifacts.tau_td, &payload);
+    AppendSection(SessionSection::kTauTd, std::move(payload), &out);
+  }
+  if (artifacts.encoding != nullptr) {
+    BinaryWriter payload;
+    EncodeSchemaEncoding(*artifacts.encoding, &payload);
+    AppendSection(SessionSection::kSchemaEncoding, std::move(payload), &out);
+  }
+  if (artifacts.primes != nullptr) {
+    BinaryWriter payload;
+    EncodePrimes(*artifacts.primes, &payload);
+    AppendSection(SessionSection::kPrimes, std::move(payload), &out);
+  }
+  return out.Take();
+}
+
+StatusOr<SessionArtifacts> DecodeSessionFile(std::string_view data,
+                                             uint64_t expected_fingerprint) {
+  BinaryReader reader(data);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t fingerprint = 0;
+  TREEDL_RETURN_IF_ERROR(reader.U32(&magic));
+  if (magic != kSessionMagic) {
+    return Status::ParseError("session: bad magic (not a treedl session file)");
+  }
+  TREEDL_RETURN_IF_ERROR(reader.U32(&version));
+  if (version == 0 || version > kSessionVersion) {
+    return Status::ParseError(
+        "session: file version " + std::to_string(version) +
+        " not supported (this build reads up to version " +
+        std::to_string(kSessionVersion) + ")");
+  }
+  TREEDL_RETURN_IF_ERROR(reader.U64(&fingerprint));
+  if (fingerprint != expected_fingerprint) {
+    return Status::InvalidArgument(
+        "session: fingerprint mismatch — the file was saved for a different "
+        "schema/structure");
+  }
+  size_t num_sections = 0;
+  TREEDL_RETURN_IF_ERROR(reader.Length(&num_sections, 4 + 8));
+
+  SessionArtifacts artifacts;
+  for (size_t i = 0; i < num_sections; ++i) {
+    uint32_t tag = 0;
+    TREEDL_RETURN_IF_ERROR(reader.U32(&tag));
+    size_t length = 0;
+    TREEDL_RETURN_IF_ERROR(reader.Length(&length, 1));
+    std::string_view payload;
+    TREEDL_RETURN_IF_ERROR(reader.Slice(length, &payload));
+    BinaryReader section(payload);
+    switch (static_cast<SessionSection>(tag)) {
+      case SessionSection::kTreeDecomposition: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.td,
+                                DeserializeTreeDecomposition(&section));
+        break;
+      }
+      case SessionSection::kClosedTreeDecomposition: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.closed_td,
+                                DeserializeTreeDecomposition(&section));
+        break;
+      }
+      case SessionSection::kPlainNormalizedTd: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.plain_ntd,
+                                DeserializeNormalizedTd(&section));
+        break;
+      }
+      case SessionSection::kEnumNormalizedTd: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.enum_ntd,
+                                DeserializeNormalizedTd(&section));
+        break;
+      }
+      case SessionSection::kTauTd: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.tau_td,
+                                datalog::DeserializeTauTd(&section));
+        break;
+      }
+      case SessionSection::kSchemaEncoding: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.encoding,
+                                DecodeSchemaEncoding(&section));
+        break;
+      }
+      case SessionSection::kPrimes: {
+        TREEDL_ASSIGN_OR_RETURN(artifacts.primes, DecodePrimes(&section));
+        break;
+      }
+      default:
+        // Unknown tag: a same-version writer with artifacts this reader does
+        // not know. Skipping keeps the rest of the file usable.
+        break;
+    }
+    if (!section.AtEnd() && tag >= 1 &&
+        tag <= static_cast<uint32_t>(SessionSection::kPrimes)) {
+      return Status::ParseError("session: trailing bytes in section " +
+                                std::to_string(tag));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("session: trailing bytes after last section");
+  }
+  return artifacts;
+}
+
+Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
+                        const SessionArtifactRefs& artifacts) {
+  std::string bytes = EncodeSessionFile(fingerprint, artifacts);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("session: cannot open '" + path +
+                                   "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("session: short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<SessionArtifacts> ReadSessionFile(const std::string& path,
+                                           uint64_t expected_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("session: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("session: read error on '" + path + "'");
+  }
+  std::string bytes = buffer.str();
+  return DecodeSessionFile(bytes, expected_fingerprint);
+}
+
+}  // namespace treedl::engine

@@ -15,12 +15,19 @@ std::string RunStats::ToString() const {
   out << "builds{encode=" << encode_builds << " td=" << td_builds
       << " normalize=" << normalize_builds << " cache_hits=" << cache_hits
       << "}";
+  if (artifact_loads > 0 || artifact_saves > 0) {
+    out << " session{loads=" << artifact_loads << " saves=" << artifact_saves
+        << "}";
+  }
   if (mso_compile_builds > 0) {
     out << " mso{compiles=" << mso_compile_builds << "}";
   }
   if (dp_states > 0) {
     out << " dp{states=" << dp_states
         << " max_per_node=" << dp_max_states_per_node;
+    if (dp_traversals > 0) {
+      out << " traversals=" << dp_traversals << " passes=" << dp_passes;
+    }
     if (dp_shards > 0) {
       double slowest = dp_slowest_shard_millis;
       for (double ms : dp_shard_millis) slowest = slowest > ms ? slowest : ms;

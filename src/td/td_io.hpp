@@ -1,11 +1,14 @@
 // Rendering of tree decompositions (raw and normalized) as ASCII trees and
-// Graphviz DOT. Used by examples/paper_figures to reproduce Figures 1, 2, 4.
+// Graphviz DOT — used by examples/paper_figures to reproduce Figures 1, 2,
+// 4 — plus their binary serialization for the engine's persistent sessions
+// (docs/SESSION_FORMAT.md).
 #ifndef TREEDL_TD_TD_IO_HPP_
 #define TREEDL_TD_TD_IO_HPP_
 
 #include <functional>
 #include <string>
 
+#include "common/binary_io.hpp"
 #include "structure/structure.hpp"
 #include "td/normalize.hpp"
 #include "td/tree_decomposition.hpp"
@@ -30,6 +33,31 @@ std::string RenderTree(const TupleNormalizedTd& ntd,
 /// Graphviz DOT rendering of a raw decomposition.
 std::string ToDot(const TreeDecomposition& td,
                   const ElementNamer& namer = DefaultNamer());
+
+// --- Binary serialization (session persistence) ----------------------------
+//
+// Nodes are written in traversal order (pre-order for the raw form, the
+// bottom-up construction order for the modified normal form) with remapped
+// ids, so deserialization replays the public AddNode construction path. The
+// tree shape, bags, and node kinds — everything the DP answers depend on —
+// survive the round trip exactly; raw node ids may be renumbered.
+
+/// Appends the binary encoding of `td` to `writer`.
+void SerializeTreeDecomposition(const TreeDecomposition& td,
+                                BinaryWriter* writer);
+
+/// Inverse of SerializeTreeDecomposition; corrupted input yields an error
+/// Status (every parent reference and length is validated before use).
+StatusOr<TreeDecomposition> DeserializeTreeDecomposition(BinaryReader* reader);
+
+/// Appends the binary encoding of the modified-normal-form `ntd`.
+void SerializeNormalizedTd(const NormalizedTreeDecomposition& ntd,
+                           BinaryWriter* writer);
+
+/// Inverse of SerializeNormalizedTd; the result additionally passes
+/// ValidateNormalized before it is returned.
+StatusOr<NormalizedTreeDecomposition> DeserializeNormalizedTd(
+    BinaryReader* reader);
 
 }  // namespace treedl
 

@@ -153,6 +153,43 @@ TEST(EngineTest, SolvesGraphProblemsOnOneDecomposition) {
   EXPECT_EQ(engine.CumulativeStats().td_builds, 1u);
   // ... and one normalization.
   EXPECT_EQ(engine.CumulativeStats().normalize_builds, 1u);
+  // ... but five separate traversals — the pattern SolveAll batches away.
+  EXPECT_EQ(engine.CumulativeStats().dp_traversals, 5u);
+  EXPECT_EQ(engine.CumulativeStats().dp_passes, 5u);
+}
+
+TEST(EngineTest, SolveAllBatchesFiveProblemsIntoOneTraversal) {
+  Graph petersen = PetersenGraph();
+  Engine engine = Engine::FromGraph(petersen);
+
+  RunStats run;
+  auto all = engine.SolveAll(&run);
+  ASSERT_TRUE(all.ok()) << all.status();
+
+  // Known Petersen facts, answered together.
+  EXPECT_TRUE(all->three_colorable);
+  ASSERT_TRUE(all->coloring.has_value());
+  EXPECT_GT(all->three_colorings, 0u);
+  EXPECT_EQ(all->min_vertex_cover, 6u);
+  EXPECT_EQ(all->max_independent_set, 4u);
+  EXPECT_EQ(all->min_dominating_set, 3u);
+  EXPECT_EQ(all->Result(Engine::Problem::kVertexCover).optimum, 6u);
+  EXPECT_TRUE(all->Result(Engine::Problem::kThreeColorCount).feasible);
+
+  // The acceptance criterion: ONE traversal family drove all five state
+  // tables.
+  EXPECT_EQ(run.dp_traversals, 1u);
+  EXPECT_EQ(run.dp_passes, 5u);
+  EXPECT_EQ(run.td_builds, 1u);
+  EXPECT_EQ(run.normalize_builds, 1u);
+
+  // A second batch is pure cache + one more traversal.
+  RunStats again;
+  ASSERT_TRUE(engine.SolveAll(&again).ok());
+  EXPECT_EQ(again.td_builds, 0u);
+  EXPECT_EQ(again.normalize_builds, 0u);
+  EXPECT_EQ(again.dp_traversals, 1u);
+  EXPECT_GT(again.cache_hits, 0u);
 }
 
 TEST(EngineTest, DeprecatedGraphShimsForwardStats) {

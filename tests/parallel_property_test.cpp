@@ -72,6 +72,59 @@ TEST(ParallelPropertyTest, ThreadCountsAgreeOnAllFiveProblems) {
   }
 }
 
+TEST(ParallelPropertyTest, SolveAllEqualsFiveSolvesAcrossThreadCounts) {
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    Rng rng(TestSeed(trial));
+    size_t n = 30 + 15 * static_cast<size_t>(trial);
+    int k = 2 + static_cast<int>(trial % 3);
+    Graph graph = RandomPartialKTree(n, k, 0.7, &rng);
+
+    EngineOptions sequential;
+    sequential.num_threads = 1;
+    EngineOptions parallel;
+    parallel.num_threads = 8;
+    Engine seq_engine = Engine::FromGraph(graph, sequential);
+    Engine par_engine = Engine::FromGraph(graph, parallel);
+    // A reference engine answers the five problems one at a time.
+    Engine ref_engine = Engine::FromGraph(graph, sequential);
+
+    RunStats seq_run;
+    RunStats par_run;
+    auto seq_all = seq_engine.SolveAll(&seq_run);
+    auto par_all = par_engine.SolveAll(&par_run);
+    ASSERT_TRUE(seq_all.ok()) << seq_all.status();
+    ASSERT_TRUE(par_all.ok()) << par_all.status();
+
+    for (Engine::Problem problem : kAllProblems) {
+      auto ref = ref_engine.Solve(problem);
+      ASSERT_TRUE(ref.ok()) << ref.status();
+      for (const auto* batch : {&seq_all, &par_all}) {
+        Engine::SolveResult fused = (*batch)->Result(problem);
+        EXPECT_EQ(fused.feasible, ref->feasible) << "trial " << trial;
+        EXPECT_EQ(fused.optimum, ref->optimum) << "trial " << trial;
+        EXPECT_EQ(fused.count, ref->count) << "trial " << trial;
+        EXPECT_EQ(fused.witness.has_value(), ref->witness.has_value());
+      }
+    }
+    if (par_all->coloring.has_value()) {
+      ExpectProperColoring(graph, *par_all->coloring);
+    }
+
+    // One traversal family on both sides, five passes deep; the parallel
+    // side sharded that single traversal (not five).
+    EXPECT_EQ(seq_run.dp_traversals, 1u) << "trial " << trial;
+    EXPECT_EQ(seq_run.dp_passes, 5u) << "trial " << trial;
+    EXPECT_EQ(par_run.dp_traversals, 1u) << "trial " << trial;
+    EXPECT_EQ(par_run.dp_passes, 5u) << "trial " << trial;
+    EXPECT_GT(par_run.dp_shards, 1u) << "trial " << trial;
+    EXPECT_EQ(par_run.dp_shard_millis.size(), par_run.dp_shards);
+    // Identical reachable-state tables: fused == five independent runs.
+    EXPECT_EQ(seq_run.dp_states, par_run.dp_states) << "trial " << trial;
+    EXPECT_EQ(ref_engine.CumulativeStats().dp_states, seq_run.dp_states)
+        << "trial " << trial;
+  }
+}
+
 TEST(ParallelPropertyTest, ShardingInvariantsHoldOnRandomInstances) {
   for (uint64_t trial = 0; trial < 8; ++trial) {
     Rng rng(TestSeed(trial));
