@@ -4,27 +4,44 @@
 // sequential driver (no pool, no sharding pass); every other row runs
 // RunTreeDpSharded on a work-stealing pool. Table caches are warmed before
 // timing so the rows compare pure DP traversals, not decomposition builds.
+//
+// The sharding rows also print the modeled load balance of node-count vs
+// cost-aware sharding (slowest shard cost / mean shard cost) — a
+// deterministic, machine-independent view of why the cost model exists:
+// under node-count sharding the wide-bag root region dominates the critical
+// path even when every shard has the same node count.
+//
+// Flags: --quick shrinks the instance for CI; --json <path> writes the
+// deterministic counters (shard counts, balance ratios, states, table
+// bytes — no wall-clock, so a 1-CPU runner produces comparable artifacts).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "engine/engine.hpp"
 #include "graph/generators.hpp"
+#include "td/normalize.hpp"
+#include "td/shard.hpp"
 
 namespace treedl {
 namespace {
 
-constexpr size_t kVertices = 3000;
-constexpr int kTreewidth = 6;
-constexpr double kKeepProbability = 0.55;
-constexpr uint64_t kSeed = 20260727;
-constexpr int kRepeats = 3;
+struct BenchConfig {
+  size_t vertices = 3000;
+  int treewidth = 6;
+  double keep_probability = 0.55;
+  uint64_t seed = 20260727;
+  int repeats = 3;
+  const char* json_path = nullptr;
+};
 
-double TimeSolves(Engine& engine, RunStats* last_run) {
+double TimeSolves(const BenchConfig& config, Engine& engine,
+                  RunStats* last_run) {
   Timer timer;
-  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+  for (int repeat = 0; repeat < config.repeats; ++repeat) {
     auto vc = engine.Solve(Engine::Problem::kVertexCover, last_run);
     TREEDL_CHECK(vc.ok()) << vc.status();
     auto count = engine.Solve(Engine::Problem::kThreeColorCount);
@@ -33,19 +50,68 @@ double TimeSolves(Engine& engine, RunStats* last_run) {
   return timer.ElapsedMillis();
 }
 
-void RunParallelDpBench() {
-  Rng rng(kSeed);
-  Graph graph = RandomPartialKTree(kVertices, kTreewidth, kKeepProbability,
-                                   &rng);
+struct Balance {
+  size_t shards = 0;
+  double slowest_over_mean = 0;
+};
+
+/// Modeled cost balance of `sharding`: slowest shard cost / mean shard cost,
+/// with every shard's cost recomputed under EstimateNodeCost so node-count
+/// and cost-aware shardings are compared under the same work model.
+Balance ModeledBalance(const NormalizedTreeDecomposition& ntd,
+                       const BagSharding& sharding) {
+  Balance out;
+  out.shards = sharding.NumShards();
+  if (out.shards == 0) return out;
+  uint64_t total = 0;
+  uint64_t slowest = 0;
+  for (const BagShard& shard : sharding.shards) {
+    uint64_t cost = 0;
+    for (TdNodeId id : shard.nodes) cost += EstimateNodeCost(ntd.node(id));
+    total += cost;
+    slowest = std::max(slowest, cost);
+  }
+  double mean = static_cast<double>(total) / static_cast<double>(out.shards);
+  out.slowest_over_mean = static_cast<double>(slowest) / mean;
+  return out;
+}
+
+void RunParallelDpBench(const BenchConfig& config) {
+  Rng rng(config.seed);
+  Graph graph = RandomPartialKTree(config.vertices, config.treewidth,
+                                   config.keep_probability, &rng);
   std::printf("parallel tree DP: partial %d-tree, n=%zu, keep=%.2f "
               "(%d x {VC, #3COL} per row)\n",
-              kTreewidth, kVertices, kKeepProbability, kRepeats);
+              config.treewidth, config.vertices, config.keep_probability,
+              config.repeats);
   std::printf("hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
+
+  // Deterministic sharding-balance comparison on the session's normal form.
+  Balance by_nodes;
+  Balance by_cost;
+  {
+    Engine engine = Engine::FromGraph(graph);
+    auto td = engine.Decomposition();
+    TREEDL_CHECK(td.ok()) << td.status();
+    auto ntd = Normalize(**td);
+    TREEDL_CHECK(ntd.ok()) << ntd.status();
+    constexpr size_t kTargetShards = 16;  // 4 threads x 4 shards/thread
+    by_nodes = ModeledBalance(*ntd, ComputeBagSharding(*ntd, kTargetShards));
+    by_cost =
+        ModeledBalance(*ntd, ComputeBagShardingByCost(*ntd, kTargetShards));
+    std::printf("sharding balance (slowest/mean modeled cost, target %zu): "
+                "by-node-count %.2fx over %zu shards, cost-aware %.2fx over "
+                "%zu shards\n\n",
+                kTargetShards, by_nodes.slowest_over_mean, by_nodes.shards,
+                by_cost.slowest_over_mean, by_cost.shards);
+  }
+
   std::printf("%8s %8s %10s %8s %10s %14s\n", "threads", "shards", "time ms",
               "speedup", "states", "slowest shard");
 
   double baseline = 0;
+  RunStats parallel_run;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     EngineOptions options;
     options.num_threads = threads;
@@ -56,8 +122,9 @@ void RunParallelDpBench() {
     TREEDL_CHECK(warm.ok()) << warm.status();
 
     RunStats run;
-    double ms = TimeSolves(engine, &run);
+    double ms = TimeSolves(config, engine, &run);
     if (threads == 1) baseline = ms;
+    if (threads == 4) parallel_run = run;
     double slowest = 0;
     for (double shard_ms : run.dp_shard_millis) {
       slowest = std::max(slowest, shard_ms);
@@ -68,12 +135,48 @@ void RunParallelDpBench() {
   std::printf("\n(speedup needs real cores: on a single-hardware-thread "
               "machine every row\n degenerates to time-sliced execution and "
               "the ratio stays ~1x)\n");
+
+  if (config.json_path != nullptr) {
+    FILE* out = std::fopen(config.json_path, "w");
+    TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"parallel_dp\",\n"
+                 "  \"vertices\": %zu,\n"
+                 "  \"treewidth\": %d,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"dp_states\": %zu,\n"
+                 "  \"dp_shards\": %zu,\n"
+                 "  \"peak_table_bytes\": %zu,\n"
+                 "  \"balance_by_node_count\": %.4f,\n"
+                 "  \"balance_by_cost\": %.4f,\n"
+                 "  \"shards_by_node_count\": %zu,\n"
+                 "  \"shards_by_cost\": %zu\n"
+                 "}\n",
+                 config.vertices, config.treewidth,
+                 static_cast<unsigned long long>(config.seed),
+                 parallel_run.dp_states, parallel_run.dp_shards,
+                 parallel_run.dp_peak_table_bytes,
+                 by_nodes.slowest_over_mean, by_cost.slowest_over_mean,
+                 by_nodes.shards, by_cost.shards);
+    std::fclose(out);
+    std::printf("  wrote %s\n", config.json_path);
+  }
 }
 
 }  // namespace
 }  // namespace treedl
 
-int main() {
-  treedl::RunParallelDpBench();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.vertices = 600;
+      config.repeats = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunParallelDpBench(config);
   return 0;
 }

@@ -1,14 +1,21 @@
 // The SolveAll fusion win: five independent Solve traversals vs one fused
 // MultiDp traversal over the same cached normal form, sequential and
 // sharded-parallel, plus the SaveSession/LoadSession cost next to the
-// artifact-build cost it amortizes away.
+// artifact-build cost it amortizes away, and the table-memory ceiling a
+// budgeted session holds (peak table bytes with vs without eviction).
 //
 // Caches are warmed before timing, so the Solve-vs-SolveAll rows compare
 // pure traversal work. The per-bag transition work is identical either way;
 // the fused walk saves the per-traversal overhead (post-order walk, shard
 // scheduling, table allocation churn) and, more importantly for the serving
 // story, turns five queue round-trips into one.
+//
+// Flags: --quick shrinks the instance for CI; --json <path> additionally
+// writes the deterministic counters (states, traversals, table bytes,
+// evictions — no wall-clock, so a 1-CPU runner produces meaningful,
+// comparable artifacts).
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/timer.hpp"
@@ -18,11 +25,14 @@
 namespace treedl {
 namespace {
 
-constexpr size_t kVertices = 2000;
-constexpr int kTreewidth = 5;
-constexpr double kKeepProbability = 0.55;
-constexpr uint64_t kSeed = 20260727;
-constexpr int kRepeats = 5;
+struct BenchConfig {
+  size_t vertices = 2000;
+  int treewidth = 5;
+  double keep_probability = 0.55;
+  uint64_t seed = 20260727;
+  int repeats = 5;
+  const char* json_path = nullptr;
+};
 
 constexpr Engine::Problem kAllProblems[] = {
     Engine::Problem::kThreeColor,      Engine::Problem::kThreeColorCount,
@@ -30,7 +40,8 @@ constexpr Engine::Problem kAllProblems[] = {
     Engine::Problem::kDominatingSet,
 };
 
-void BenchOneThreadCount(const Graph& graph, size_t num_threads) {
+RunStats BenchOneThreadCount(const BenchConfig& config, const Graph& graph,
+                             size_t num_threads) {
   EngineOptions options;
   options.num_threads = num_threads;
   options.extract_witness = false;  // time the DPs, not witness walks
@@ -41,7 +52,8 @@ void BenchOneThreadCount(const Graph& graph, size_t num_threads) {
   double solve_all_millis = 0;
   size_t solve_traversals = 0;
   size_t fused_traversals = 0;
-  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+  RunStats last_fused;
+  for (int repeat = 0; repeat < config.repeats; ++repeat) {
     {
       Timer timer;
       for (Engine::Problem problem : kAllProblems) {
@@ -59,14 +71,34 @@ void BenchOneThreadCount(const Graph& graph, size_t num_threads) {
       TREEDL_CHECK(result.ok()) << result.status();
       fused_traversals += run.dp_traversals;
       solve_all_millis += timer.ElapsedMillis();
+      last_fused = run;
     }
   }
   std::printf(
       "  threads=%zu  5xSolve: %8.2f ms (%zu traversals)   SolveAll: %8.2f "
-      "ms (%zu traversals)   ratio %.2fx\n",
-      num_threads, solve_millis / kRepeats, solve_traversals / kRepeats,
-      solve_all_millis / kRepeats, fused_traversals / kRepeats,
-      solve_millis / solve_all_millis);
+      "ms (%zu traversals)   ratio %.2fx   table_peak=%zuB\n",
+      num_threads, solve_millis / config.repeats,
+      solve_traversals / static_cast<size_t>(config.repeats),
+      solve_all_millis / config.repeats,
+      fused_traversals / static_cast<size_t>(config.repeats),
+      solve_millis / solve_all_millis, last_fused.dp_peak_table_bytes);
+  return last_fused;
+}
+
+/// One budgeted SolveAll: same answers, bounded live-table memory.
+RunStats BenchEviction(const Graph& graph) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.extract_witness = false;
+  options.table_memory_budget = 64 * 1024;
+  Engine engine = Engine::FromGraph(graph, options);
+  RunStats run;
+  auto result = engine.SolveAll(&run);
+  TREEDL_CHECK(result.ok()) << result.status();
+  std::printf(
+      "  eviction (budget 64KiB): table_peak=%zuB  tables_evicted=%zu\n",
+      run.dp_peak_table_bytes, run.dp_tables_evicted);
+  return run;
 }
 
 void BenchSessionIo(const Graph& graph) {
@@ -97,23 +129,64 @@ void BenchSessionIo(const Graph& graph) {
       build_millis, save_run.artifact_saves, save_millis, load_millis);
 }
 
-void RunSolveAllBench() {
-  Rng rng(kSeed);
-  Graph graph = RandomPartialKTree(kVertices, kTreewidth, kKeepProbability,
-                                   &rng);
+void WriteJson(const BenchConfig& config, const RunStats& sequential,
+               const RunStats& parallel, const RunStats& evicted) {
+  FILE* out = std::fopen(config.json_path, "w");
+  TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"solve_all\",\n"
+               "  \"vertices\": %zu,\n"
+               "  \"treewidth\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"dp_states\": %zu,\n"
+               "  \"dp_traversals\": %zu,\n"
+               "  \"dp_passes\": %zu,\n"
+               "  \"dp_shards_parallel\": %zu,\n"
+               "  \"peak_table_bytes\": %zu,\n"
+               "  \"peak_table_bytes_budgeted\": %zu,\n"
+               "  \"tables_evicted_budgeted\": %zu\n"
+               "}\n",
+               config.vertices, config.treewidth,
+               static_cast<unsigned long long>(config.seed),
+               sequential.dp_states, sequential.dp_traversals,
+               sequential.dp_passes, parallel.dp_shards,
+               sequential.dp_peak_table_bytes, evicted.dp_peak_table_bytes,
+               evicted.dp_tables_evicted);
+  std::fclose(out);
+  std::printf("  wrote %s\n", config.json_path);
+}
+
+void RunSolveAllBench(const BenchConfig& config) {
+  Rng rng(config.seed);
+  Graph graph = RandomPartialKTree(config.vertices, config.treewidth,
+                                   config.keep_probability, &rng);
   std::printf(
       "SolveAll fusion: partial %d-tree, n=%zu, keep=%.2f, %d repeats\n",
-      kTreewidth, kVertices, kKeepProbability, kRepeats);
-  for (size_t threads : {size_t{1}, size_t{4}}) {
-    BenchOneThreadCount(graph, threads);
-  }
+      config.treewidth, config.vertices, config.keep_probability,
+      config.repeats);
+  RunStats sequential = BenchOneThreadCount(config, graph, 1);
+  RunStats parallel = BenchOneThreadCount(config, graph, 4);
+  RunStats evicted = BenchEviction(graph);
   BenchSessionIo(graph);
+  if (config.json_path != nullptr) {
+    WriteJson(config, sequential, parallel, evicted);
+  }
 }
 
 }  // namespace
 }  // namespace treedl
 
-int main() {
-  treedl::RunSolveAllBench();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.vertices = 400;
+      config.repeats = 2;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunSolveAllBench(config);
   return 0;
 }

@@ -1,0 +1,205 @@
+// FlatTable: the arena-backed open-addressing state table of the tree DPs.
+//
+// Replaces std::unordered_map<State, Value> as the per-bag table of
+// core/tree_dp.hpp. Layout:
+//
+//   entries_  — dense array of {hash, {State, Value}} records in insertion
+//               order; this is what iteration walks, so the transition loops
+//               (introduce/forget/join) stream states contiguously instead of
+//               pointer-chasing hash buckets.
+//   slots_    — power-of-two open-addressing index (linear probing); each
+//               slot holds 1 + entry index, 0 = empty. Rehashing on growth
+//               touches only this small array — entries never move on rehash
+//               (they move only on the geometric dense-array growth, by
+//               move-construction).
+//
+// Both arrays live in the table's own bump Arena (common/arena.hpp): one
+// malloc'd block per growth step instead of one heap node per state, and
+// Release() frees the whole table at once — the primitive behind the DP's
+// shard-table eviction. MemoryBytes() reports the arena footprint, which the
+// drivers aggregate into DpStats::peak_table_bytes.
+//
+// Iteration order is insertion order — deterministic given a deterministic
+// emission sequence, identical between the sequential and sharded drivers
+// (each node's transitions run on exactly one thread, in post order within a
+// shard). The table is not thread-safe; the DP guarantees a node's table is
+// written by one thread and read by its parent only after completion.
+#ifndef TREEDL_COMMON_FLAT_TABLE_HPP_
+#define TREEDL_COMMON_FLAT_TABLE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/arena.hpp"
+#include "common/logging.hpp"
+
+namespace treedl {
+
+template <typename State, typename Value>
+class FlatTable {
+ public:
+  /// Iteration yields `const std::pair<State, Value>&` — the structured
+  /// binding shape of the std::unordered_map it replaces.
+  using Entry = std::pair<State, Value>;
+
+  FlatTable() = default;
+  FlatTable(FlatTable&& other) noexcept { *this = std::move(other); }
+  FlatTable& operator=(FlatTable&& other) noexcept {
+    if (this != &other) {
+      DestroyEntries();
+      arena_ = std::move(other.arena_);
+      records_ = std::exchange(other.records_, nullptr);
+      slots_ = std::exchange(other.slots_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      entry_capacity_ = std::exchange(other.entry_capacity_, 0);
+      slot_mask_ = std::exchange(other.slot_mask_, 0);
+    }
+    return *this;
+  }
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+  ~FlatTable() { DestroyEntries(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  struct Record {
+    size_t hash;
+    Entry entry;
+  };
+
+  // Dense, insertion-ordered iteration over the records array.
+  struct Iterator {
+    const Record* record;
+    const Entry& operator*() const { return record->entry; }
+    const Entry* operator->() const { return &record->entry; }
+    Iterator& operator++() {
+      ++record;
+      return *this;
+    }
+    bool operator==(const Iterator&) const = default;
+  };
+  Iterator begin() const { return Iterator{records_}; }
+  Iterator end() const { return Iterator{records_ + size_}; }
+
+  /// Pointer to the value of `state`, or null.
+  const Value* Find(const State& state) const {
+    if (size_ == 0) return nullptr;
+    size_t hash = state.hash();
+    for (size_t probe = hash & slot_mask_;; probe = (probe + 1) & slot_mask_) {
+      uint32_t slot = slots_[probe];
+      if (slot == 0) return nullptr;
+      Record& record = records_[slot - 1];
+      if (record.hash == hash && record.entry.first == state) {
+        return &record.entry.second;
+      }
+    }
+  }
+
+  size_t count(const State& state) const { return Find(state) ? 1 : 0; }
+
+  const Value& at(const State& state) const {
+    const Value* value = Find(state);
+    TREEDL_CHECK(value != nullptr) << "FlatTable::at: state not present";
+    return *value;
+  }
+
+  /// The emit/merge primitive of the DP transition loops: inserts
+  /// (state, value), or folds `value` into the existing value with
+  /// `merge(old, value)` when `state` is already present.
+  template <typename MergeFn>
+  void Emplace(State state, Value value, MergeFn&& merge) {
+    size_t hash = state.hash();
+    // Probe for an existing entry BEFORE growing: a merge that lands exactly
+    // at the capacity boundary must not trigger a pointless reallocation.
+    size_t probe = 0;
+    bool have_slot = false;
+    if (slots_ != nullptr) {
+      for (probe = hash & slot_mask_;; probe = (probe + 1) & slot_mask_) {
+        uint32_t slot = slots_[probe];
+        if (slot == 0) {
+          have_slot = true;
+          break;
+        }
+        Record& record = records_[slot - 1];
+        if (record.hash == hash && record.entry.first == state) {
+          record.entry.second = merge(record.entry.second, value);
+          return;
+        }
+      }
+    }
+    if (size_ == entry_capacity_) {
+      Grow();
+      have_slot = false;  // the slot array was rebuilt
+    }
+    if (!have_slot) {
+      for (probe = hash & slot_mask_; slots_[probe] != 0;
+           probe = (probe + 1) & slot_mask_) {
+      }
+    }
+    new (&records_[size_]) Record{hash, {std::move(state), std::move(value)}};
+    slots_[probe] = static_cast<uint32_t>(++size_);
+  }
+
+  /// The arena footprint in bytes — what this table charges against
+  /// DpStats::peak_table_bytes / EngineOptions::table_memory_budget.
+  /// (State-internal heap, e.g. a bag-sized vector per state, is not
+  /// tracked; the table arrays dominate.)
+  size_t MemoryBytes() const { return arena_.TotalBytes(); }
+
+  /// Eviction: destroys every entry and frees the arena, returning the table
+  /// to the empty state. Safe to call on an empty table.
+  void Release() {
+    DestroyEntries();
+    arena_.Reset();
+    records_ = nullptr;
+    slots_ = nullptr;
+    size_ = 0;
+    entry_capacity_ = 0;
+    slot_mask_ = 0;
+  }
+
+ private:
+  // Slot count stays >= 2x entry capacity, so the load factor never exceeds
+  // 0.5 and linear probing stays short.
+  void Grow() {
+    size_t new_entry_capacity = entry_capacity_ == 0 ? 8 : entry_capacity_ * 2;
+    size_t new_slot_count = new_entry_capacity * 2;
+    Record* new_records = arena_.template AllocateArray<Record>(
+        new_entry_capacity);
+    for (size_t i = 0; i < size_; ++i) {
+      new (&new_records[i]) Record{records_[i].hash,
+                                   std::move(records_[i].entry)};
+      records_[i].entry.~Entry();
+    }
+    uint32_t* new_slots = arena_.template AllocateArray<uint32_t>(
+        new_slot_count);
+    for (size_t i = 0; i < new_slot_count; ++i) new_slots[i] = 0;
+    size_t mask = new_slot_count - 1;
+    for (size_t i = 0; i < size_; ++i) {
+      size_t probe = new_records[i].hash & mask;
+      while (new_slots[probe] != 0) probe = (probe + 1) & mask;
+      new_slots[probe] = static_cast<uint32_t>(i + 1);
+    }
+    records_ = new_records;
+    slots_ = new_slots;
+    entry_capacity_ = new_entry_capacity;
+    slot_mask_ = mask;
+  }
+
+  void DestroyEntries() {
+    for (size_t i = 0; i < size_; ++i) records_[i].entry.~Entry();
+  }
+
+  Arena arena_;
+  Record* records_ = nullptr;
+  uint32_t* slots_ = nullptr;
+  size_t size_ = 0;
+  size_t entry_capacity_ = 0;
+  size_t slot_mask_ = 0;
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_FLAT_TABLE_HPP_

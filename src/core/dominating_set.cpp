@@ -173,7 +173,8 @@ StatusOr<size_t> MinDominatingSetNormalized(
 std::function<StatusOr<size_t>()> AddDominatingSetPass(
     MultiDp* multi, const Graph& graph,
     const NormalizedTreeDecomposition& ntd) {
-  const auto* table = multi->Add(DominatingProblem(graph));
+  const auto* table = multi->Add(DominatingProblem(graph),
+                                 /*retain_tables=*/false);
   return [table, &graph, &ntd]() -> StatusOr<size_t> {
     return FinalizeDominating(graph, ntd, *table);
   };

@@ -216,7 +216,11 @@ StatusOr<ThreeColorResult> SolveThreeColorNormalized(
     bool extract_coloring, const DpExec& exec) {
   ColorProblem<false> problem(graph);
   ThreeColorResult result;
-  auto table = RunTreeDpAuto(ntd, &problem, exec, &result.stats);
+  // Witness extraction re-reads interior tables after the run, so it is
+  // incompatible with dead-table eviction — drop any memory budget.
+  DpExec run_exec = exec;
+  if (extract_coloring) run_exec.table_memory_budget = 0;
+  auto table = RunTreeDpAuto(ntd, &problem, run_exec, &result.stats);
   ThreeColorResult finalized =
       FinalizeDecision(graph, ntd, table, extract_coloring);
   finalized.stats = result.stats;
@@ -226,7 +230,10 @@ StatusOr<ThreeColorResult> SolveThreeColorNormalized(
 std::function<StatusOr<ThreeColorResult>()> AddThreeColorPass(
     MultiDp* multi, const Graph& graph, const NormalizedTreeDecomposition& ntd,
     bool extract_coloring) {
-  const auto* table = multi->Add(ColorProblem<false>(graph));
+  // Only the witness walk needs interior tables after the traversal; a pure
+  // decision pass reads the root alone and its tables may be evicted.
+  const auto* table = multi->Add(ColorProblem<false>(graph),
+                                 /*retain_tables=*/extract_coloring);
   return [table, &graph, &ntd,
           extract_coloring]() -> StatusOr<ThreeColorResult> {
     return FinalizeDecision(graph, ntd, *table, extract_coloring);
@@ -236,7 +243,8 @@ std::function<StatusOr<ThreeColorResult>()> AddThreeColorPass(
 std::function<StatusOr<uint64_t>()> AddThreeColorCountPass(
     MultiDp* multi, const Graph& graph,
     const NormalizedTreeDecomposition& ntd) {
-  const auto* table = multi->Add(ColorProblem<true>(graph));
+  const auto* table = multi->Add(ColorProblem<true>(graph),
+                                 /*retain_tables=*/false);
   return [table, &ntd]() -> StatusOr<uint64_t> {
     return FinalizeCount(ntd, *table);
   };

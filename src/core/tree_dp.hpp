@@ -17,6 +17,14 @@
 //   };
 //
 // `emit(state, value)` may be called any number of times per transition.
+// Merge must be commutative and associative — the drivers rely on this for
+// order-independence of the final tables.
+//
+// State tables are flat, arena-backed open-addressing tables (StateTable =
+// FlatTable, common/flat_table.hpp): states live contiguously per bag in the
+// node's own bump arena — one allocation per growth step instead of one heap
+// node per state — and a whole table can be released at once, which is the
+// primitive behind dead-table eviction (below).
 //
 // Two drivers share the per-node transition logic:
 //   RunTreeDp         — sequential post-order traversal;
@@ -29,11 +37,24 @@
 //                       one, because every node still sees fully-built child
 //                       tables and processes them in the same order.
 //
+// Dead-table eviction (DpExec::table_memory_budget > 0): a node's table is
+// consumed exactly once — by its parent node (in the same shard, or as the
+// boundary table of a child shard that the parent shard reads). The drivers
+// therefore release every child table right after its parent node is
+// processed, bounding peak table memory by the live frontier of the
+// traversal instead of the whole decomposition. The root's table is never
+// evicted (the finalizers read it), and problems that re-read interior
+// tables after the run (witness extraction) opt out per pass/run.
+// DpStats::peak_table_bytes / tables_evicted report the effect.
+//
 // MultiDp fuses several problems into ONE traversal: each registered problem
 // keeps its own state table, but the tree (and, in the parallel case, the
-// shard schedule) is walked once, with every bag visited a single time
-// driving all tables. This is what Engine::SolveAll runs — N problems cost
-// one traversal family instead of N.
+// shard schedule) is walked once. Within a chunk of nodes (the whole
+// post-order, or one shard's node list) execution is *pass-major*: pass 1
+// processes every node of the chunk, then pass 2, and so on — one state
+// table streams through the cache at a time, instead of five tables
+// thrashing it per node. This is what Engine::SolveAll runs — N problems
+// cost one traversal family instead of N.
 #ifndef TREEDL_CORE_TREE_DP_HPP_
 #define TREEDL_CORE_TREE_DP_HPP_
 
@@ -42,8 +63,10 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "common/logging.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
@@ -58,15 +81,18 @@ struct MemberHash {
   size_t operator()(const T& t) const { return t.hash(); }
 };
 
+/// One bag's state table: flat open addressing over an arena (see header
+/// comment). Iteration order is insertion order — deterministic and identical
+/// between the sequential and sharded drivers.
 template <typename State, typename Value>
-using StateMap = std::unordered_map<State, Value, MemberHash<State>>;
+using StateTable = FlatTable<State, Value>;
 
 template <typename State, typename Value>
 struct DpTable {
-  /// Indexed by normalized-TD node id.
-  std::vector<StateMap<State, Value>> nodes;
+  /// Indexed by normalized-TD node id. Evicted nodes read as empty tables.
+  std::vector<StateTable<State, Value>> nodes;
 
-  const StateMap<State, Value>& at(TdNodeId id) const {
+  const StateTable<State, Value>& at(TdNodeId id) const {
     return nodes[static_cast<size_t>(id)];
   }
 };
@@ -83,14 +109,26 @@ struct DpStats {
   /// DP state-table passes driven by those walks; a MultiDp traversal drives
   /// several passes per walk (passes > traversals is the fusion win).
   size_t passes = 0;
+  /// High-water mark of live state-table bytes (arena footprints, summed
+  /// across all passes of the run).
+  size_t peak_table_bytes = 0;
+  /// Dead tables released before the end of the run (0 without a budget).
+  size_t tables_evicted = 0;
 };
 
-/// Execution context for the parallel driver. Default-constructed (or with
-/// either pointer null, or a single shard) every driver below degrades to the
+/// Execution context for the drivers. Default-constructed (or with either
+/// pointer null, or a single shard) every driver below degrades to the
 /// sequential traversal.
 struct DpExec {
   const BagSharding* sharding = nullptr;
   ThreadPool* pool = nullptr;
+  /// > 0 enables dead-table eviction (header comment): a soft ceiling on
+  /// live table bytes. Eviction frees tables as soon as the traversal proves
+  /// them dead, so peak memory tracks the traversal frontier; a budget
+  /// smaller than the frontier itself is exceeded, never enforced by
+  /// aborting. 0 keeps every table alive until the run ends (required by
+  /// callers that re-read interior tables, e.g. witness extraction).
+  size_t table_memory_budget = 0;
 
   bool Parallel() const {
     return sharding != nullptr && pool != nullptr && sharding->NumShards() > 1;
@@ -99,7 +137,37 @@ struct DpExec {
 
 namespace internal {
 
-/// Computes one node's state map from its children's completed maps — the
+/// Cross-shard accounting of live state-table bytes. Relaxed atomics: the
+/// counters are statistics, not synchronization; table lifetime is ordered by
+/// the shard schedule itself.
+struct TableMemoryTracker {
+  std::atomic<size_t> current{0};
+  std::atomic<size_t> peak{0};
+  std::atomic<size_t> evicted{0};
+
+  void Add(size_t bytes) {
+    if (bytes == 0) return;
+    size_t now = current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t seen = peak.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Evict(size_t bytes) {
+    current.fetch_sub(bytes, std::memory_order_relaxed);
+    evicted.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void FoldInto(DpStats* stats) const {
+    if (stats == nullptr) return;
+    stats->peak_table_bytes =
+        std::max(stats->peak_table_bytes, peak.load(std::memory_order_relaxed));
+    stats->tables_evicted += evicted.load(std::memory_order_relaxed);
+  }
+};
+
+/// Computes one node's state table from its children's completed tables — the
 /// single source of the transition semantics for both drivers.
 template <typename Problem>
 void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
@@ -111,8 +179,10 @@ void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
   const NormNode& node = ntd.node(id);
   auto& states = table->nodes[static_cast<size_t>(id)];
   auto emit = [&](State state, Value value) {
-    auto [it, inserted] = states.emplace(std::move(state), value);
-    if (!inserted) it->second = problem->Merge(it->second, value);
+    states.Emplace(std::move(state), std::move(value),
+                   [&](const Value& existing, const Value& incoming) {
+                     return problem->Merge(existing, incoming);
+                   });
   };
   switch (node.kind) {
     case NormNodeKind::kLeaf:
@@ -140,21 +210,22 @@ void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
     case NormNodeKind::kBranch: {
       const auto& left = table->nodes[static_cast<size_t>(node.children[0])];
       const auto& right = table->nodes[static_cast<size_t>(node.children[1])];
-      // Bucket the right child's states by join key, then pair.
-      using JoinKey =
-          std::decay_t<decltype(problem->KeyOf(left.begin()->first))>;
-      std::unordered_map<JoinKey, std::vector<const State*>,
+      // Bucket the right child's entries by join key, then pair. Entry
+      // pointers stay valid while the (completed) right table is alive.
+      using Entry = typename StateTable<State, Value>::Entry;
+      using JoinKey = std::decay_t<decltype(problem->KeyOf(
+          std::declval<const State&>()))>;
+      std::unordered_map<JoinKey, std::vector<const Entry*>,
                          MemberHash<JoinKey>>
           buckets;
-      for (const auto& [state, value] : right) {
-        buckets[problem->KeyOf(state)].push_back(&state);
+      for (const auto& entry : right) {
+        buckets[problem->KeyOf(entry.first)].push_back(&entry);
       }
       for (const auto& [state, value] : left) {
         auto it = buckets.find(problem->KeyOf(state));
         if (it == buckets.end()) continue;
-        for (const State* rstate : it->second) {
-          problem->Join(node.bag, state, value, *rstate, right.at(*rstate),
-                        emit);
+        for (const Entry* rhs : it->second) {
+          problem->Join(node.bag, state, value, rhs->first, rhs->second, emit);
         }
       }
       break;
@@ -162,19 +233,59 @@ void DpProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
   }
 }
 
+/// Eviction step shared by every driver: after node `id` was processed, its
+/// children's tables have been consumed for the last time — release them.
+/// Exactly-once by construction (every node has one parent); the root is
+/// never anyone's child, so the root table always survives the run.
+template <typename State, typename Value>
+void EvictChildTables(const NormalizedTreeDecomposition& ntd, TdNodeId id,
+                      DpTable<State, Value>* table, TableMemoryTracker* memory) {
+  for (TdNodeId child : ntd.node(id).children) {
+    auto& dead = table->nodes[static_cast<size_t>(child)];
+    size_t bytes = dead.MemoryBytes();
+    if (bytes == 0) continue;
+    dead.Release();
+    memory->Evict(bytes);
+  }
+}
+
+/// One pass's node step: transition + stats + memory accounting + optional
+/// child eviction. Shared by the single-problem drivers and MultiDp.
+template <typename Problem>
+void DpStepNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
+                Problem* problem,
+                DpTable<typename Problem::State, typename Problem::Value>*
+                    table,
+                TableMemoryTracker* memory, bool evict, DpStats* stats) {
+  DpProcessNode(ntd, id, problem, table);
+  const auto& states = table->nodes[static_cast<size_t>(id)];
+  if (stats != nullptr) {
+    stats->total_states += states.size();
+    stats->max_states_per_node =
+        std::max(stats->max_states_per_node, states.size());
+  }
+  memory->Add(states.MemoryBytes());
+  if (evict) EvictChildTables(ntd, id, table, memory);
+}
+
 }  // namespace internal
 
-/// Runs several fused per-node processors (one per sub-problem) over nodes
-/// delivered by one traversal. Holds type-erased (problem, table) pairs;
-/// Add() copies the problem in and returns a stable pointer to its table,
-/// valid for the MultiDp's lifetime — callers read their results out of it
-/// after the traversal ran (see RunMultiTreeDpAuto).
+/// Runs several fused per-node processors (one per sub-problem) over node
+/// chunks delivered by one traversal. Holds type-erased (problem, table)
+/// pairs; Add() copies the problem in and returns a stable pointer to its
+/// table, valid for the MultiDp's lifetime — callers read their results out
+/// of it after the traversal ran (see RunMultiTreeDpAuto).
 class MultiDp {
  public:
+  /// Registers a pass. `retain_tables` = false declares that the pass's
+  /// finalizer only reads the root table, making its interior tables
+  /// evictable under a memory budget; passes that re-read the full table
+  /// after the run (witness extraction) must keep the default.
   template <typename Problem>
   const DpTable<typename Problem::State, typename Problem::Value>* Add(
-      Problem problem) {
-    auto pass = std::make_unique<Pass<Problem>>(std::move(problem));
+      Problem problem, bool retain_tables = true) {
+    auto pass = std::make_unique<Pass<Problem>>(std::move(problem),
+                                                retain_tables);
     auto* table = &pass->table;
     passes_.push_back(std::move(pass));
     return table;
@@ -188,19 +299,19 @@ class MultiDp {
     for (auto& pass : passes_) pass->Prepare(num_nodes);
   }
 
-  /// Runs every registered pass's transition for `id`. Safe to call
-  /// concurrently for distinct nodes (each pass writes only node `id`'s
-  /// slot), which is exactly the sharded driver's access pattern.
-  void ProcessNode(const NormalizedTreeDecomposition& ntd, TdNodeId id) {
-    for (auto& pass : passes_) pass->ProcessNode(ntd, id);
-  }
-
-  /// Folds node `id`'s table sizes (per pass) into `stats`.
-  void AccumulateNodeStats(TdNodeId id, DpStats* stats) const {
-    for (const auto& pass : passes_) {
-      size_t size = pass->StatesAt(id);
-      stats->total_states += size;
-      stats->max_states_per_node = std::max(stats->max_states_per_node, size);
+  /// Runs every registered pass over `nodes` (a post-order-consistent chunk:
+  /// the full post order, or one shard's node list), pass-major — each
+  /// pass's table streams through the cache alone instead of interleaving
+  /// all tables per node. Safe to call concurrently for the node lists of
+  /// distinct shards (each pass writes only the chunk's slots, and the shard
+  /// schedule orders child-table reads), which is exactly the sharded
+  /// driver's access pattern.
+  void ProcessChunk(const NormalizedTreeDecomposition& ntd,
+                    const std::vector<TdNodeId>& nodes,
+                    internal::TableMemoryTracker* memory,
+                    size_t table_memory_budget, DpStats* stats) {
+    for (auto& pass : passes_) {
+      pass->ProcessChunk(ntd, nodes, memory, table_memory_budget, stats);
     }
   }
 
@@ -208,27 +319,32 @@ class MultiDp {
   struct PassBase {
     virtual ~PassBase() = default;
     virtual void Prepare(size_t num_nodes) = 0;
-    virtual void ProcessNode(const NormalizedTreeDecomposition& ntd,
-                             TdNodeId id) = 0;
-    virtual size_t StatesAt(TdNodeId id) const = 0;
+    virtual void ProcessChunk(const NormalizedTreeDecomposition& ntd,
+                              const std::vector<TdNodeId>& nodes,
+                              internal::TableMemoryTracker* memory,
+                              size_t table_memory_budget, DpStats* stats) = 0;
   };
 
   template <typename Problem>
   struct Pass : PassBase {
-    explicit Pass(Problem p) : problem(std::move(p)) {}
+    Pass(Problem p, bool retain) : problem(std::move(p)), retain_tables(retain) {}
 
     void Prepare(size_t num_nodes) override {
-      table.nodes.assign(num_nodes, {});
+      table.nodes.clear();
+      table.nodes.resize(num_nodes);
     }
-    void ProcessNode(const NormalizedTreeDecomposition& ntd,
-                     TdNodeId id) override {
-      internal::DpProcessNode(ntd, id, &problem, &table);
-    }
-    size_t StatesAt(TdNodeId id) const override {
-      return table.nodes[static_cast<size_t>(id)].size();
+    void ProcessChunk(const NormalizedTreeDecomposition& ntd,
+                      const std::vector<TdNodeId>& nodes,
+                      internal::TableMemoryTracker* memory,
+                      size_t table_memory_budget, DpStats* stats) override {
+      bool evict = table_memory_budget > 0 && !retain_tables;
+      for (TdNodeId id : nodes) {
+        internal::DpStepNode(ntd, id, &problem, &table, memory, evict, stats);
+      }
     }
 
     Problem problem;
+    bool retain_tables;
     DpTable<typename Problem::State, typename Problem::Value> table;
   };
 
@@ -238,12 +354,12 @@ class MultiDp {
 namespace internal {
 
 /// The shard schedule shared by every parallel driver: executes
-/// `process_node(id, &local_stats)` for each node, shard-by-shard on the
-/// pool; a shard is submitted once all of its child shards are done, and the
-/// calling thread helps drain the pool while waiting. `process_node` is
-/// invoked concurrently from multiple threads for nodes of distinct shards.
-template <typename ProcessNode>
-void RunShardedWalk(const DpExec& exec, ProcessNode&& process_node,
+/// `process_chunk(shard_nodes, &local_stats)` once per shard on the pool; a
+/// shard is submitted once all of its child shards are done, and the calling
+/// thread helps drain the pool while waiting. `process_chunk` is invoked
+/// concurrently from multiple threads for distinct shards.
+template <typename ProcessChunk>
+void RunShardedWalk(const DpExec& exec, ProcessChunk&& process_chunk,
                     DpStats* stats) {
   TREEDL_CHECK(exec.Parallel());
   const BagSharding& sharding = *exec.sharding;
@@ -261,10 +377,7 @@ void RunShardedWalk(const DpExec& exec, ProcessNode&& process_node,
   // outlives all tasks because Wait() returns only after the last Done().
   std::function<void(size_t)> run_shard = [&](size_t s) {
     Timer timer;
-    DpStats& local = shard_stats[s];
-    for (TdNodeId id : sharding.shards[s].nodes) {
-      process_node(id, &local);
-    }
+    process_chunk(sharding.shards[s].nodes, &shard_stats[s]);
     shard_millis[s] = timer.ElapsedMillis();
     int parent = sharding.shards[s].parent;
     if (parent >= 0 &&
@@ -308,20 +421,21 @@ void RunShardedWalk(const DpExec& exec, ProcessNode&& process_node,
 
 /// Runs the bottom-up pass of `problem` over `ntd` sequentially and returns
 /// the full table. The table at the root characterizes the whole structure.
+/// table_memory_budget > 0 releases child tables as the walk consumes them
+/// (see the eviction contract in the header comment) — only valid when the
+/// caller reads nothing but the root table afterwards.
 template <typename Problem>
 DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
-    DpStats* stats = nullptr) {
+    DpStats* stats = nullptr, size_t table_memory_budget = 0) {
   DpTable<typename Problem::State, typename Problem::Value> table;
   table.nodes.resize(ntd.NumNodes());
+  internal::TableMemoryTracker memory;
+  bool evict = table_memory_budget > 0;
   for (TdNodeId id : ntd.PostOrder()) {
-    internal::DpProcessNode(ntd, id, problem, &table);
-    if (stats != nullptr) {
-      size_t size = table.nodes[static_cast<size_t>(id)].size();
-      stats->total_states += size;
-      stats->max_states_per_node = std::max(stats->max_states_per_node, size);
-    }
+    internal::DpStepNode(ntd, id, problem, &table, &memory, evict, stats);
   }
+  memory.FoldInto(stats);
   if (stats != nullptr) {
     ++stats->traversals;
     ++stats->passes;
@@ -332,22 +446,25 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
 /// Parallel driver: one shard-scheduled walk (internal::RunShardedWalk) of
 /// `problem`'s transitions. Requires exec.Parallel(); the problem's hooks are
 /// invoked concurrently from multiple threads and must be const/stateless.
+/// Honors exec.table_memory_budget (root-only readers only; see RunTreeDp).
 template <typename Problem>
 DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
     const DpExec& exec, DpStats* stats = nullptr) {
   DpTable<typename Problem::State, typename Problem::Value> table;
   table.nodes.resize(ntd.NumNodes());
+  internal::TableMemoryTracker memory;
+  bool evict = exec.table_memory_budget > 0;
   internal::RunShardedWalk(
       exec,
-      [&](TdNodeId id, DpStats* local) {
-        internal::DpProcessNode(ntd, id, problem, &table);
-        size_t size = table.nodes[static_cast<size_t>(id)].size();
-        local->total_states += size;
-        local->max_states_per_node =
-            std::max(local->max_states_per_node, size);
+      [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
+        for (TdNodeId id : nodes) {
+          internal::DpStepNode(ntd, id, problem, &table, &memory, evict,
+                               local);
+        }
       },
       stats);
+  memory.FoldInto(stats);
   if (stats != nullptr) {
     ++stats->traversals;
     ++stats->passes;
@@ -355,15 +472,18 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
   return table;
 }
 
-/// Fused sequential driver: one post-order walk feeding every pass of
-/// `multi`. Results are read out of the table pointers Add() returned.
+/// Fused sequential driver: one pass-major walk of the post order feeding
+/// every pass of `multi`. Results are read out of the table pointers Add()
+/// returned. table_memory_budget applies per pass, honoring each pass's
+/// retain_tables flag.
 inline void RunMultiTreeDp(const NormalizedTreeDecomposition& ntd,
-                           MultiDp* multi, DpStats* stats = nullptr) {
+                           MultiDp* multi, DpStats* stats = nullptr,
+                           size_t table_memory_budget = 0) {
   multi->Prepare(ntd.NumNodes());
-  for (TdNodeId id : ntd.PostOrder()) {
-    multi->ProcessNode(ntd, id);
-    if (stats != nullptr) multi->AccumulateNodeStats(id, stats);
-  }
+  internal::TableMemoryTracker memory;
+  std::vector<TdNodeId> post = ntd.PostOrder();
+  multi->ProcessChunk(ntd, post, &memory, table_memory_budget, stats);
+  memory.FoldInto(stats);
   if (stats != nullptr) {
     ++stats->traversals;
     stats->passes += multi->NumPasses();
@@ -372,18 +492,22 @@ inline void RunMultiTreeDp(const NormalizedTreeDecomposition& ntd,
 
 /// Fused parallel driver: ONE shard-scheduled walk drives every pass of
 /// `multi` — each bag is visited once, `stats->shards` grows by the shard
-/// count of a single traversal (not one per pass). Requires exec.Parallel().
+/// count of a single traversal (not one per pass). Within a shard the passes
+/// run chunked pass-major (cache locality); across shards the schedule is
+/// unchanged. Requires exec.Parallel().
 inline void RunMultiTreeDpSharded(const NormalizedTreeDecomposition& ntd,
                                   MultiDp* multi, const DpExec& exec,
                                   DpStats* stats = nullptr) {
   multi->Prepare(ntd.NumNodes());
+  internal::TableMemoryTracker memory;
   internal::RunShardedWalk(
       exec,
-      [&](TdNodeId id, DpStats* local) {
-        multi->ProcessNode(ntd, id);
-        multi->AccumulateNodeStats(id, local);
+      [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
+        multi->ProcessChunk(ntd, nodes, &memory, exec.table_memory_budget,
+                            local);
       },
       stats);
+  memory.FoldInto(stats);
   if (stats != nullptr) {
     ++stats->traversals;
     stats->passes += multi->NumPasses();
@@ -396,7 +520,7 @@ inline void RunMultiTreeDpAuto(const NormalizedTreeDecomposition& ntd,
                                MultiDp* multi, const DpExec& exec,
                                DpStats* stats = nullptr) {
   if (exec.Parallel()) return RunMultiTreeDpSharded(ntd, multi, exec, stats);
-  return RunMultiTreeDp(ntd, multi, stats);
+  return RunMultiTreeDp(ntd, multi, stats, exec.table_memory_budget);
 }
 
 /// Dispatches to the sharded driver when `exec` carries a usable sharding and
@@ -406,7 +530,7 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpAuto(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
     const DpExec& exec, DpStats* stats = nullptr) {
   if (exec.Parallel()) return RunTreeDpSharded(ntd, problem, exec, stats);
-  return RunTreeDp(ntd, problem, stats);
+  return RunTreeDp(ntd, problem, stats, exec.table_memory_budget);
 }
 
 }  // namespace treedl::core

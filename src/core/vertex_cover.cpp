@@ -136,7 +136,8 @@ StatusOr<size_t> MinVertexCoverNormalized(
 std::function<StatusOr<size_t>()> AddVertexCoverPass(
     MultiDp* multi, const Graph& graph,
     const NormalizedTreeDecomposition& ntd) {
-  const auto* table = multi->Add(SubsetProblem<true>(graph));
+  const auto* table = multi->Add(SubsetProblem<true>(graph),
+                                 /*retain_tables=*/false);
   return [table, &graph, &ntd]() -> StatusOr<size_t> {
     return FinalizeCover(graph, ntd, *table);
   };
@@ -145,7 +146,8 @@ std::function<StatusOr<size_t>()> AddVertexCoverPass(
 std::function<StatusOr<size_t>()> AddIndependentSetPass(
     MultiDp* multi, const Graph& graph,
     const NormalizedTreeDecomposition& ntd) {
-  const auto* table = multi->Add(SubsetProblem<false>(graph));
+  const auto* table = multi->Add(SubsetProblem<false>(graph),
+                                 /*retain_tables=*/false);
   return [table, &ntd]() -> StatusOr<size_t> {
     return FinalizeIndependent(ntd, *table);
   };

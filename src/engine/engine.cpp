@@ -55,6 +55,9 @@ void MergeDp(const core::DpStats& dp, RunStats* stats) {
                                 dp.shard_millis.end());
   stats->dp_traversals += dp.traversals;
   stats->dp_passes += dp.passes;
+  stats->dp_peak_table_bytes =
+      std::max(stats->dp_peak_table_bytes, dp.peak_table_bytes);
+  stats->dp_tables_evicted += dp.tables_evicted;
 }
 
 }  // namespace
@@ -510,6 +513,7 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
       TREEDL_ASSIGN_OR_RETURN(ntd, EnsurePlainNtd(s));
       exec.pool = EnsurePool();
       exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
+      exec.table_memory_budget = options_.table_memory_budget;
     }
     // The DP itself runs outside the lock — concurrent Solve calls share the
     // pool, and with num_threads > 1 each traversal is itself sharded.
@@ -608,6 +612,7 @@ StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
       TREEDL_ASSIGN_OR_RETURN(ntd, EnsurePlainNtd(s));
       exec.pool = EnsurePool();
       exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
+      exec.table_memory_budget = options_.table_memory_budget;
     }
     // One fused traversal outside the lock: five state tables, each bag of
     // the normal form visited exactly once (sharded when exec.Parallel()).
@@ -761,8 +766,8 @@ Status Engine::LoadSession(const std::string& path, RunStats* stats) {
       // never run the shard-bags pass).
       size_t threads = ResolvedNumThreads();
       if (threads > 1 && !sharding_.has_value()) {
-        sharding_ = ComputeBagSharding(*plain_ntd_,
-                                       threads * options_.shards_per_thread);
+        sharding_ = ComputeBagShardingByCost(
+            *plain_ntd_, threads * options_.shards_per_thread);
       }
     }
     if (artifacts.enum_ntd.has_value() && !enum_ntd_.has_value()) {

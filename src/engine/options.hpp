@@ -62,6 +62,16 @@ struct EngineOptions {
   /// Shard tasks per worker thread the ShardBags pass aims for (more shards
   /// = better load balance, more scheduling overhead).
   size_t shards_per_thread = 4;
+  /// Soft ceiling, in bytes, on live DP state-table memory for Solve /
+  /// SolveAll. 0 (default) keeps every bag's table alive until the query
+  /// ends — today's behavior. Any positive value enables dead-table
+  /// eviction: a bag's table is released as soon as the traversal has
+  /// consumed it, so peak table memory tracks the traversal frontier instead
+  /// of the whole decomposition (RunStats::dp_peak_table_bytes /
+  /// dp_tables_evicted report the effect). Answers are unaffected; passes
+  /// that must re-read interior tables (witness extraction) are exempted
+  /// automatically.
+  size_t table_memory_budget = 0;
 };
 
 }  // namespace treedl

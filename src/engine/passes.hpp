@@ -102,8 +102,10 @@ class NormalizePass final : public Pass {
 };
 
 /// Partitions the normalized decomposition into independent subtree shards
-/// for the parallel DP driver (core::RunTreeDpSharded). Runs after
-/// NormalizePass; deposits the sharding in state.sharding.
+/// for the parallel DP driver (core::RunTreeDpSharded). Cost-aware: shards
+/// are balanced by the EstimateNodeCost state-count model, not node count,
+/// so wide-bag regions near the root no longer dominate the critical path.
+/// Runs after NormalizePass; deposits the sharding in state.sharding.
 class ShardBagsPass final : public Pass {
  public:
   explicit ShardBagsPass(size_t target_shards) : target_(target_shards) {}
@@ -113,7 +115,7 @@ class ShardBagsPass final : public Pass {
       return Status::InvalidArgument(
           "shard-bags requires a normalized decomposition");
     }
-    state.sharding = ComputeBagSharding(*state.normalized, target_);
+    state.sharding = ComputeBagShardingByCost(*state.normalized, target_);
     return Status::OK();
   }
 

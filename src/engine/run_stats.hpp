@@ -60,6 +60,14 @@ struct RunStats {
   /// DP state-table passes those walks drove. Solve: 1 traversal / 1 pass;
   /// SolveAll: 1 traversal / 5 passes — the fused-batch evidence.
   size_t dp_passes = 0;
+  /// High-water mark of live DP state-table bytes (flat-table arena
+  /// footprints summed over all passes). With a table_memory_budget this
+  /// stays near the traversal frontier; without one it grows with the whole
+  /// decomposition.
+  size_t dp_peak_table_bytes = 0;
+  /// Dead state tables released mid-run by the eviction protocol (0 unless
+  /// EngineOptions::table_memory_budget is set).
+  size_t dp_tables_evicted = 0;
 
   // --- Datalog fixpoint work (datalog::EvalStats slice) -------------------
   size_t eval_iterations = 0;
@@ -103,6 +111,10 @@ struct RunStats {
                                   : other_slowest;
     dp_traversals += other.dp_traversals;
     dp_passes += other.dp_passes;
+    dp_peak_table_bytes = dp_peak_table_bytes > other.dp_peak_table_bytes
+                              ? dp_peak_table_bytes
+                              : other.dp_peak_table_bytes;
+    dp_tables_evicted += other.dp_tables_evicted;
     eval_iterations += other.eval_iterations;
     derived_facts += other.derived_facts;
     rule_applications += other.rule_applications;

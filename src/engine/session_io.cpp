@@ -1,7 +1,13 @@
 #include "engine/session_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "common/binary_io.hpp"
 #include "structure/structure_io.hpp"
@@ -207,15 +213,56 @@ StatusOr<SessionArtifacts> DecodeSessionFile(std::string_view data,
 Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
                         const SessionArtifactRefs& artifacts) {
   std::string bytes = EncodeSessionFile(fingerprint, artifacts);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("session: cannot open '" + path +
-                                   "' for writing");
+  // Atomic, durable write: the full image goes to a temporary sibling, is
+  // fsync'd to stable storage, and then one rename() publishes it. A crash
+  // (or power loss) mid-save leaves at worst a stray .tmp file — `path` is
+  // always either the previous complete session or the new one, never a
+  // truncated file that LoadSession would reject. The pid + counter suffix
+  // keeps concurrent saves — same-process and cross-process — off each
+  // other's temp file (the renames then race, but each publishes a complete
+  // image).
+  static std::atomic<uint64_t> temp_counter{0};
+  std::string temp_path = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(temp_counter.fetch_add(1));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("session: cannot open '" + temp_path +
+                                     "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp_path.c_str());
+      return Status::Internal("session: short write to '" + temp_path + "'");
+    }
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Status::Internal("session: short write to '" + path + "'");
+  // Force the data to disk before the rename becomes visible: journaling
+  // filesystems may otherwise persist the rename ahead of the data blocks,
+  // which would resurrect exactly the truncated-file failure mode this
+  // function exists to rule out.
+  int fd = ::open(temp_path.c_str(), O_WRONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(temp_path.c_str());
+    return Status::Internal("session: cannot fsync '" + temp_path + "'");
+  }
+  ::close(fd);
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::Internal("session: cannot rename '" + temp_path +
+                            "' to '" + path + "'");
+  }
+  // Best-effort directory sync so the rename itself is durable.
+  std::string_view view(path);
+  size_t slash = view.find_last_of('/');
+  std::string dir(slash == std::string_view::npos ? "." : view.substr(0, slash));
+  if (dir.empty()) dir = "/";
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }

@@ -33,6 +33,12 @@ std::string RunStats::ToString() const {
       for (double ms : dp_shard_millis) slowest = slowest > ms ? slowest : ms;
       out << " shards=" << dp_shards << " slowest_shard=" << slowest << "ms";
     }
+    if (dp_peak_table_bytes > 0) {
+      out << " table_peak=" << dp_peak_table_bytes << "B";
+    }
+    if (dp_tables_evicted > 0) {
+      out << " tables_evicted=" << dp_tables_evicted;
+    }
     out << "}";
   }
   if (eval_iterations > 0) {

@@ -4,14 +4,24 @@
 
 namespace treedl {
 
-BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
-                               size_t target_shards) {
+namespace {
+
+/// Shared partition kernel: post-order accumulation of per-node weights,
+/// sealing a connected shard whenever the open (unsealed) weight of a
+/// subtree reaches grain = ceil(total / target). The root seals whatever
+/// remains. Weight 1 per node reproduces the node-count sharding.
+BagSharding ComputeWeightedSharding(const NormalizedTreeDecomposition& ntd,
+                                    size_t target_shards,
+                                    const std::vector<uint64_t>& weight) {
   BagSharding out;
   size_t n = ntd.NumNodes();
   out.shard_of.assign(n, -1);
   if (n == 0) return out;
   if (target_shards == 0) target_shards = 1;
-  size_t grain = (n + target_shards - 1) / target_shards;
+  uint64_t total = 0;
+  for (uint64_t w : weight) total += w;
+  uint64_t grain = (total + target_shards - 1) / target_shards;
+  if (grain == 0) grain = 1;
 
   std::vector<TdNodeId> post = ntd.PostOrder();
   std::vector<size_t> post_index(n, 0);
@@ -31,6 +41,7 @@ BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
       stack.pop_back();
       out.shard_of[static_cast<size_t>(v)] = id;
       shard.nodes.push_back(v);
+      shard.cost += weight[static_cast<size_t>(v)];
       for (TdNodeId c : ntd.node(v).children) {
         if (out.shard_of[static_cast<size_t>(c)] == -1) stack.push_back(c);
       }
@@ -43,20 +54,18 @@ BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
     out.shards.push_back(std::move(shard));
   };
 
-  // Post-order accumulation: when the unsealed part of a subtree reaches the
-  // grain, it becomes a shard. The root always seals whatever remains.
-  std::vector<size_t> open_size(n, 0);
+  std::vector<uint64_t> open_weight(n, 0);
   for (TdNodeId id : post) {
-    size_t size = 1;
+    uint64_t open = weight[static_cast<size_t>(id)];
     for (TdNodeId c : ntd.node(id).children) {
       if (out.shard_of[static_cast<size_t>(c)] == -1) {
-        size += open_size[static_cast<size_t>(c)];
+        open += open_weight[static_cast<size_t>(c)];
       }
     }
-    open_size[static_cast<size_t>(id)] = size;
+    open_weight[static_cast<size_t>(id)] = open;
     if (id == ntd.root()) {
       seal(id);
-    } else if (size >= grain) {
+    } else if (open >= grain) {
       seal(id);
     }
   }
@@ -74,6 +83,30 @@ BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
         static_cast<int>(s));
   }
   return out;
+}
+
+}  // namespace
+
+BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
+                               size_t target_shards) {
+  std::vector<uint64_t> ones(ntd.NumNodes(), 1);
+  return ComputeWeightedSharding(ntd, target_shards, ones);
+}
+
+uint64_t EstimateNodeCost(const NormNode& node) {
+  size_t b = std::min<size_t>(node.bag.size(), 20);
+  uint64_t states = 1;
+  for (size_t i = 0; i < b; ++i) states *= 3;
+  return node.kind == NormNodeKind::kBranch ? 2 * states : states;
+}
+
+BagSharding ComputeBagShardingByCost(const NormalizedTreeDecomposition& ntd,
+                                     size_t target_shards) {
+  std::vector<uint64_t> cost(ntd.NumNodes(), 0);
+  for (size_t v = 0; v < ntd.NumNodes(); ++v) {
+    cost[v] = EstimateNodeCost(ntd.node(static_cast<TdNodeId>(v)));
+  }
+  return ComputeWeightedSharding(ntd, target_shards, cost);
 }
 
 Status ValidateSharding(const NormalizedTreeDecomposition& ntd,

@@ -12,6 +12,7 @@
 #define TREEDL_TD_SHARD_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/status.hpp"
@@ -32,6 +33,10 @@ struct BagShard {
   int parent = -1;
   /// Indices of the child shards (the shard's dependencies).
   std::vector<int> children;
+  /// Summed weight of the shard's nodes under the weight function the
+  /// sharding was computed with (node count for ComputeBagSharding, the
+  /// EstimateNodeCost model for ComputeBagShardingByCost).
+  uint64_t cost = 0;
 };
 
 struct BagSharding {
@@ -48,6 +53,25 @@ struct BagSharding {
 /// single shard covering the whole tree. Deterministic.
 BagSharding ComputeBagSharding(const NormalizedTreeDecomposition& ntd,
                                size_t target_shards);
+
+/// Estimated DP work of one normalized node — the width-driven state-count
+/// model behind cost-aware sharding. A bag of b elements carries up to 3^b
+/// reachable states in the heaviest in-tree problems (3-coloring's colorings,
+/// dominating set's in/dominated/waiting statuses; vertex cover's 2^b is
+/// dominated by that), and each state is touched a constant number of times
+/// per transition, so: cost = 3^min(b, 20), doubled at branch nodes (the
+/// join pairs two child tables instead of streaming one). The cap keeps the
+/// model in uint64 for degenerate widths; relative balance is what matters.
+uint64_t EstimateNodeCost(const NormNode& node);
+
+/// Cost-aware variant of ComputeBagSharding: same connected-subtree
+/// partition, but the post-order accumulation balances the shards by summed
+/// EstimateNodeCost instead of node count — shards near the root (few nodes,
+/// wide bags) shrink, leaf-heavy shards grow, and the slowest shard tracks
+/// the mean instead of the root shard dominating the critical path.
+/// Deterministic; BagShard::cost reports each shard's modeled cost.
+BagSharding ComputeBagShardingByCost(const NormalizedTreeDecomposition& ntd,
+                                     size_t target_shards);
 
 /// Checks the sharding invariants: every node assigned to exactly one shard,
 /// shards are connected regions listed in global post-order, shard tree edges

@@ -5,6 +5,7 @@
 // the naive, seminaive, and grounded backends.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "datalog/parser.hpp"
@@ -122,6 +123,130 @@ TEST(ParallelPropertyTest, SolveAllEqualsFiveSolvesAcrossThreadCounts) {
     EXPECT_EQ(seq_run.dp_states, par_run.dp_states) << "trial " << trial;
     EXPECT_EQ(ref_engine.CumulativeStats().dp_states, seq_run.dp_states)
         << "trial " << trial;
+  }
+}
+
+// The eviction acceptance property: with a table_memory_budget, every answer
+// (including the retained-pass witness) stays bit-identical to the
+// unbudgeted flat-table run at threads 1 and 8, while RunStats proves tables
+// were evicted and the live-table peak dropped.
+TEST(ParallelPropertyTest, EvictionPreservesAnswersAndBoundsTableMemory) {
+  for (uint64_t trial = 0; trial < 3; ++trial) {
+    Rng rng(TestSeed(trial));
+    size_t n = 120 + 60 * static_cast<size_t>(trial);
+    Graph graph = RandomPartialKTree(n, 3 + static_cast<int>(trial % 2), 0.7,
+                                     &rng);
+
+    struct Config {
+      size_t threads;
+      size_t budget;
+    };
+    const Config configs[] = {
+        {1, 0}, {8, 0}, {1, 64 * 1024}, {8, 64 * 1024}};
+
+    std::vector<Engine::SolveAllResult> results;
+    std::vector<RunStats> runs;
+    for (const Config& config : configs) {
+      EngineOptions options;
+      options.num_threads = config.threads;
+      options.table_memory_budget = config.budget;
+      Engine engine = Engine::FromGraph(graph, options);
+      RunStats run;
+      auto all = engine.SolveAll(&run);
+      ASSERT_TRUE(all.ok()) << all.status();
+      results.push_back(*all);
+      runs.push_back(run);
+
+      // The per-problem driver agrees under the same budget, witness included.
+      for (Engine::Problem problem : kAllProblems) {
+        auto solo = engine.Solve(problem);
+        ASSERT_TRUE(solo.ok()) << solo.status();
+        Engine::SolveResult fused = all->Result(problem);
+        EXPECT_EQ(solo->feasible, fused.feasible) << "trial " << trial;
+        EXPECT_EQ(solo->optimum, fused.optimum) << "trial " << trial;
+        EXPECT_EQ(solo->count, fused.count) << "trial " << trial;
+        EXPECT_EQ(solo->witness, fused.witness) << "trial " << trial;
+      }
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].three_colorable, results[0].three_colorable);
+      EXPECT_EQ(results[i].coloring, results[0].coloring) << "config " << i;
+      EXPECT_EQ(results[i].three_colorings, results[0].three_colorings);
+      EXPECT_EQ(results[i].min_vertex_cover, results[0].min_vertex_cover);
+      EXPECT_EQ(results[i].max_independent_set, results[0].max_independent_set);
+      EXPECT_EQ(results[i].min_dominating_set, results[0].min_dominating_set);
+      EXPECT_EQ(runs[i].dp_states, runs[0].dp_states) << "config " << i;
+    }
+    // Budgeted runs evicted dead tables and peaked strictly below the
+    // unbudgeted peak; unbudgeted runs evicted nothing.
+    EXPECT_EQ(runs[0].dp_tables_evicted, 0u);
+    EXPECT_EQ(runs[1].dp_tables_evicted, 0u);
+    EXPECT_GT(runs[0].dp_peak_table_bytes, 0u);
+    for (size_t i : {size_t{2}, size_t{3}}) {
+      EXPECT_GT(runs[i].dp_tables_evicted, 0u) << "config " << i;
+      EXPECT_LT(runs[i].dp_peak_table_bytes, runs[i - 2].dp_peak_table_bytes)
+          << "config " << i;
+    }
+  }
+}
+
+TEST(ParallelPropertyTest, CostModelOrdersNodesByBagSizeAndKind) {
+  NormNode narrow;
+  narrow.bag = {0, 1};
+  NormNode wide;
+  wide.bag = {0, 1, 2, 3, 4};
+  EXPECT_LT(EstimateNodeCost(narrow), EstimateNodeCost(wide));
+  NormNode branch = wide;
+  branch.kind = NormNodeKind::kBranch;
+  EXPECT_EQ(EstimateNodeCost(branch), 2 * EstimateNodeCost(wide));
+  // The cap keeps degenerate bags finite.
+  NormNode huge;
+  huge.bag.resize(64);
+  for (size_t i = 0; i < huge.bag.size(); ++i) {
+    huge.bag[i] = static_cast<ElementId>(i);
+  }
+  EXPECT_GT(EstimateNodeCost(huge), 0u);
+}
+
+// Cost-aware sharding balance: the slowest shard's modeled cost stays within
+// 2x of the mean shard cost, so no shard (the root shard, under node-count
+// sharding) dominates the parallel critical path.
+TEST(ParallelPropertyTest, CostAwareShardingBalancesEstimatedWork) {
+  for (uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng(TestSeed(trial));
+    size_t n = 150 + 60 * static_cast<size_t>(trial);
+    Graph graph = RandomPartialKTree(n, 2 + static_cast<int>(trial % 3), 0.6,
+                                     &rng);
+    Engine engine = Engine::FromGraph(graph);
+    auto td = engine.Decomposition();
+    ASSERT_TRUE(td.ok()) << td.status();
+    auto ntd = Normalize(**td);
+    ASSERT_TRUE(ntd.ok()) << ntd.status();
+
+    for (size_t target : {4u, 8u, 16u}) {
+      BagSharding sharding = ComputeBagShardingByCost(*ntd, target);
+      Status valid = ValidateSharding(*ntd, sharding);
+      ASSERT_TRUE(valid.ok()) << valid.message();
+      if (sharding.NumShards() < 2) continue;
+
+      uint64_t total = 0;
+      uint64_t slowest = 0;
+      for (const BagShard& shard : sharding.shards) {
+        // BagShard::cost is the sum of its nodes' modeled costs.
+        uint64_t recomputed = 0;
+        for (TdNodeId id : shard.nodes) {
+          recomputed += EstimateNodeCost(ntd->node(id));
+        }
+        EXPECT_EQ(shard.cost, recomputed);
+        total += shard.cost;
+        slowest = std::max(slowest, shard.cost);
+      }
+      double mean = static_cast<double>(total) /
+                    static_cast<double>(sharding.NumShards());
+      EXPECT_LE(static_cast<double>(slowest), 2.0 * mean)
+          << "trial " << trial << " target " << target << " shards "
+          << sharding.NumShards();
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -320,6 +321,53 @@ TEST(SessionIoTest, SaveBeforeAnyQueryWritesAnEmptySession) {
   ASSERT_TRUE(other.Solve(Engine::Problem::kThreeColor, &run).ok());
   EXPECT_EQ(run.td_builds, 1u);
   std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, SaveIsAtomicAndLeavesNoTempFiles) {
+  namespace fs = std::filesystem;
+  Rng rng(TestSeed());
+  Graph graph = RandomPartialKTree(40, 3, 0.6, &rng);
+  fs::path dir = fs::path(::testing::TempDir()) / "atomic_save_dir";
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  const std::string path = (dir / "session.tdls").string();
+
+  Engine warm = Engine::FromGraph(graph);
+  ASSERT_TRUE(warm.Solve(Engine::Problem::kVertexCover).ok());
+  ASSERT_TRUE(warm.SaveSession(path).ok());
+
+  // Exactly the published file — the temporary sibling was renamed away.
+  std::vector<std::string> entries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entries.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], "session.tdls");
+
+  // Overwriting an existing session is also atomic: the target is never
+  // truncated in place, so even racing a crash there is always a complete
+  // file at `path`. After the second save the file still loads cleanly.
+  ASSERT_TRUE(warm.SaveSession(path).ok());
+  entries.clear();
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entries.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(entries.size(), 1u);
+  Engine cold = Engine::FromGraph(graph);
+  EXPECT_TRUE(cold.LoadSession(path).ok());
+  fs::remove_all(dir);
+}
+
+TEST(SessionIoTest, FailedSaveCreatesNoFile) {
+  Rng rng(TestSeed());
+  Graph graph = RandomPartialKTree(20, 2, 0.6, &rng);
+  Engine warm = Engine::FromGraph(graph);
+  ASSERT_TRUE(warm.Solve(Engine::Problem::kVertexCover).ok());
+  const std::string path =
+      "/nonexistent_treedl_dir/no_such_subdir/session.tdls";
+  Status result = warm.SaveSession(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 }  // namespace
