@@ -1,7 +1,16 @@
 // §5.3: the two-pass PRIMALITY enumeration is linear in the input, while
 // re-running the §5.2 decision per attribute is quadratic. Prints a table of
-// both times and their ratio over growing balanced instances.
+// both times and their ratio over growing balanced instances, then the
+// parallel/budgeted profile of the largest instance: the sharded two-pass
+// run (threads = 8) and the eviction run must reproduce the sequential prime
+// bits exactly.
+//
+// Flags: --quick shrinks the instance ladder for CI; --json <path> writes
+// the deterministic counters (states, shard counts, table bytes, evictions —
+// no wall-clock, so a 1-CPU runner produces meaningful, comparable
+// artifacts).
 #include <cstdio>
+#include <cstring>
 #include <functional>
 
 #include "common/timer.hpp"
@@ -12,19 +21,40 @@
 namespace treedl {
 namespace {
 
+struct BenchConfig {
+  int max_fds = 64;
+  const char* json_path = nullptr;
+};
+
 double Once(const std::function<void()>& run) {
   Timer timer;
   run();
   return timer.ElapsedMillis();
 }
 
+RunStats RunOnce(const BalancedInstance& inst, size_t num_threads,
+                 size_t budget, const std::vector<bool>& expected) {
+  EngineOptions options;
+  options.decomposition = inst.td;
+  options.num_threads = num_threads;
+  options.table_memory_budget = budget;
+  Engine engine(inst.schema, options);
+  RunStats run;
+  auto primes = engine.AllPrimes(&run);
+  TREEDL_CHECK(primes.ok()) << primes.status();
+  TREEDL_CHECK(*primes == expected)
+      << "threads=" << num_threads << " budget=" << budget
+      << ": prime bits diverged from the sequential run";
+  return run;
+}
+
 }  // namespace
 
-void RunEnumerationBench() {
+void RunEnumerationBench(const BenchConfig& config) {
   std::printf("PRIMALITY enumeration: linear two-pass vs quadratic re-rooting\n");
   std::printf("%6s %5s %12s %14s %8s\n", "#Att", "#FD", "two-pass ms",
               "per-attr ms", "ratio");
-  for (int g : {2, 4, 8, 16, 32, 64}) {
+  for (int g = 2; g <= config.max_fds; g *= 2) {
     BalancedInstance inst = GenerateBalancedInstance(g);
     std::vector<bool> linear_result, quadratic_result;
     EngineOptions options;
@@ -52,11 +82,65 @@ void RunEnumerationBench() {
   }
   std::printf("\n(the ratio should grow roughly linearly with the instance "
               "size)\n");
+
+  // Parallel + eviction profile on the largest instance: bit-identical prime
+  // vectors at every configuration, deterministic counters for the artifact.
+  BalancedInstance inst = GenerateBalancedInstance(config.max_fds);
+  RunStats sequential;
+  std::vector<bool> expected;
+  {
+    EngineOptions options;
+    options.decomposition = inst.td;
+    options.num_threads = 1;
+    Engine engine(inst.schema, options);
+    auto primes = engine.AllPrimes(&sequential);
+    TREEDL_CHECK(primes.ok()) << primes.status();
+    expected = std::move(*primes);
+  }
+  RunStats parallel = RunOnce(inst, 8, 0, expected);
+  RunStats budgeted = RunOnce(inst, 1, 16 * 1024, expected);
+  std::printf(
+      "\nlargest instance (#FD=%d): states=%zu  sharded walks (threads=8): "
+      "%zu shard tasks  eviction (budget 16KiB): table_peak %zuB -> %zuB, "
+      "%zu tables evicted\n",
+      config.max_fds, sequential.dp_states, parallel.primality_shards,
+      sequential.dp_peak_table_bytes, budgeted.dp_peak_table_bytes,
+      budgeted.dp_tables_evicted);
+
+  if (config.json_path != nullptr) {
+    FILE* out = std::fopen(config.json_path, "w");
+    TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"enumeration\",\n"
+                 "  \"num_fds\": %d,\n"
+                 "  \"num_attributes\": %d,\n"
+                 "  \"dp_states\": %zu,\n"
+                 "  \"primality_shards_parallel\": %zu,\n"
+                 "  \"peak_table_bytes\": %zu,\n"
+                 "  \"peak_table_bytes_budgeted\": %zu,\n"
+                 "  \"tables_evicted_budgeted\": %zu\n"
+                 "}\n",
+                 config.max_fds, inst.schema.NumAttributes(),
+                 sequential.dp_states, parallel.primality_shards,
+                 sequential.dp_peak_table_bytes,
+                 budgeted.dp_peak_table_bytes, budgeted.dp_tables_evicted);
+    std::fclose(out);
+    std::printf("  wrote %s\n", config.json_path);
+  }
 }
 
 }  // namespace treedl
 
-int main() {
-  treedl::RunEnumerationBench();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.max_fds = 16;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunEnumerationBench(config);
   return 0;
 }

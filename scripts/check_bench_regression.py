@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate the bench trajectory: compare a fresh quick-bench JSON to a baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Both files hold the merged quick-bench counters (see the quick-bench CI job:
+{"solve_all": {...}, "parallel_dp": {...}, "enumeration": {...}}). All
+counters are deterministic — state counts, shard counts and balance ratios,
+table bytes, evictions — never wall-clock, so the comparison is meaningful on
+any runner. A gated key whose relative change exceeds the threshold in either
+direction fails the gate: these numbers only move when the algorithms change,
+and such a change must be explained by re-baselining, not slip through.
+
+Keys present in only one file (e.g. a bench added after the baseline) are
+reported but never fail the gate, so the trajectory can grow.
+"""
+
+import argparse
+import json
+import sys
+
+# Configuration echoes (instance shape, seeds) — identity, not performance.
+METADATA_KEYS = {"bench", "vertices", "treewidth", "seed", "num_fds",
+                 "num_attributes"}
+
+
+def flatten(prefix, node, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = node
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed relative change (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = {}
+        flatten("", json.load(f), baseline)
+    with open(args.current) as f:
+        current = {}
+        flatten("", json.load(f), current)
+
+    failures = []
+    print(f"{'counter':<48} {'baseline':>14} {'current':>14} {'change':>9}")
+    for key in sorted(baseline.keys() | current.keys()):
+        if key.rsplit(".", 1)[-1] in METADATA_KEYS:
+            continue
+        if key not in baseline or key not in current:
+            where = "baseline" if key in baseline else "current"
+            print(f"{key:<48} {'(only in ' + where + ')':>39}")
+            continue
+        old, new = baseline[key], current[key]
+        if old == new:
+            change = 0.0
+        elif old == 0:
+            change = float("inf")
+        else:
+            change = abs(new - old) / abs(old)
+        marker = ""
+        if change > args.threshold:
+            failures.append(key)
+            marker = "  << FAIL"
+        shown = "inf" if change == float("inf") else f"{change:+8.1%}"
+        print(f"{key:<48} {old:>14} {new:>14} {shown:>9}{marker}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} counter(s) moved more than "
+              f"{args.threshold:.0%} vs {args.baseline}: {', '.join(failures)}")
+        print("If the change is intentional, regenerate the committed "
+              "baseline JSON in the same PR and explain the delta.")
+        return 1
+    print(f"\nOK: all shared counters within {args.threshold:.0%} of "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

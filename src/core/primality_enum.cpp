@@ -1,10 +1,15 @@
 #include "core/primality_enum.hpp"
 
-#include <unordered_set>
+#include <atomic>
+#include <unordered_map>
+#include <variant>
+#include <vector>
 
+#include "common/flat_table.hpp"
 #include "common/logging.hpp"
 #include "core/primality.hpp"
 #include "core/primality_internal.hpp"
+#include "core/tree_dp.hpp"
 #include "engine/passes.hpp"
 #include "engine/pipeline.hpp"
 
@@ -15,146 +20,224 @@ namespace {
 using internal::PrimalityContext;
 using internal::PrimJoinKey;
 using internal::PrimState;
+using internal::TableMemoryTracker;
 
-using StateSet = std::unordered_set<PrimState, MemberHash<PrimState>>;
+// Deduplicating state set over the flat-table arena: Release()/MemoryBytes()
+// back the same eviction protocol as the graph DPs, and insertion-order
+// iteration is deterministic — though the enumeration's outputs (prime bits,
+// set sizes) are order-independent anyway.
+using StateSet = FlatTable<PrimState, std::monostate>;
 
-// Bottom-up solve() tables, as in primality.cpp but kept for every node.
-std::vector<StateSet> BottomUpTables(const PrimalityContext& context,
-                                     const NormalizedTreeDecomposition& ntd,
-                                     DpStats* stats) {
-  std::vector<StateSet> table(ntd.NumNodes());
-  for (TdNodeId id : ntd.PostOrder()) {
-    const NormNode& node = ntd.node(id);
-    StateSet& states = table[static_cast<size_t>(id)];
-    auto emit = [&](PrimState s) { states.insert(std::move(s)); };
-    switch (node.kind) {
-      case NormNodeKind::kLeaf:
-        context.LeafStates(node.bag, emit);
-        break;
-      case NormNodeKind::kIntroduce:
-        for (const PrimState& s : table[static_cast<size_t>(node.children[0])]) {
-          if (context.IsAttr(node.element)) {
-            context.IntroduceAttr(node.bag, node.element, s, emit);
-          } else {
-            context.IntroduceFd(node.bag, node.element, s, emit);
-          }
-        }
-        break;
-      case NormNodeKind::kForget:
-        for (const PrimState& s : table[static_cast<size_t>(node.children[0])]) {
-          if (context.IsAttr(node.element)) {
-            context.ForgetAttr(node.bag, node.element, s, emit);
-          } else {
-            context.ForgetFd(node.bag, node.element, s, emit);
-          }
-        }
-        break;
-      case NormNodeKind::kCopy:
-        states = table[static_cast<size_t>(node.children[0])];
-        break;
-      case NormNodeKind::kBranch: {
-        const StateSet& left = table[static_cast<size_t>(node.children[0])];
-        const StateSet& right = table[static_cast<size_t>(node.children[1])];
-        std::unordered_map<PrimJoinKey, std::vector<const PrimState*>,
-                           MemberHash<PrimJoinKey>>
-            buckets;
-        for (const PrimState& s : right) buckets[context.KeyOf(s)].push_back(&s);
-        for (const PrimState& s : left) {
-          auto it = buckets.find(context.KeyOf(s));
-          if (it == buckets.end()) continue;
-          for (const PrimState* r : it->second) context.Join(s, *r, emit);
-        }
-        break;
-      }
-    }
-    if (stats != nullptr) {
-      stats->total_states += states.size();
-      stats->max_states_per_node =
-          std::max(stats->max_states_per_node, states.size());
-    }
-  }
-  return table;
+void Insert(StateSet* set, PrimState s) {
+  set->Emplace(std::move(s), std::monostate{},
+               [](const std::monostate& existing, const std::monostate&) {
+                 return existing;
+               });
 }
 
-// Top-down solve↓() tables (§5.3): the state set of a node characterizes the
-// *envelope* T̄_s. Transitions invert the parent's kind; at a branch the
-// sibling's bottom-up table joins in.
-std::vector<StateSet> TopDownTables(const PrimalityContext& context,
-                                    const NormalizedTreeDecomposition& ntd,
-                                    const std::vector<StateSet>& up,
-                                    DpStats* stats) {
-  std::vector<StateSet> down(ntd.NumNodes());
-  // Base: the envelope of the root is the root node alone — the leaf rule
-  // applied to the root's bag.
-  {
-    StateSet& states = down[static_cast<size_t>(ntd.root())];
-    context.LeafStates(ntd.Bag(ntd.root()),
-                       [&](PrimState s) { states.insert(std::move(s)); });
+void ReleaseSet(StateSet* set, TableMemoryTracker* memory) {
+  size_t bytes = set->MemoryBytes();
+  if (bytes == 0) return;
+  set->Release();
+  memory->Evict(bytes);
+}
+
+/// Joins every key-compatible pair of `left` x `right` (bucketing the right
+/// side) — the branch rule shared by both passes. Entry pointers stay valid
+/// while the completed right table is alive.
+void JoinInto(const PrimalityContext& context, const StateSet& left,
+              const StateSet& right, const PrimalityContext::EmitState& emit) {
+  std::unordered_map<PrimJoinKey, std::vector<const PrimState*>,
+                     MemberHash<PrimJoinKey>>
+      buckets;
+  for (const auto& entry : right) {
+    buckets[context.KeyOf(entry.first)].push_back(&entry.first);
   }
-  for (TdNodeId id : ntd.PreOrder()) {
-    const NormNode& parent = ntd.node(id);
-    for (size_t child_index = 0; child_index < parent.children.size();
-         ++child_index) {
-      TdNodeId child = parent.children[child_index];
-      StateSet& states = down[static_cast<size_t>(child)];
-      auto emit = [&](PrimState s) { states.insert(std::move(s)); };
-      switch (parent.kind) {
-        case NormNodeKind::kLeaf:
-          TREEDL_CHECK(false) << "leaf with children";
-          break;
-        case NormNodeKind::kCopy:
-          states = down[static_cast<size_t>(id)];
-          break;
-        case NormNodeKind::kIntroduce:
-          // Parent introduced e going up; going down the envelope forgets it
-          // — e's occurrences all lie inside the envelope of the child.
-          for (const PrimState& s : down[static_cast<size_t>(id)]) {
-            if (context.IsAttr(parent.element)) {
-              context.ForgetAttr(ntd.Bag(child), parent.element, s, emit);
-            } else {
-              context.ForgetFd(ntd.Bag(child), parent.element, s, emit);
-            }
-          }
-          break;
-        case NormNodeKind::kForget:
-          // Parent forgot e going up; going down the envelope introduces it
-          // fresh (e occurs only below the child, so only at the child from
-          // the envelope's perspective).
-          for (const PrimState& s : down[static_cast<size_t>(id)]) {
-            if (context.IsAttr(parent.element)) {
-              context.IntroduceAttr(ntd.Bag(child), parent.element, s, emit);
-            } else {
-              context.IntroduceFd(ntd.Bag(child), parent.element, s, emit);
-            }
-          }
-          break;
-        case NormNodeKind::kBranch: {
-          // T̄_child = T̄_parent ∪ T_sibling: join the parent's envelope
-          // states with the sibling's subtree states.
-          TdNodeId sibling = parent.children[1 - child_index];
-          const StateSet& sib = up[static_cast<size_t>(sibling)];
-          std::unordered_map<PrimJoinKey, std::vector<const PrimState*>,
-                             MemberHash<PrimJoinKey>>
-              buckets;
-          for (const PrimState& s : sib) {
-            buckets[context.KeyOf(s)].push_back(&s);
-          }
-          for (const PrimState& s : down[static_cast<size_t>(id)]) {
-            auto it = buckets.find(context.KeyOf(s));
-            if (it == buckets.end()) continue;
-            for (const PrimState* r : it->second) context.Join(s, *r, emit);
-          }
-          break;
+  for (const auto& [s, value] : left) {
+    (void)value;
+    auto it = buckets.find(context.KeyOf(s));
+    if (it == buckets.end()) continue;
+    for (const PrimState* r : it->second) context.Join(s, *r, emit);
+  }
+}
+
+/// One node of the bottom-up solve() pass, as in primality.cpp but keeping
+/// every node's table for the top-down pass.
+void BottomUpStep(const PrimalityContext& context,
+                  const NormalizedTreeDecomposition& ntd, TdNodeId id,
+                  std::vector<StateSet>* table) {
+  const NormNode& node = ntd.node(id);
+  StateSet& states = (*table)[static_cast<size_t>(id)];
+  auto emit = [&](PrimState s) { Insert(&states, std::move(s)); };
+  switch (node.kind) {
+    case NormNodeKind::kLeaf:
+      context.LeafStates(node.bag, emit);
+      break;
+    case NormNodeKind::kIntroduce:
+      for (const auto& [s, value] :
+           (*table)[static_cast<size_t>(node.children[0])]) {
+        (void)value;
+        if (context.IsAttr(node.element)) {
+          context.IntroduceAttr(node.bag, node.element, s, emit);
+        } else {
+          context.IntroduceFd(node.bag, node.element, s, emit);
         }
       }
-      if (stats != nullptr) {
-        stats->total_states += states.size();
-        stats->max_states_per_node =
-            std::max(stats->max_states_per_node, states.size());
+      break;
+    case NormNodeKind::kForget:
+      for (const auto& [s, value] :
+           (*table)[static_cast<size_t>(node.children[0])]) {
+        (void)value;
+        if (context.IsAttr(node.element)) {
+          context.ForgetAttr(node.bag, node.element, s, emit);
+        } else {
+          context.ForgetFd(node.bag, node.element, s, emit);
+        }
+      }
+      break;
+    case NormNodeKind::kCopy:
+      for (const auto& [s, value] :
+           (*table)[static_cast<size_t>(node.children[0])]) {
+        (void)value;
+        emit(s);
+      }
+      break;
+    case NormNodeKind::kBranch:
+      JoinInto(context, (*table)[static_cast<size_t>(node.children[0])],
+               (*table)[static_cast<size_t>(node.children[1])], emit);
+      break;
+  }
+}
+
+/// One node of the top-down solve↓() pass (§5.3): the state set of a node
+/// characterizes the *envelope* T̄_s. Formulated per node — "compute my own
+/// table from my parent's" — so a parents-first chunk of nodes is a valid
+/// schedule for both the sequential walk and the inverted shard schedule.
+/// Transitions invert the parent's kind; at a branch the sibling's bottom-up
+/// table joins in.
+void TopDownStep(const PrimalityContext& context,
+                 const NormalizedTreeDecomposition& ntd, TdNodeId x,
+                 const std::vector<StateSet>& up, std::vector<StateSet>* down) {
+  StateSet& states = (*down)[static_cast<size_t>(x)];
+  auto emit = [&](PrimState s) { Insert(&states, std::move(s)); };
+  if (x == ntd.root()) {
+    // Base: the envelope of the root is the root node alone — the leaf rule
+    // applied to the root's bag.
+    context.LeafStates(ntd.Bag(x), emit);
+    return;
+  }
+  TdNodeId parent_id = ntd.node(x).parent;
+  const NormNode& parent = ntd.node(parent_id);
+  const StateSet& parent_down = (*down)[static_cast<size_t>(parent_id)];
+  switch (parent.kind) {
+    case NormNodeKind::kLeaf:
+      TREEDL_CHECK(false) << "leaf with children";
+      break;
+    case NormNodeKind::kCopy:
+      for (const auto& [s, value] : parent_down) {
+        (void)value;
+        emit(s);
+      }
+      break;
+    case NormNodeKind::kIntroduce:
+      // Parent introduced e going up; going down the envelope forgets it —
+      // e's occurrences all lie inside the envelope of the child.
+      for (const auto& [s, value] : parent_down) {
+        (void)value;
+        if (context.IsAttr(parent.element)) {
+          context.ForgetAttr(ntd.Bag(x), parent.element, s, emit);
+        } else {
+          context.ForgetFd(ntd.Bag(x), parent.element, s, emit);
+        }
+      }
+      break;
+    case NormNodeKind::kForget:
+      // Parent forgot e going up; going down the envelope introduces it
+      // fresh (e occurs only below the child, so only at the child from the
+      // envelope's perspective).
+      for (const auto& [s, value] : parent_down) {
+        (void)value;
+        if (context.IsAttr(parent.element)) {
+          context.IntroduceAttr(ntd.Bag(x), parent.element, s, emit);
+        } else {
+          context.IntroduceFd(ntd.Bag(x), parent.element, s, emit);
+        }
+      }
+      break;
+    case NormNodeKind::kBranch: {
+      // T̄_child = T̄_parent ∪ T_sibling: join the parent's envelope states
+      // with the sibling's subtree states.
+      TdNodeId sibling = parent.children[parent.children[0] == x ? 1 : 0];
+      JoinInto(context, parent_down, up[static_cast<size_t>(sibling)], emit);
+      break;
+    }
+  }
+}
+
+void CountStates(const StateSet& states, DpStats* stats) {
+  if (stats == nullptr) return;
+  stats->total_states += states.size();
+  stats->max_states_per_node =
+      std::max(stats->max_states_per_node, states.size());
+}
+
+/// Bottom-up pass over one parents-last chunk (the full post order, or one
+/// shard's node list). Eviction: a non-branch node is its child's only
+/// reader — branch children must survive for the top-down sibling joins.
+void BottomUpChunk(const PrimalityContext& context,
+                   const NormalizedTreeDecomposition& ntd,
+                   const std::vector<TdNodeId>& nodes,
+                   std::vector<StateSet>* up, TableMemoryTracker* memory,
+                   bool evict, DpStats* stats) {
+  for (TdNodeId id : nodes) {
+    BottomUpStep(context, ntd, id, up);
+    CountStates((*up)[static_cast<size_t>(id)], stats);
+    memory->Add((*up)[static_cast<size_t>(id)].MemoryBytes());
+    if (evict) {
+      const NormNode& node = ntd.node(id);
+      if (node.kind != NormNodeKind::kBranch) {
+        for (TdNodeId child : node.children) {
+          ReleaseSet(&(*up)[static_cast<size_t>(child)], memory);
+        }
       }
     }
   }
-  return down;
+}
+
+/// Top-down pass over one parents-first chunk. Eviction: after node x is
+/// processed, (a) up[sibling(x)] has seen its last read (x's branch join) —
+/// siblings release each other's tables, possibly from concurrent shards,
+/// each table by its unique reader; (b) once every child of x's parent is
+/// processed (cross-shard atomic countdown), down[parent] is dead — leaves
+/// have no children, so the leaf tables the prime read-off needs survive.
+void TopDownChunk(const PrimalityContext& context,
+                  const NormalizedTreeDecomposition& ntd,
+                  const std::vector<TdNodeId>& nodes,
+                  std::vector<StateSet>* up, std::vector<StateSet>* down,
+                  TableMemoryTracker* memory, bool evict,
+                  std::vector<std::atomic<size_t>>* down_pending,
+                  DpStats* stats) {
+  for (TdNodeId x : nodes) {
+    TopDownStep(context, ntd, x, *up, down);
+    CountStates((*down)[static_cast<size_t>(x)], stats);
+    memory->Add((*down)[static_cast<size_t>(x)].MemoryBytes());
+    if (!evict) continue;
+    if (x == ntd.root()) {
+      // Nothing reads the root's bottom-up table after its pass completed.
+      ReleaseSet(&(*up)[static_cast<size_t>(x)], memory);
+      continue;
+    }
+    TdNodeId parent_id = ntd.node(x).parent;
+    const NormNode& parent = ntd.node(parent_id);
+    if (parent.kind == NormNodeKind::kBranch) {
+      TdNodeId sibling = parent.children[parent.children[0] == x ? 1 : 0];
+      ReleaseSet(&(*up)[static_cast<size_t>(sibling)], memory);
+    }
+    if ((*down_pending)[static_cast<size_t>(parent_id)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      ReleaseSet(&(*down)[static_cast<size_t>(parent_id)], memory);
+    }
+  }
 }
 
 }  // namespace
@@ -165,20 +248,76 @@ std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
                                           const SchemaEncoding& encoding,
                                           int num_attributes,
                                           const NormalizedTreeDecomposition& ntd,
-                                          RunStats* stats) {
+                                          RunStats* stats, const DpExec& exec) {
   DpStats dp;
-  std::vector<StateSet> up = BottomUpTables(context, ntd, &dp);
-  std::vector<StateSet> down = TopDownTables(context, ntd, up, &dp);
+  size_t num_nodes = ntd.NumNodes();
+  std::vector<StateSet> up(num_nodes);
+  std::vector<StateSet> down(num_nodes);
+  TableMemoryTracker memory;
+  const bool evict = exec.table_memory_budget > 0;
+  const bool parallel = exec.Parallel();
+
+  // Pass 1: bottom-up solve() tables, child shards before their parent.
+  if (parallel) {
+    RunShardedWalk(
+        exec,
+        [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
+          BottomUpChunk(context, ntd, nodes, &up, &memory, evict, local);
+        },
+        &dp, WalkDirection::kBottomUp);
+  } else {
+    std::vector<TdNodeId> post = ntd.PostOrder();
+    BottomUpChunk(context, ntd, post, &up, &memory, evict, &dp);
+  }
+
+  // Pass 2: top-down solve↓() tables on the inverted schedule — the root
+  // shard first, each shard's nodes in reverse post order.
+  std::vector<std::atomic<size_t>> down_pending(num_nodes);
+  if (evict) {
+    for (size_t id = 0; id < num_nodes; ++id) {
+      down_pending[id].store(ntd.node(static_cast<TdNodeId>(id)).children.size(),
+                             std::memory_order_relaxed);
+    }
+  }
+  if (parallel) {
+    RunShardedWalk(
+        exec,
+        [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
+          TopDownChunk(context, ntd, nodes, &up, &down, &memory, evict,
+                       &down_pending, local);
+        },
+        &dp, WalkDirection::kTopDown);
+  } else {
+    std::vector<TdNodeId> post = ntd.PostOrder();
+    std::vector<TdNodeId> pre(post.rbegin(), post.rend());
+    TopDownChunk(context, ntd, pre, &up, &down, &memory, evict, &down_pending,
+                 &dp);
+  }
+
+  memory.FoldInto(&dp);
   if (stats != nullptr) {
     stats->dp_states += dp.total_states;
     stats->dp_max_states_per_node =
         std::max(stats->dp_max_states_per_node, dp.max_states_per_node);
+    stats->primality_shards += dp.shards;
+    stats->dp_shard_millis.insert(stats->dp_shard_millis.end(),
+                                  dp.shard_millis.begin(),
+                                  dp.shard_millis.end());
+    stats->dp_traversals += 2;
+    stats->dp_passes += 2;
+    stats->dp_peak_table_bytes =
+        std::max(stats->dp_peak_table_bytes, dp.peak_table_bytes);
+    stats->dp_tables_evicted += dp.tables_evicted;
   }
 
   // prime(a) is read off at the leaves (every attribute occurs in some leaf
-  // bag by the ensure_leaf_coverage normalization option). Note that
-  // solve↓ at a leaf characterizes the envelope of the leaf — the *entire*
+  // bag by the ensure_leaf_coverage normalization option). Note that solve↓
+  // at a leaf characterizes the envelope of the leaf — the *entire*
   // structure — exactly like solve at the root of a re-rooted decomposition.
+  // Leaf-only on purpose: under a table_memory_budget the eviction protocol
+  // above released every *interior* down table (leaves have no children, so
+  // the countdown never fires for them) — the leaves are exactly the tables
+  // guaranteed to survive the walk.
   std::vector<bool> primes(static_cast<size_t>(num_attributes), false);
   for (TdNodeId id : ntd.PreOrder()) {
     if (ntd.node(id).kind != NormNodeKind::kLeaf) continue;
@@ -187,7 +326,8 @@ std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
       if (!context.IsAttr(e)) continue;
       AttributeId a = encoding.AttrOf(e);
       if (primes[static_cast<size_t>(a)]) continue;
-      for (const PrimState& s : down[static_cast<size_t>(id)]) {
+      for (const auto& [s, value] : down[static_cast<size_t>(id)]) {
+        (void)value;
         if (context.Accepts(bag, s, e)) {
           primes[static_cast<size_t>(a)] = true;
           break;

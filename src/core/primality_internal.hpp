@@ -22,6 +22,7 @@
 
 #include "common/hash.hpp"
 #include "common/status.hpp"
+#include "core/tree_dp.hpp"
 #include "engine/run_stats.hpp"
 #include "schema/encode.hpp"
 #include "td/normalize.hpp"
@@ -145,12 +146,17 @@ bool DecidePrimePrepared(const PrimalityContext& context,
                          ElementId a_elem, RunStats* stats);
 
 /// §5.3 two-pass enumeration over a prepared decomposition — validated,
-/// rhs-closed, normalized with PrimalityNormalizeOptions(·, true).
+/// rhs-closed, normalized with PrimalityNormalizeOptions(·, true). When
+/// `exec` carries a sharding and pool, both passes run shard-parallel on it
+/// (bottom-up solve, then the inverted top-down solve↓ schedule); with
+/// exec.table_memory_budget > 0 dead state tables are evicted as the passes
+/// consume them. Results are bit-identical at any thread count.
 std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
                                           const SchemaEncoding& encoding,
                                           int num_attributes,
                                           const NormalizedTreeDecomposition& ntd,
-                                          RunStats* stats);
+                                          RunStats* stats,
+                                          const DpExec& exec = {});
 
 }  // namespace treedl::core::internal
 

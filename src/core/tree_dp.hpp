@@ -353,17 +353,27 @@ class MultiDp {
 
 namespace internal {
 
+/// Direction of a sharded walk. kBottomUp is the DP default: a shard runs
+/// once its child shards are done, nodes in post order. kTopDown inverts the
+/// schedule for root-to-leaves passes (the §5.3 solve↓ tables): a shard runs
+/// once its parent shard is done, nodes in reverse post order (parents
+/// before children within the shard).
+enum class WalkDirection { kBottomUp, kTopDown };
+
 /// The shard schedule shared by every parallel driver: executes
 /// `process_chunk(shard_nodes, &local_stats)` once per shard on the pool; a
-/// shard is submitted once all of its child shards are done, and the calling
-/// thread helps drain the pool while waiting. `process_chunk` is invoked
-/// concurrently from multiple threads for distinct shards.
+/// shard is submitted once all of its dependencies (child shards bottom-up,
+/// the parent shard top-down) are done, and the calling thread helps drain
+/// the pool while waiting. `process_chunk` is invoked concurrently from
+/// multiple threads for distinct shards.
 template <typename ProcessChunk>
 void RunShardedWalk(const DpExec& exec, ProcessChunk&& process_chunk,
-                    DpStats* stats) {
+                    DpStats* stats,
+                    WalkDirection direction = WalkDirection::kBottomUp) {
   TREEDL_CHECK(exec.Parallel());
   const BagSharding& sharding = *exec.sharding;
   size_t num_shards = sharding.NumShards();
+  const bool top_down = direction == WalkDirection::kTopDown;
 
   // Per-shard bookkeeping: dependency counters, isolated stats slots (merged
   // at the end — no contention), and the completion group.
@@ -377,25 +387,46 @@ void RunShardedWalk(const DpExec& exec, ProcessChunk&& process_chunk,
   // outlives all tasks because Wait() returns only after the last Done().
   std::function<void(size_t)> run_shard = [&](size_t s) {
     Timer timer;
-    process_chunk(sharding.shards[s].nodes, &shard_stats[s]);
+    if (top_down) {
+      std::vector<TdNodeId> reversed(sharding.shards[s].nodes.rbegin(),
+                                     sharding.shards[s].nodes.rend());
+      process_chunk(reversed, &shard_stats[s]);
+    } else {
+      process_chunk(sharding.shards[s].nodes, &shard_stats[s]);
+    }
     shard_millis[s] = timer.ElapsedMillis();
-    int parent = sharding.shards[s].parent;
-    if (parent >= 0 &&
-        pending[static_cast<size_t>(parent)].fetch_sub(
-            1, std::memory_order_acq_rel) == 1) {
-      exec.pool->Submit([&run_shard, parent] {
-        run_shard(static_cast<size_t>(parent));
-      });
+    auto ready = [&](int next) {
+      return pending[static_cast<size_t>(next)].fetch_sub(
+                 1, std::memory_order_acq_rel) == 1;
+    };
+    if (top_down) {
+      for (int child : sharding.shards[s].children) {
+        if (ready(child)) {
+          exec.pool->Submit([&run_shard, child] {
+            run_shard(static_cast<size_t>(child));
+          });
+        }
+      }
+    } else {
+      int parent = sharding.shards[s].parent;
+      if (parent >= 0 && ready(parent)) {
+        exec.pool->Submit([&run_shard, parent] {
+          run_shard(static_cast<size_t>(parent));
+        });
+      }
     }
     done.Done();
   };
 
   for (size_t s = 0; s < num_shards; ++s) {
-    pending[s].store(sharding.shards[s].children.size(),
-                     std::memory_order_relaxed);
+    size_t deps = top_down ? (sharding.shards[s].parent >= 0 ? 1 : 0)
+                           : sharding.shards[s].children.size();
+    pending[s].store(deps, std::memory_order_relaxed);
   }
   for (size_t s = 0; s < num_shards; ++s) {
-    if (sharding.shards[s].children.empty()) {
+    bool source = top_down ? sharding.shards[s].parent < 0
+                           : sharding.shards[s].children.empty();
+    if (source) {
       exec.pool->Submit([&run_shard, s] { run_shard(s); });
     }
   }

@@ -1,5 +1,7 @@
 #include "datalog/database.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace treedl::datalog {
@@ -21,19 +23,22 @@ bool FactStore::Add(PredicateId p, const Tuple& t) {
 
 const std::vector<size_t>& FactStore::MatchByColumn(PredicateId p, int pos,
                                                     ElementId value) {
-  auto& pred_indexes = indexes_[static_cast<size_t>(p)];
-  auto it = pred_indexes.find(pos);
-  if (it == pred_indexes.end()) {
-    ColumnIndex index;
-    const auto& rel = relations_[static_cast<size_t>(p)];
-    for (size_t i = 0; i < rel.size(); ++i) {
-      index[rel[i][static_cast<size_t>(pos)]].push_back(i);
-    }
-    it = pred_indexes.emplace(pos, std::move(index)).first;
-  }
-  auto hit = it->second.find(value);
-  if (hit == it->second.end()) return kEmptyMatch;
+  EnsureColumnIndex(p, pos);
+  const auto& index = indexes_[static_cast<size_t>(p)].find(pos)->second;
+  auto hit = index.find(value);
+  if (hit == index.end()) return kEmptyMatch;
   return hit->second;
+}
+
+void FactStore::EnsureColumnIndex(PredicateId p, int pos) {
+  auto& pred_indexes = indexes_[static_cast<size_t>(p)];
+  if (pred_indexes.count(pos) > 0) return;
+  ColumnIndex index;
+  const auto& rel = relations_[static_cast<size_t>(p)];
+  for (size_t i = 0; i < rel.size(); ++i) {
+    index[rel[i][static_cast<size_t>(pos)]].push_back(i);
+  }
+  pred_indexes.emplace(pos, std::move(index));
 }
 
 ResolvedAtom ResolveAtom(const Atom& atom, Structure* domain) {
@@ -80,33 +85,50 @@ Tuple GroundArgs(const ResolvedAtom& atom, const Binding& binding) {
 
 size_t MatchAtom(FactStore* store, const ResolvedAtom& atom, Binding* binding,
                  const std::function<bool(void)>& yield) {
-  // Pick a bound column for index access, if any.
-  int index_pos = -1;
-  ElementId index_value = kUnbound;
+  return MatchAtomInRange(store, atom, binding, 0,
+                          std::numeric_limits<size_t>::max(), yield);
+}
+
+int ProbePosition(const ResolvedAtom& atom,
+                  const std::function<bool(VariableId)>& is_bound) {
   for (size_t i = 0; i < atom.const_args.size(); ++i) {
-    ElementId v = atom.const_args[i];
-    if (atom.vars[i] >= 0) v = (*binding)[static_cast<size_t>(atom.vars[i])];
-    if (v != kUnbound) {
-      index_pos = static_cast<int>(i);
-      index_value = v;
-      break;
+    if (atom.vars[i] < 0 || is_bound(atom.vars[i])) {
+      return static_cast<int>(i);
     }
   }
+  return -1;
+}
 
-  // Candidate tuples (by index or full relation).
+size_t MatchAtomInRange(FactStore* store, const ResolvedAtom& atom,
+                        Binding* binding, size_t begin, size_t end,
+                        const std::function<bool(void)>& yield) {
+  // Pick a bound column for index access, if any.
+  int index_pos = ProbePosition(atom, [&](VariableId var) {
+    return (*binding)[static_cast<size_t>(var)] != kUnbound;
+  });
+
+  // Candidate tuples (by index, or the relation's [begin, end) slice).
   const std::vector<Tuple>& rel = store->Tuples(atom.predicate);
   const std::vector<size_t>* candidates = nullptr;
   std::vector<size_t> all;
   if (index_pos >= 0) {
+    ElementId index_value = atom.const_args[static_cast<size_t>(index_pos)];
+    if (atom.vars[static_cast<size_t>(index_pos)] >= 0) {
+      index_value = (*binding)[static_cast<size_t>(
+          atom.vars[static_cast<size_t>(index_pos)])];
+    }
     candidates = &store->MatchByColumn(atom.predicate, index_pos, index_value);
   } else {
-    all.resize(rel.size());
-    for (size_t i = 0; i < rel.size(); ++i) all[i] = i;
+    size_t lo = std::min(begin, rel.size());
+    size_t hi = std::min(end, rel.size());
+    all.resize(hi > lo ? hi - lo : 0);
+    for (size_t i = 0; i < all.size(); ++i) all[i] = lo + i;
     candidates = &all;
   }
 
   size_t matches = 0;
   for (size_t idx : *candidates) {
+    if (idx < begin || idx >= end) continue;
     const Tuple& tuple = rel[idx];
     // Attempt unification, remembering which variables this tuple binds.
     std::vector<VariableId> newly_bound;

@@ -49,6 +49,11 @@ class FactStore {
   const std::vector<size_t>& MatchByColumn(PredicateId p, int pos,
                                            ElementId value);
 
+  /// Builds the (p, pos) column index now if absent. The parallel fixpoint
+  /// pre-builds every index its rule tasks could probe, so MatchByColumn is
+  /// a pure read while tasks share the store across threads.
+  void EnsureColumnIndex(PredicateId p, int pos);
+
  private:
   struct TupleHash {
     size_t operator()(const Tuple& t) const { return HashRange(t); }
@@ -79,6 +84,24 @@ ResolvedAtom ResolveAtom(const Atom& atom, Structure* domain);
 /// returns false to stop early. Returns the number of matches visited.
 size_t MatchAtom(FactStore* store, const ResolvedAtom& atom, Binding* binding,
                  const std::function<bool(void)>& yield);
+
+/// MatchAtom restricted to tuples whose index into Tuples(atom.predicate)
+/// lies in [begin, end) — the delta-batch primitive of the parallel
+/// semi-naive engine: batches over contiguous slices of the delta relation
+/// concatenate to exactly the unrestricted enumeration order.
+size_t MatchAtomInRange(FactStore* store, const ResolvedAtom& atom,
+                        Binding* binding, size_t begin, size_t end,
+                        const std::function<bool(void)>& yield);
+
+/// The argument position MatchAtom probes an index on: the first position
+/// that is a constant or whose variable satisfies `is_bound`; -1 when every
+/// position is unbound (full scan). The single source of the probe choice —
+/// MatchAtom applies it to the runtime binding, and the parallel fixpoint's
+/// index freeze applies it to the statically-bound variable set, so the two
+/// can never diverge (a divergence would reintroduce a lazy index build
+/// under concurrent readers).
+int ProbePosition(const ResolvedAtom& atom,
+                  const std::function<bool(VariableId)>& is_bound);
 
 /// True iff `atom` is fully bound under `binding` (no unbound variables).
 bool FullyBound(const ResolvedAtom& atom, const Binding& binding);

@@ -10,11 +10,29 @@
 #define TREEDL_DATALOG_EVAL_HPP_
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "datalog/ast.hpp"
 #include "engine/run_stats.hpp"
 #include "structure/structure.hpp"
 
 namespace treedl::datalog {
+
+/// Execution context for the semi-naive engine. Default-constructed (or with
+/// a null/single-thread pool) the fixpoint runs sequentially, exactly as
+/// before. With a pool, each round's rule-evaluation units run as tasks on
+/// it; results are merged in unit order, so the derived model — and every
+/// fact-insertion sequence behind it — is bit-identical to the sequential
+/// run at any thread count.
+struct EvalExec {
+  ThreadPool* pool = nullptr;
+  /// Delta facts per batch the engine aims for when it splits a wide
+  /// (rule, delta position) unit; the batch count is a pure function of the
+  /// delta size, never of the thread count, keeping work counters
+  /// deterministic across configurations.
+  size_t delta_batch_grain = 256;
+
+  bool Parallel() const { return pool != nullptr && pool->NumThreads() > 1; }
+};
 
 /// Deprecated: retained for out-of-tree callers. New code receives the same
 /// numbers through the unified RunStats (eval_iterations / derived_facts /
@@ -36,6 +54,14 @@ StatusOr<Structure> NaiveEvaluate(const Program& program, const Structure& edb,
 StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
                                       const Structure& edb,
                                       RunStats* stats = nullptr);
+
+/// Semi-naive evaluation with an execution context: rule-level (and, for
+/// wide rules, delta-batch) parallelism within each fixpoint round on
+/// exec.pool. RunStats::fixpoint_rounds / fixpoint_rule_tasks report the
+/// round/task decomposition.
+StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
+                                      const Structure& edb,
+                                      const EvalExec& exec, RunStats* stats);
 
 /// Deprecated shims: forward into the RunStats forms and copy the fixpoint
 /// slice back into the legacy struct.

@@ -36,13 +36,22 @@ struct PreparedProgram {
 /// order, and seeds the fact store (EDB facts + ground program facts).
 StatusOr<PreparedProgram> Prepare(const Program& program, const Structure& edb);
 
+/// Restriction of the delta literal to a contiguous slice of its relation —
+/// how the parallel semi-naive engine splits one wide (rule, delta position)
+/// unit into batches. The default covers the whole relation.
+struct DeltaRange {
+  size_t begin = 0;
+  size_t end = static_cast<size_t>(-1);
+};
+
 /// Evaluates one rule against `store` (with an optional delta store replacing
-/// `store` for the body literal at plan position `delta_position`); derived
-/// head tuples are passed to `derive`. Returns the number of body matches
-/// attempted (work measure).
+/// `store` for the body literal at plan position `delta_position`, optionally
+/// restricted to `delta_range`); derived head tuples are passed to `derive`.
+/// Returns the number of body matches attempted (work measure).
 size_t ApplyRule(const PreparedRule& rule, FactStore* store, FactStore* delta,
                  int delta_position, size_t num_variables,
-                 const std::function<void(const Tuple&)>& derive);
+                 const std::function<void(const Tuple&)>& derive,
+                 DeltaRange delta_range = {});
 
 }  // namespace treedl::datalog::internal
 

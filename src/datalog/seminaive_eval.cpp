@@ -1,16 +1,146 @@
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "datalog/eval.hpp"
 #include "datalog/eval_internal.hpp"
 
 namespace treedl::datalog {
 
+namespace {
+
+constexpr size_t kMaxDeltaBatches = 8;
+
+/// One rule-evaluation unit of a fixpoint round: rule x delta position x
+/// contiguous delta batch. Round 0 units carry delta_position = -1 and a
+/// full-relation range. The decomposition of a round into units depends only
+/// on the program and the delta sizes — never on the thread count — so the
+/// fixpoint_rule_tasks counter (and every derived-work counter) is identical
+/// between sequential and parallel runs.
+struct RuleTask {
+  size_t rule = 0;
+  int delta_position = -1;
+  internal::DeltaRange range;
+};
+
+struct TaskResult {
+  std::vector<std::pair<PredicateId, Tuple>> pending;
+  size_t rule_applications = 0;
+};
+
+/// Pre-builds the (predicate, position) column indexes the rule tasks will
+/// probe against `store`. The probe position of a body atom is statically
+/// determined: ProbePosition (the same choice MatchAtom makes at runtime)
+/// applied to the statically-bound variable set — at plan position k exactly
+/// the variables of positive atoms 0..k-1 are bound (negative literals bind
+/// nothing new). The parallel round shares the store read-only across
+/// tasks; with the probed indexes frozen, MatchAtom is a pure read (Add
+/// keeps built indexes maintained between rounds).
+void FreezeIndexes(const internal::PreparedProgram& prep, FactStore* store,
+                   bool delta_positions_only) {
+  std::vector<bool> bound(prep.num_variables);
+  for (const internal::PreparedRule& rule : prep.rules) {
+    bound.assign(prep.num_variables, false);
+    for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+      const ResolvedAtom& atom = rule.body[pos];
+      if (rule.positive[pos] &&
+          (!delta_positions_only || rule.body_intensional[pos])) {
+        int probe = ProbePosition(atom, [&](VariableId var) {
+          return bound[static_cast<size_t>(var)];
+        });
+        if (probe >= 0) store->EnsureColumnIndex(atom.predicate, probe);
+      }
+      if (rule.positive[pos]) {
+        for (VariableId var : atom.vars) {
+          if (var >= 0) bound[static_cast<size_t>(var)] = true;
+        }
+      }
+    }
+  }
+}
+
+/// Executes `tasks` — on exec.pool when it is usable, inline otherwise — and
+/// returns the per-task results in task order. Tasks only read `prep.store`
+/// and `delta`; the caller replays the pending facts in task order, so the
+/// store's insertion sequence is bit-identical to the sequential engine's.
+std::vector<TaskResult> RunRuleTasks(const internal::PreparedProgram& prep,
+                                     FactStore* store, FactStore* delta,
+                                     const std::vector<RuleTask>& tasks,
+                                     const EvalExec& exec) {
+  std::vector<TaskResult> results(tasks.size());
+  auto run_one = [&](size_t i) {
+    const RuleTask& task = tasks[i];
+    const internal::PreparedRule& rule = prep.rules[task.rule];
+    TaskResult& out = results[i];
+    out.rule_applications = internal::ApplyRule(
+        rule, store, delta, task.delta_position, prep.num_variables,
+        [&](const Tuple& tuple) {
+          out.pending.emplace_back(rule.head.predicate, tuple);
+        },
+        task.range);
+  };
+  if (!exec.Parallel() || tasks.size() <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_one(i);
+    return results;
+  }
+  WaitGroup done;
+  done.Add(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    exec.pool->Submit([&run_one, &done, i] {
+      run_one(i);
+      done.Done();
+    });
+  }
+  // Help drain the pool instead of idling (also makes progress when several
+  // concurrent queries share one pool).
+  while (exec.pool->RunOneTask()) {
+  }
+  done.Wait();
+  return results;
+}
+
+/// Batch count for one (rule, delta position) unit: 1 unless the delta
+/// literal is the plan's first atom (no prefix join to re-run per batch) and
+/// its delta relation is wide enough to be worth splitting. A pure function
+/// of the data and exec.delta_batch_grain.
+size_t NumDeltaBatches(const internal::PreparedRule& rule, size_t pos,
+                       size_t delta_size, const EvalExec& exec) {
+  (void)rule;
+  if (pos != 0 || exec.delta_batch_grain == 0) return 1;
+  if (delta_size < 2 * exec.delta_batch_grain) return 1;
+  return std::min(kMaxDeltaBatches, delta_size / exec.delta_batch_grain);
+}
+
+void AppendBatchedTasks(std::vector<RuleTask>* tasks, size_t rule_index,
+                        size_t pos, size_t delta_size, size_t batches) {
+  for (size_t b = 0; b < batches; ++b) {
+    RuleTask task;
+    task.rule = rule_index;
+    task.delta_position = static_cast<int>(pos);
+    task.range.begin = delta_size * b / batches;
+    task.range.end = delta_size * (b + 1) / batches;
+    tasks->push_back(task);
+  }
+}
+
+}  // namespace
+
 StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
-                                      const Structure& edb, RunStats* stats) {
+                                      const Structure& edb,
+                                      const EvalExec& exec, RunStats* stats) {
   if (stats != nullptr) *stats = RunStats{};
   TREEDL_ASSIGN_OR_RETURN(internal::PreparedProgram prep,
                           internal::Prepare(program, edb));
   EvalStats local;
+  size_t rule_tasks = 0;
   int num_preds = prep.result.signature().size();
+  const bool parallel = exec.Parallel();
+  // The store is shared read-only by the tasks of a round; freeze its
+  // indexes up front so no task triggers a lazy index build mid-round (Add
+  // maintains them as the merge step inserts derived facts).
+  if (parallel) FreezeIndexes(prep, &prep.store, /*delta_positions_only=*/false);
 
   // Round 0: full evaluation against the EDB (+ ground facts); all derived
   // facts form the first delta.
@@ -24,38 +154,49 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
       TREEDL_CHECK(st.ok()) << st.ToString();
     }
   };
+  auto merge_results = [&](const std::vector<TaskResult>& results,
+                           FactStore* next_delta) {
+    for (const TaskResult& result : results) {
+      local.rule_applications += result.rule_applications;
+      for (const auto& [pred, tuple] : result.pending) {
+        derive_into(next_delta, pred, tuple);
+      }
+    }
+  };
 
   {
     ++local.iterations;
-    std::vector<std::pair<PredicateId, Tuple>> pending;
-    for (const internal::PreparedRule& rule : prep.rules) {
-      local.rule_applications += internal::ApplyRule(
-          rule, &prep.store, nullptr, -1, prep.num_variables,
-          [&](const Tuple& tuple) {
-            pending.emplace_back(rule.head.predicate, tuple);
-          });
+    std::vector<RuleTask> tasks;
+    tasks.reserve(prep.rules.size());
+    for (size_t r = 0; r < prep.rules.size(); ++r) {
+      tasks.push_back(RuleTask{r, -1, {}});
     }
-    for (auto& [pred, tuple] : pending) derive_into(&delta, pred, tuple);
+    rule_tasks += tasks.size();
+    merge_results(RunRuleTasks(prep, &prep.store, nullptr, tasks, exec),
+                  &delta);
   }
 
   // Delta rounds: for every rule and every intensional body position, match
   // that position against the previous delta and the rest against the full
-  // store. Duplicate derivations are absorbed by the store.
+  // store; wide position-0 deltas split into contiguous batches. Duplicate
+  // derivations are absorbed by the store.
   while (delta.TotalFacts() > 0) {
     ++local.iterations;
+    if (parallel) FreezeIndexes(prep, &delta, /*delta_positions_only=*/true);
     FactStore next_delta(num_preds);
-    std::vector<std::pair<PredicateId, Tuple>> pending;
-    for (const internal::PreparedRule& rule : prep.rules) {
+    std::vector<RuleTask> tasks;
+    for (size_t r = 0; r < prep.rules.size(); ++r) {
+      const internal::PreparedRule& rule = prep.rules[r];
       for (size_t pos = 0; pos < rule.body.size(); ++pos) {
         if (!rule.body_intensional[pos] || !rule.positive[pos]) continue;
-        local.rule_applications += internal::ApplyRule(
-            rule, &prep.store, &delta, static_cast<int>(pos),
-            prep.num_variables, [&](const Tuple& tuple) {
-              pending.emplace_back(rule.head.predicate, tuple);
-            });
+        size_t delta_size = delta.Tuples(rule.body[pos].predicate).size();
+        AppendBatchedTasks(&tasks, r, pos, delta_size,
+                           NumDeltaBatches(rule, pos, delta_size, exec));
       }
     }
-    for (auto& [pred, tuple] : pending) derive_into(&next_delta, pred, tuple);
+    rule_tasks += tasks.size();
+    merge_results(RunRuleTasks(prep, &prep.store, &delta, tasks, exec),
+                  &next_delta);
     delta = std::move(next_delta);
   }
 
@@ -63,8 +204,15 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
     stats->eval_iterations += local.iterations;
     stats->derived_facts += local.derived_facts;
     stats->rule_applications += local.rule_applications;
+    stats->fixpoint_rounds += local.iterations;
+    stats->fixpoint_rule_tasks += rule_tasks;
   }
   return std::move(prep.result);
+}
+
+StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
+                                      const Structure& edb, RunStats* stats) {
+  return SemiNaiveEvaluate(program, edb, EvalExec{}, stats);
 }
 
 StatusOr<Structure> SemiNaiveEvaluate(const Program& program,

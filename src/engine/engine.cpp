@@ -25,17 +25,19 @@ namespace {
 
 StatusOr<Structure> RunBackend(const datalog::Program& program,
                                const Structure& edb, DatalogBackend backend,
-                               RunStats* stats) {
+                               const datalog::EvalExec& exec, RunStats* stats) {
   // Evaluate into a local record and fold it in: the public evaluate
   // functions reset their stats argument at entry, which must not wipe the
-  // counters the engine already recorded for this query.
+  // counters the engine already recorded for this query. Only the semi-naive
+  // engine is parallel; naive stays the sequential reference oracle and the
+  // grounded pipeline is dominated by its grounding phase.
   RunStats eval_run;
   StatusOr<Structure> result = [&]() -> StatusOr<Structure> {
     switch (backend) {
       case DatalogBackend::kNaive:
         return datalog::NaiveEvaluate(program, edb, &eval_run);
       case DatalogBackend::kSemiNaive:
-        return datalog::SemiNaiveEvaluate(program, edb, &eval_run);
+        return datalog::SemiNaiveEvaluate(program, edb, exec, &eval_run);
       case DatalogBackend::kGrounded:
         return datalog::GroundedEvaluate(program, edb, &eval_run);
     }
@@ -210,9 +212,20 @@ StatusOr<const NormalizedTreeDecomposition*> Engine::EnsureEnumNtd(
       *encoding_, /*for_enumeration=*/true);
   engine::PassPipeline pipeline;
   pipeline.Emplace<engine::NormalizePass>();
+  // Parallel sessions shard the enumeration normal form too, on the same
+  // cost model as the graph-DP sharding (3^|bag| fits the Fig. 6 state
+  // explosion just as well).
+  size_t threads = ResolvedNumThreads();
+  if (threads > 1) {
+    pipeline.Emplace<engine::ShardBagsPass>(threads *
+                                            options_.shards_per_thread);
+  }
   TREEDL_RETURN_IF_ERROR(
       pipeline.Run(state, options_.collect_pass_timings ? stats : nullptr));
   enum_ntd_ = *std::move(state.normalized);
+  if (state.sharding.has_value()) {
+    enum_sharding_ = *std::move(state.sharding);
+  }
   ++stats->normalize_builds;
   ++GlobalEngineCounters().normalize_builds;
   return &*enum_ntd_;
@@ -353,6 +366,7 @@ StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
     const NormalizedTreeDecomposition* ntd = nullptr;
     const core::internal::PrimalityContext* context = nullptr;
     const SchemaEncoding* encoding = nullptr;
+    core::DpExec exec;
     {
       std::lock_guard<std::mutex> lock(sync_->cache_mu);
       if (primes_.has_value()) {
@@ -362,11 +376,15 @@ StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
       TREEDL_ASSIGN_OR_RETURN(ntd, EnsureEnumNtd(s));
       TREEDL_ASSIGN_OR_RETURN(context, EnsurePrimality(s));
       encoding = encoding_.get();
+      exec.pool = EnsurePool();
+      exec.sharding = enum_sharding_.has_value() ? &*enum_sharding_ : nullptr;
+      exec.table_memory_budget = options_.table_memory_budget;
     }
-    // The two-pass enumeration runs outside the lock; concurrent first
-    // callers may duplicate the work, but the memo is written once.
+    // The two-pass enumeration runs outside the lock (sharded on the pool
+    // when the session is parallel); concurrent first callers may duplicate
+    // the work, but the memo is written once.
     std::vector<bool> primes = core::internal::EnumeratePrimesPrepared(
-        *context, *encoding, schema_->NumAttributes(), *ntd, s);
+        *context, *encoding, schema_->NumAttributes(), *ntd, s, exec);
     std::lock_guard<std::mutex> lock(sync_->cache_mu);
     if (!primes_.has_value()) primes_ = std::move(primes);
     return *primes_;
@@ -391,11 +409,15 @@ StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
   Timer timer;
   StatusOr<Structure> result = [&]() -> StatusOr<Structure> {
     const Structure* edb = nullptr;
+    datalog::EvalExec exec;
     {
       std::lock_guard<std::mutex> lock(sync_->cache_mu);
       TREEDL_ASSIGN_OR_RETURN(edb, EnsureStructure(s));
+      // Only the semi-naive backend consumes the pool — don't spin up
+      // workers for the sequential naive/grounded backends.
+      if (backend == DatalogBackend::kSemiNaive) exec.pool = EnsurePool();
     }
-    return RunBackend(program, *edb, backend, s);
+    return RunBackend(program, *edb, backend, exec, s);
   }();
   s->total_millis = timer.ElapsedMillis();
   Record(*s);
@@ -420,6 +442,7 @@ StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
     bool direct = false;
     const datalog::Program* program = nullptr;
     const Structure* tau_edb = nullptr;
+    datalog::EvalExec exec;
     {
       std::lock_guard<std::mutex> lock(sync_->cache_mu);
       TREEDL_ASSIGN_OR_RETURN(a, EnsureStructure(s));
@@ -431,6 +454,9 @@ StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
         TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
                                 EnsureTauTd(s));
         tau_edb = &atd->structure;
+        if (options_.backend == DatalogBackend::kSemiNaive) {
+          exec.pool = EnsurePool();
+        }
       }
     }
     if (direct) {
@@ -439,7 +465,8 @@ StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
       return mso::EvaluateSentence(*a, *sentence, eopts);
     }
     TREEDL_ASSIGN_OR_RETURN(
-        Structure derived, RunBackend(*program, *tau_edb, options_.backend, s));
+        Structure derived,
+        RunBackend(*program, *tau_edb, options_.backend, exec, s));
     TREEDL_ASSIGN_OR_RETURN(PredicateId phi,
                             derived.signature().PredicateIdOf("phi"));
     return derived.HasFact(phi, {});
@@ -459,6 +486,7 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
     bool direct = false;
     const datalog::Program* program = nullptr;
     const Structure* tau_edb = nullptr;
+    datalog::EvalExec exec;
     {
       std::lock_guard<std::mutex> lock(sync_->cache_mu);
       TREEDL_ASSIGN_OR_RETURN(a, EnsureStructure(s));
@@ -470,6 +498,9 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
         TREEDL_ASSIGN_OR_RETURN(const datalog::TauTdEncoding* atd,
                                 EnsureTauTd(s));
         tau_edb = &atd->structure;
+        if (options_.backend == DatalogBackend::kSemiNaive) {
+          exec.pool = EnsurePool();
+        }
       }
     }
     std::vector<bool> selected(a->NumElements(), false);
@@ -484,7 +515,8 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
       return selected;
     }
     TREEDL_ASSIGN_OR_RETURN(
-        Structure derived, RunBackend(*program, *tau_edb, options_.backend, s));
+        Structure derived,
+        RunBackend(*program, *tau_edb, options_.backend, exec, s));
     TREEDL_ASSIGN_OR_RETURN(PredicateId phi_pred,
                             derived.signature().PredicateIdOf("phi"));
     for (ElementId e = 0; e < a->NumElements(); ++e) {
@@ -773,6 +805,13 @@ Status Engine::LoadSession(const std::string& path, RunStats* stats) {
     if (artifacts.enum_ntd.has_value() && !enum_ntd_.has_value()) {
       enum_ntd_ = *std::move(artifacts.enum_ntd);
       ++s->artifact_loads;
+      // Like the plain-NTD sharding above: thread-count dependent and cheap,
+      // so recompute instead of persisting.
+      size_t threads = ResolvedNumThreads();
+      if (threads > 1 && !enum_sharding_.has_value()) {
+        enum_sharding_ = ComputeBagShardingByCost(
+            *enum_ntd_, threads * options_.shards_per_thread);
+      }
     }
     if (artifacts.tau_td.has_value() && !tau_td_.has_value()) {
       tau_td_ = *std::move(artifacts.tau_td);

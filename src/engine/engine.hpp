@@ -23,9 +23,13 @@
 // trigger exactly one encoding/decomposition/normalization build; the heavy
 // per-query work (tree DPs, datalog fixpoints, direct MSO evaluation) runs
 // outside the lock against the immutable cached artifacts. With
-// EngineOptions::num_threads > 1 the Solve tree DP itself is parallel: a
-// ShardBags pass splits the normalized decomposition into independent
-// subtrees and a work-stealing pool executes them (core::RunTreeDpSharded).
+// EngineOptions::num_threads > 1 the per-query engines themselves are
+// parallel on one shared work-stealing pool: the Solve/SolveAll tree DP runs
+// bag-sharded (core::RunTreeDpSharded), the AllPrimes enumeration runs both
+// of its passes shard-scheduled on the same pool (bottom-up, then the
+// inverted top-down schedule), and the semi-naive datalog fixpoint evaluates
+// each round's rules (and wide delta batches) as pool tasks with a
+// deterministic merge — every answer is bit-identical to num_threads = 1.
 // Pointers returned by the artifact accessors stay valid for the Engine's
 // lifetime; moving an Engine while another thread uses it is undefined.
 //
@@ -256,6 +260,9 @@ class Engine {
   std::optional<NormalizedTreeDecomposition> enum_ntd_;
   std::optional<NormalizedTreeDecomposition> plain_ntd_;
   std::optional<BagSharding> sharding_;
+  /// Sharding of enum_ntd_ for the parallel §5.3 enumeration (parallel
+  /// schema sessions only).
+  std::optional<BagSharding> enum_sharding_;
   std::optional<datalog::TauTdEncoding> tau_td_;
   std::optional<std::vector<bool>> primes_;
   /// Per-formula cache of compiled Thm 4.5 programs, keyed by query form +

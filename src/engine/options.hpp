@@ -55,9 +55,12 @@ struct EngineOptions {
   bool extract_witness = true;
   /// Record per-pass wall-clock timings into RunStats::passes.
   bool collect_pass_timings = false;
-  /// Worker threads for the bag-sharded parallel tree DP behind Solve.
-  /// 0 = hardware concurrency (the default); 1 = today's sequential
-  /// behavior (no thread pool, no sharding pass).
+  /// Worker threads for the session's shared work-stealing pool: the
+  /// bag-sharded tree DP behind Solve/SolveAll, the two sharded passes of
+  /// the AllPrimes enumeration, and the rule-level parallel semi-naive
+  /// datalog fixpoint. 0 = hardware concurrency (the default); 1 = the
+  /// sequential behavior (no thread pool, no sharding pass). Answers are
+  /// bit-identical at every setting.
   size_t num_threads = 0;
   /// Shard tasks per worker thread the ShardBags pass aims for (more shards
   /// = better load balance, more scheduling overhead).

@@ -73,6 +73,23 @@ struct RunStats {
   size_t eval_iterations = 0;
   size_t derived_facts = 0;
   size_t rule_applications = 0;
+  /// Fixpoint rounds run by the semi-naive engine (round 0 + delta rounds).
+  /// Unlike eval_iterations — which every backend bumps, naive included —
+  /// this counts only the parallel-capable engine's rounds, so a query can
+  /// attribute its eval_iterations across backends.
+  size_t fixpoint_rounds = 0;
+  /// Rule-evaluation task units the semi-naive engine decomposed its rounds
+  /// into (one per rule in round 0; one per rule x intensional delta
+  /// position x delta batch afterwards). The decomposition depends only on
+  /// the program and the data, never on the thread count, so the counter is
+  /// identical at num_threads = 1 and 8 — with a pool the units run
+  /// concurrently, without one they run in the same order inline.
+  size_t fixpoint_rule_tasks = 0;
+
+  // --- PRIMALITY enumeration sharding --------------------------------------
+  /// Shard tasks run by the two sharded walks (bottom-up solve and top-down
+  /// solve↓) of the §5.3 enumeration (0 when the walks ran sequentially).
+  size_t primality_shards = 0;
 
   // --- Grounded-LTUR work (datalog::GroundingStats slice) -----------------
   size_t ground_clauses = 0;
@@ -118,6 +135,9 @@ struct RunStats {
     eval_iterations += other.eval_iterations;
     derived_facts += other.derived_facts;
     rule_applications += other.rule_applications;
+    fixpoint_rounds += other.fixpoint_rounds;
+    fixpoint_rule_tasks += other.fixpoint_rule_tasks;
+    primality_shards += other.primality_shards;
     ground_clauses += other.ground_clauses;
     ground_atoms += other.ground_atoms;
     guard_instantiations += other.guard_instantiations;

@@ -43,7 +43,15 @@ std::string RunStats::ToString() const {
   }
   if (eval_iterations > 0) {
     out << " eval{iters=" << eval_iterations << " derived=" << derived_facts
-        << " rule_apps=" << rule_applications << "}";
+        << " rule_apps=" << rule_applications;
+    if (fixpoint_rounds > 0) {
+      out << " rounds=" << fixpoint_rounds
+          << " rule_tasks=" << fixpoint_rule_tasks;
+    }
+    out << "}";
+  }
+  if (primality_shards > 0) {
+    out << " primality{shards=" << primality_shards << "}";
   }
   if (ground_clauses > 0) {
     out << " ground{clauses=" << ground_clauses << " atoms=" << ground_atoms

@@ -1,8 +1,10 @@
-// Property-based cross-checks for the parallel DP and the datalog backends:
-// random partial k-trees evaluated with num_threads = 1 and num_threads = 8
-// must agree on all five Solve problems (and on the sharding invariants),
-// and a quasi-guarded datalog program must produce identical models under
-// the naive, seminaive, and grounded backends.
+// Property-based cross-checks for the parallel engines: random partial
+// k-trees evaluated with num_threads = 1 and num_threads = 8 must agree on
+// all five Solve problems (and on the sharding invariants), the parallel
+// semi-naive fixpoint and the sharded PRIMALITY enumeration must be
+// bit-identical to their sequential runs, and a quasi-guarded datalog
+// program must produce identical models under the naive, seminaive, and
+// grounded backends.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +14,8 @@
 #include "engine/engine.hpp"
 #include "graph/gaifman.hpp"
 #include "graph/generators.hpp"
+#include "schema/generators.hpp"
+#include "schema/primality_bruteforce.hpp"
 #include "td/shard.hpp"
 #include "test_util.hpp"
 
@@ -268,6 +272,142 @@ TEST(ParallelPropertyTest, ShardingInvariantsHoldOnRandomInstances) {
           << "trial " << trial << " target " << target << ": "
           << valid.message();
     }
+  }
+}
+
+// The parallel fixpoint acceptance property: with num_threads = 8 the
+// semi-naive engine evaluates each round's rules as pool tasks, and the
+// derived model — plus every deterministic work counter — is bit-identical
+// to num_threads = 1, across all three backends.
+TEST(ParallelPropertyTest, DatalogFixpointAgreesAcrossThreadCounts) {
+  // Transitive closure derives O(n^2) facts over several delta rounds, so
+  // the parallel engine has real per-round work to decompose.
+  auto program = datalog::ParseProgram(R"(
+    closure(X, Y) :- e(X, Y).
+    closure(X, Z) :- closure(X, Y), e(Y, Z).
+    touched(X) :- e(X, Y).
+    mutual(X, Y) :- e(X, Y), e(Y, X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    Rng rng(TestSeed(trial));
+    Graph graph = RandomPartialKTree(40 + 20 * static_cast<size_t>(trial), 3,
+                                     0.6, &rng);
+    EngineOptions sequential;
+    sequential.num_threads = 1;
+    EngineOptions parallel;
+    parallel.num_threads = 8;
+    Engine seq_engine = Engine::FromGraph(graph, sequential);
+    Engine par_engine = Engine::FromGraph(graph, parallel);
+
+    RunStats seq_run;
+    RunStats par_run;
+    auto seq = seq_engine.EvaluateDatalog(*program, DatalogBackend::kSemiNaive,
+                                          &seq_run);
+    auto par = par_engine.EvaluateDatalog(*program, DatalogBackend::kSemiNaive,
+                                          &par_run);
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    ASSERT_TRUE(par.ok()) << par.status();
+    EXPECT_TRUE(*seq == *par) << "trial " << trial;
+
+    // The round/task decomposition is a function of the program and the
+    // data, never of the thread count: every fixpoint counter matches.
+    EXPECT_GT(par_run.fixpoint_rounds, 1u) << "trial " << trial;
+    EXPECT_GT(par_run.fixpoint_rule_tasks, 1u) << "trial " << trial;
+    EXPECT_EQ(seq_run.fixpoint_rounds, par_run.fixpoint_rounds);
+    EXPECT_EQ(seq_run.fixpoint_rule_tasks, par_run.fixpoint_rule_tasks);
+    EXPECT_EQ(seq_run.derived_facts, par_run.derived_facts);
+    EXPECT_EQ(seq_run.rule_applications, par_run.rule_applications);
+    EXPECT_EQ(seq_run.eval_iterations, par_run.eval_iterations);
+
+    // And the parallel model still matches the naive reference oracle.
+    auto naive = seq_engine.EvaluateDatalog(*program, DatalogBackend::kNaive);
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    EXPECT_TRUE(*naive == *par) << "trial " << trial;
+  }
+}
+
+// The parallel PRIMALITY enumeration acceptance property: AllPrimes at
+// num_threads = 8 runs both passes shard-scheduled on the pool and returns
+// exactly the num_threads = 1 bits (checked against the brute-force oracle
+// on the generated family, whose ground truth is known).
+TEST(ParallelPropertyTest, PrimalityEnumerationAgreesAcrossThreadCounts) {
+  for (int num_fds : {4, 32}) {
+    BalancedInstance inst = GenerateBalancedInstance(num_fds);
+    EngineOptions sequential;
+    sequential.num_threads = 1;
+    sequential.decomposition = inst.td;
+    EngineOptions parallel = sequential;
+    parallel.num_threads = 8;
+    Engine seq_engine(inst.schema, sequential);
+    Engine par_engine(inst.schema, parallel);
+
+    RunStats seq_run;
+    RunStats par_run;
+    auto seq = seq_engine.AllPrimes(&seq_run);
+    auto par = par_engine.AllPrimes(&par_run);
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    ASSERT_TRUE(par.ok()) << par.status();
+    EXPECT_EQ(*seq, *par) << "num_fds " << num_fds;
+    // Generator ground truth: every x_i / y_i is prime (on no rhs, hence in
+    // every key) and every z_i (the rhs chain) is non-prime. The brute-force
+    // oracle confirms it where its 24-attribute limit allows.
+    for (AttributeId a = 0; a < inst.schema.NumAttributes(); ++a) {
+      bool expect_prime = inst.schema.AttributeName(a)[0] != 'z';
+      EXPECT_EQ((*par)[static_cast<size_t>(a)], expect_prime)
+          << "num_fds " << num_fds << " attr " << inst.schema.AttributeName(a);
+    }
+    if (inst.schema.NumAttributes() <= 24) {
+      EXPECT_EQ(*par, AllPrimesBruteForce(inst.schema))
+          << "num_fds " << num_fds;
+    }
+
+    // Same reachable state sets on both sides; the parallel session really
+    // sharded both walks of the two-pass enumeration.
+    EXPECT_EQ(seq_run.dp_states, par_run.dp_states) << "num_fds " << num_fds;
+    EXPECT_EQ(seq_run.primality_shards, 0u);
+    if (num_fds >= 32) {
+      EXPECT_GT(par_run.primality_shards, 1u) << "num_fds " << num_fds;
+      EXPECT_EQ(par_run.primality_shards % 2, 0u)
+          << "two walks over the same shard count";
+    }
+  }
+}
+
+// Eviction under the enumeration: a table_memory_budget releases dead solve /
+// solve↓ tables mid-run (siblings release each other's bottom-up tables at
+// the top-down joins) without changing a single prime bit, at both thread
+// counts.
+TEST(ParallelPropertyTest, PrimalityEnumerationEvictionPreservesAnswers) {
+  BalancedInstance inst = GenerateBalancedInstance(24);
+  std::vector<bool> reference;
+  std::vector<RunStats> runs;
+  struct Config {
+    size_t threads;
+    size_t budget;
+  };
+  const Config configs[] = {{1, 0}, {8, 0}, {1, 16 * 1024}, {8, 16 * 1024}};
+  for (const Config& config : configs) {
+    EngineOptions options;
+    options.num_threads = config.threads;
+    options.table_memory_budget = config.budget;
+    options.decomposition = inst.td;
+    Engine engine(inst.schema, options);
+    RunStats run;
+    auto primes = engine.AllPrimes(&run);
+    ASSERT_TRUE(primes.ok()) << primes.status();
+    if (reference.empty()) reference = *primes;
+    EXPECT_EQ(*primes, reference);
+    runs.push_back(run);
+  }
+  EXPECT_EQ(runs[0].dp_tables_evicted, 0u);
+  EXPECT_EQ(runs[1].dp_tables_evicted, 0u);
+  EXPECT_GT(runs[0].dp_peak_table_bytes, 0u);
+  for (size_t i : {size_t{2}, size_t{3}}) {
+    EXPECT_GT(runs[i].dp_tables_evicted, 0u) << "config " << i;
+    EXPECT_LT(runs[i].dp_peak_table_bytes, runs[i - 2].dp_peak_table_bytes)
+        << "config " << i;
   }
 }
 
