@@ -1,0 +1,304 @@
+// The multi-tenant serving bench: replay a deterministic workload (N random
+// partial k-trees x M interleaved request rounds) through treedl::Server and
+// measure what the session pool buys.
+//
+// Four phases, each its own Server:
+//   cold     — LOAD every structure, then M rounds of SOLVEALL/SOLVE/#3COL
+//              per tenant; after the first round every request is a pool hit,
+//              so the hit rate converges to (requests - N) / requests. Ends
+//              with SAVE per tenant into a session directory.
+//   warm     — a fresh Server over the same session directory. LOAD+SOLVEALL
+//              per tenant must do ZERO encode/TD/normalize builds (checked
+//              via the GlobalEngineCounters delta): the amortization story of
+//              the paper's §5.3, across process restarts.
+//   churn    — max_sessions=2, tenants round-robin twice: deterministic LRU
+//              eviction traffic.
+//   admission— a 1KiB shared budget; the LOAD must be rejected (E_ADMISSION),
+//              never crash.
+//
+// Flags: --quick shrinks the workload for CI; --json <path> writes the
+// deterministic counters (requests, hits, evictions, warm builds, table
+// bytes — no wall-clock) for the BENCH gate.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/timer.hpp"
+#include "graph/gaifman.hpp"
+#include "graph/generators.hpp"
+#include "server/server.hpp"
+#include "structure/structure_io.hpp"
+
+namespace treedl {
+namespace {
+
+struct BenchConfig {
+  size_t structures = 6;
+  size_t vertices = 160;
+  int treewidth = 4;
+  double keep_probability = 0.6;
+  size_t rounds = 4;
+  size_t budget = 32 * 1024 * 1024;
+  uint64_t seed = 20260808;
+  const char* json_path = nullptr;
+};
+
+/// Protocol requests are one line each: drop '%' comments, join with spaces.
+std::string Flatten(const std::string& text) {
+  std::string flat;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view piece(line);
+    size_t comment = piece.find('%');
+    if (comment != std::string_view::npos) piece = piece.substr(0, comment);
+    piece = Trim(piece);
+    if (piece.empty()) continue;
+    if (!flat.empty()) flat += ' ';
+    flat += piece;
+  }
+  return flat;
+}
+
+std::vector<std::string> MakeLoadLines(const BenchConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < config.structures; ++i) {
+    Graph graph = RandomPartialKTree(config.vertices, config.treewidth,
+                                     config.keep_probability, &rng);
+    Structure structure = GraphToStructure(graph);
+    lines.push_back("LOAD g" + std::to_string(i) + " SIG e/2 FACTS " +
+                    Flatten(FormatStructure(structure)));
+  }
+  return lines;
+}
+
+size_t RunScript(server::Server* server, const std::string& script,
+                 std::string* transcript) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  size_t requests = server->Serve(in, out);
+  if (transcript != nullptr) *transcript = out.str();
+  return requests;
+}
+
+struct ColdResult {
+  size_t requests = 0;
+  server::SessionPoolCounters pool;
+  size_t peak_table_bytes = 0;
+  size_t charged_bytes = 0;
+  size_t errors = 0;
+  double millis = 0;
+};
+
+ColdResult RunColdPhase(const BenchConfig& config,
+                        const std::vector<std::string>& loads,
+                        const std::string& session_dir) {
+  server::ServerOptions options;
+  options.max_sessions = config.structures;
+  options.table_memory_budget = config.budget;
+  options.session_dir = session_dir;
+  options.echo_stats = false;
+  server::Server server(options);
+
+  std::string script;
+  for (const std::string& load : loads) script += load + "\n";
+  for (size_t round = 0; round < config.rounds; ++round) {
+    for (size_t i = 0; i < config.structures; ++i) {
+      const std::string tenant = "g" + std::to_string(i);
+      script += "SOLVEALL " + tenant + "\n";
+      script += "SOLVE " + tenant + " VC\n";
+      script += "SOLVE " + tenant + " #3COL\n";
+    }
+  }
+  for (size_t i = 0; i < config.structures; ++i) {
+    script += "SAVE g" + std::to_string(i) + "\n";
+  }
+  script += "STATS\nQUIT\n";
+
+  Timer timer;
+  ColdResult result;
+  result.requests = RunScript(&server, script, nullptr);
+  result.millis = timer.ElapsedMillis();
+  result.pool = server.pool().counters();
+  result.peak_table_bytes = server.stats().peak_table_bytes;
+  result.charged_bytes = server.pool().ChargedBytes();
+  result.errors = server.stats().replies_error;
+  return result;
+}
+
+struct WarmResult {
+  size_t warm_loads = 0;
+  size_t encode_builds = 0;
+  size_t td_builds = 0;
+  size_t normalize_builds = 0;
+  size_t errors = 0;
+};
+
+WarmResult RunWarmPhase(const BenchConfig& config,
+                        const std::vector<std::string>& loads,
+                        const std::string& session_dir) {
+  server::ServerOptions options;
+  options.max_sessions = config.structures;
+  options.table_memory_budget = config.budget;
+  options.session_dir = session_dir;
+  options.echo_stats = false;
+  server::Server server(options);
+
+  std::string script;
+  for (size_t i = 0; i < config.structures; ++i) {
+    script += loads[i] + "\n";
+    script += "SOLVEALL g" + std::to_string(i) + "\n";
+  }
+  script += "QUIT\n";
+
+  EngineCounters& global = GlobalEngineCounters();
+  size_t encode_before = global.encode_builds.load();
+  size_t td_before = global.td_builds.load();
+  size_t normalize_before = global.normalize_builds.load();
+  RunScript(&server, script, nullptr);
+
+  WarmResult result;
+  result.warm_loads = server.pool().counters().warm_loads;
+  result.encode_builds = global.encode_builds.load() - encode_before;
+  result.td_builds = global.td_builds.load() - td_before;
+  result.normalize_builds = global.normalize_builds.load() - normalize_before;
+  result.errors = server.stats().replies_error;
+  return result;
+}
+
+server::SessionPoolCounters RunChurnPhase(const BenchConfig& config,
+                                  const std::vector<std::string>& loads) {
+  server::ServerOptions options;
+  options.max_sessions = 2;
+  options.echo_stats = false;
+  server::Server server(options);
+
+  std::string script;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < config.structures; ++i) {
+      script += loads[i] + "\n";
+    }
+  }
+  script += "QUIT\n";
+  RunScript(&server, script, nullptr);
+  TREEDL_CHECK(server.stats().replies_error == 0);
+  return server.pool().counters();
+}
+
+size_t RunAdmissionPhase(const std::vector<std::string>& loads) {
+  server::ServerOptions options;
+  options.table_memory_budget = 1024;  // far below any structure estimate
+  options.echo_stats = false;
+  server::Server server(options);
+  std::string transcript;
+  RunScript(&server, loads[0] + "\nQUIT\n", &transcript);
+  TREEDL_CHECK(transcript.find("ERR E_ADMISSION") != std::string::npos)
+      << "expected an admission rejection, got: " << transcript;
+  return server.pool().counters().rejections;
+}
+
+void RunServerBench(const BenchConfig& config) {
+  const std::string session_dir = "bench_server_sessions";
+  std::filesystem::create_directories(session_dir);
+  std::vector<std::string> loads = MakeLoadLines(config);
+
+  std::printf(
+      "Server workload: %zu partial %d-trees, n=%zu, %zu rounds x 3 requests "
+      "per tenant, budget %zuMiB\n",
+      config.structures, config.treewidth, config.vertices, config.rounds,
+      config.budget >> 20);
+
+  ColdResult cold = RunColdPhase(config, loads, session_dir);
+  size_t lookups = cold.pool.hits + cold.pool.misses;
+  std::printf(
+      "  cold: %zu requests in %.2f ms (%.0f req/s)  pool %zu/%zu hits "
+      "(%.1f%%)  peak_tables=%zuB  charged=%zuB  errors=%zu\n",
+      cold.requests, cold.millis, 1000.0 * cold.requests / cold.millis,
+      cold.pool.hits, lookups, 100.0 * cold.pool.hits / lookups,
+      cold.peak_table_bytes, cold.charged_bytes, cold.errors);
+  TREEDL_CHECK(cold.errors == 0);
+  TREEDL_CHECK(cold.peak_table_bytes < config.budget)
+      << cold.peak_table_bytes << " >= " << config.budget;
+  TREEDL_CHECK(cold.charged_bytes < config.budget);
+
+  WarmResult warm = RunWarmPhase(config, loads, session_dir);
+  std::printf(
+      "  warm restart: %zu/%zu sessions warm-loaded, encode/td/normalize "
+      "builds = %zu/%zu/%zu (all must be 0)\n",
+      warm.warm_loads, config.structures, warm.encode_builds, warm.td_builds,
+      warm.normalize_builds);
+  TREEDL_CHECK(warm.errors == 0);
+  TREEDL_CHECK(warm.warm_loads == config.structures);
+  TREEDL_CHECK(warm.encode_builds == 0);
+  TREEDL_CHECK(warm.td_builds == 0);
+  TREEDL_CHECK(warm.normalize_builds == 0);
+
+  server::SessionPoolCounters churn = RunChurnPhase(config, loads);
+  std::printf("  churn (max_sessions=2): %zu misses, %zu evictions\n",
+              churn.misses, churn.evictions);
+
+  size_t rejections = RunAdmissionPhase(loads);
+  std::printf("  admission (budget 1KiB): %zu rejection(s), no crash\n",
+              rejections);
+  TREEDL_CHECK(rejections == 1);
+
+  std::filesystem::remove_all(session_dir);
+
+  if (config.json_path != nullptr) {
+    FILE* out = std::fopen(config.json_path, "w");
+    TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"server\",\n"
+                 "  \"structures\": %zu,\n"
+                 "  \"vertices\": %zu,\n"
+                 "  \"treewidth\": %d,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"pool_hits\": %zu,\n"
+                 "  \"pool_misses\": %zu,\n"
+                 "  \"hit_rate_permille\": %zu,\n"
+                 "  \"peak_table_bytes\": %zu,\n"
+                 "  \"charged_bytes\": %zu,\n"
+                 "  \"warm_loads\": %zu,\n"
+                 "  \"warm_encode_builds\": %zu,\n"
+                 "  \"warm_td_builds\": %zu,\n"
+                 "  \"warm_normalize_builds\": %zu,\n"
+                 "  \"churn_evictions\": %zu,\n"
+                 "  \"admission_rejections\": %zu\n"
+                 "}\n",
+                 config.structures, config.vertices, config.treewidth,
+                 static_cast<unsigned long long>(config.seed), cold.requests,
+                 cold.pool.hits, cold.pool.misses,
+                 1000 * cold.pool.hits / lookups, cold.peak_table_bytes,
+                 cold.charged_bytes, warm.warm_loads, warm.encode_builds,
+                 warm.td_builds, warm.normalize_builds, churn.evictions,
+                 rejections);
+    std::fclose(out);
+    std::printf("  wrote %s\n", config.json_path);
+  }
+}
+
+}  // namespace
+}  // namespace treedl
+
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.structures = 4;
+      config.vertices = 60;
+      config.rounds = 3;
+      config.budget = 8 * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunServerBench(config);
+  return 0;
+}

@@ -3,14 +3,21 @@
 //
 // Usage: datalog_repl [program.dl facts.txt [naive|seminaive|grounded]]
 // Without arguments, runs a built-in transitive-closure demo.
+//
+// A thin client of the serving layer: the program and facts become LOAD +
+// QUERY lines of the server protocol (server/protocol.hpp), executed by an
+// in-process treedl::server::Server — what this prints is exactly what a
+// treedl_server transcript would contain, plus a human-readable program
+// summary.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "common/status.hpp"
+#include "common/string_util.hpp"
 #include "datalog/analysis.hpp"
 #include "datalog/parser.hpp"
-#include "engine/engine.hpp"
-#include "structure/structure_io.hpp"
+#include "server/server.hpp"
 
 namespace {
 
@@ -24,11 +31,31 @@ constexpr const char* kDemoFacts = R"(
 edge(a, b). edge(b, c). edge(c, d). edge(d, b).
 )";
 
-std::string ReadFile(const std::string& path) {
+treedl::StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
+  if (!in) {
+    return treedl::Status::NotFound("cannot read file '" + path + "'");
+  }
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+// Protocol requests are one line each: strip '%' comments (which run to end
+// of line and would swallow the rest of a flattened payload), then join the
+// remaining lines with spaces.
+std::string FlattenPayload(const std::string& text) {
+  std::string flat;
+  for (const std::string& line : treedl::Split(text, '\n')) {
+    std::string_view piece(line);
+    size_t comment = piece.find('%');
+    if (comment != std::string_view::npos) piece = piece.substr(0, comment);
+    piece = treedl::Trim(piece);
+    if (piece.empty()) continue;
+    if (!flat.empty()) flat += ' ';
+    flat += piece;
+  }
+  return flat;
 }
 
 }  // namespace
@@ -40,40 +67,53 @@ int main(int argc, char** argv) {
   std::string program_text = kDemoProgram;
   std::string facts_text = kDemoFacts;
   std::string engine = "seminaive";
+  if (argc == 2) {
+    std::cerr << "usage: datalog_repl [program.dl facts.txt "
+                 "[naive|seminaive|grounded]]\n";
+    return 1;
+  }
   if (argc >= 3) {
-    program_text = ReadFile(argv[1]);
-    facts_text = ReadFile(argv[2]);
+    auto program_file = ReadFile(argv[1]);
+    if (!program_file.ok()) {
+      std::cerr << "datalog_repl: " << program_file.status() << "\n";
+      return 1;
+    }
+    auto facts_file = ReadFile(argv[2]);
+    if (!facts_file.ok()) {
+      std::cerr << "datalog_repl: " << facts_file.status() << "\n";
+      return 1;
+    }
+    program_text = std::move(program_file).value();
+    facts_text = std::move(facts_file).value();
   }
   if (argc >= 4) engine = argv[3];
 
+  // Client-side parse: print the program summary and derive the EDB
+  // signature (extensional predicates) for the LOAD request.
   auto program = ParseProgram(program_text);
   if (!program.ok()) {
     std::cerr << "program parse error: " << program.status() << "\n";
     return 1;
   }
-  // Facts declare the EDB signature implicitly: parse them as a program too,
-  // then re-parse as a structure over the discovered extensional predicates.
   auto info = AnalyzeProgram(*program);
   if (!info.ok()) {
     std::cerr << "program analysis error: " << info.status() << "\n";
     return 1;
   }
-  Signature edb_signature;
+  std::string load_line = "LOAD repl SIG";
+  size_t edb_predicates = 0;
   for (PredicateId p = 0; p < program->signature().size(); ++p) {
-    if (!info->intensional[static_cast<size_t>(p)]) {
-      auto added = edb_signature.AddPredicate(program->signature().name(p),
-                                              program->signature().arity(p));
-      if (!added.ok()) {
-        std::cerr << added.status() << "\n";
-        return 1;
-      }
-    }
+    if (info->intensional[static_cast<size_t>(p)]) continue;
+    load_line += " " + program->signature().name(p) + "/" +
+                 std::to_string(program->signature().arity(p));
+    ++edb_predicates;
   }
-  auto edb = ParseStructure(edb_signature, facts_text);
-  if (!edb.ok()) {
-    std::cerr << "facts parse error: " << edb.status() << "\n";
+  if (edb_predicates == 0) {
+    std::cerr << "datalog_repl: program has no extensional predicates\n";
     return 1;
   }
+  std::string facts_flat = FlattenPayload(facts_text);
+  if (!facts_flat.empty()) load_line += " FACTS " + facts_flat;
 
   std::cout << "Program (" << program->NumRules() << " rules, "
             << (info->is_monadic ? "monadic" : "non-monadic") << ", "
@@ -82,41 +122,17 @@ int main(int argc, char** argv) {
             << "):\n"
             << program->ToString() << "\n";
 
-  // One Engine session over the EDB; the backend is an option, not a
+  // The server executes the transcript; the backend is an option, not a
   // different API.
-  EngineOptions options;
-  options.backend = engine == "naive"      ? DatalogBackend::kNaive
-                    : engine == "grounded" ? DatalogBackend::kGrounded
-                                           : DatalogBackend::kSemiNaive;
-  Engine session(*edb, options);
-  RunStats run;
-  StatusOr<Structure> result = session.EvaluateDatalog(*program, &run);
-  if (!result.ok()) {
-    std::cerr << "evaluation failed: " << result.status() << "\n";
-    return 1;
-  }
-  if (options.backend == DatalogBackend::kGrounded) {
-    std::cout << "grounded: " << run.ground_clauses << " clauses over "
-              << run.ground_atoms << " atoms\n";
-  } else {
-    std::cout << "fixpoint: " << run.eval_iterations << " rounds, "
-              << run.derived_facts << " facts derived\n";
-  }
-  std::cout << "Derived facts (" << engine << "):\n";
-  for (PredicateId p = 0; p < result->signature().size(); ++p) {
-    if (edb_signature.HasPredicate(result->signature().name(p))) continue;
-    for (const Tuple& t : result->Relation(p)) {
-      std::cout << "  " << result->signature().name(p);
-      if (!t.empty()) {
-        std::cout << "(";
-        for (size_t i = 0; i < t.size(); ++i) {
-          if (i > 0) std::cout << ", ";
-          std::cout << result->ElementName(t[i]);
-        }
-        std::cout << ")";
-      }
-      std::cout << "\n";
-    }
-  }
-  return 0;
+  server::ServerOptions options;
+  options.engine_options.backend =
+      engine == "naive"      ? DatalogBackend::kNaive
+      : engine == "grounded" ? DatalogBackend::kGrounded
+                             : DatalogBackend::kSemiNaive;
+  server::Server session(options);
+  std::istringstream requests(load_line + "\nQUERY repl " +
+                              FlattenPayload(program_text) + "\nQUIT\n");
+  std::cout << "Transcript (" << engine << "):\n";
+  session.Serve(requests, std::cout);
+  return session.stats().replies_error == 0 ? 0 : 1;
 }

@@ -1,0 +1,65 @@
+// treedl_server: the protocol driver over treedl::server::Server.
+//
+// Reads one request per line from stdin (interactive use) or from a
+// replayable script file, writes replies to stdout. No sockets: transcripts
+// are deterministic, so the same binary serves interactive exploration, the
+// CI smoke test (scripts/server_smoke.txt) and ad-hoc benchmarking.
+//
+//   ./treedl_server                          # interactive, from stdin
+//   ./treedl_server --script requests.txt    # replay a request script
+//
+// Flags:
+//   --script FILE       read requests from FILE instead of stdin
+//   --max-sessions N    session-pool capacity (default 8)
+//   --budget BYTES      shared table_memory_budget in bytes (default 0 = off)
+//   --session-dir DIR   enable SAVE/OPEN + warm start from DIR
+//   --threads N         shared worker pool size (default 1 = sequential)
+//   --no-stats          omit per-request RunStats echoes (byte-stable replies)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+
+int main(int argc, char** argv) {
+  treedl::server::ServerOptions options;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
+      script_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
+      options.max_sessions = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      options.table_memory_budget = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--session-dir") == 0 && i + 1 < argc) {
+      options.session_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.num_threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-stats") == 0) {
+      options.echo_stats = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: treedl_server [--script FILE] [--max-sessions N] "
+                   "[--budget BYTES] [--session-dir DIR] [--threads N] "
+                   "[--no-stats]\n");
+      return 2;
+    }
+  }
+
+  treedl::server::Server server(options);
+  if (script_path != nullptr) {
+    std::ifstream script(script_path);
+    if (!script) {
+      std::fprintf(stderr, "treedl_server: cannot open script '%s'\n",
+                   script_path);
+      return 2;
+    }
+    server.Serve(script, std::cout);
+  } else {
+    server.Serve(std::cin, std::cout);
+  }
+  return 0;
+}

@@ -12,7 +12,10 @@ direction fails the gate: these numbers only move when the algorithms change,
 and such a change must be explained by re-baselining, not slip through.
 
 Keys present in only one file (e.g. a bench added after the baseline) are
-reported but never fail the gate, so the trajectory can grow.
+reported but by default never fail the gate, so the trajectory can grow.
+--forbid-missing tightens that for same-generation comparisons (committed
+BENCH_prN.json vs the BENCH_prN.json this run produced): there the key sets
+must match exactly, so a silently dropped or renamed counter fails too.
 """
 
 import argparse
@@ -38,6 +41,8 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="max allowed relative change (default 0.10)")
+    parser.add_argument("--forbid-missing", action="store_true",
+                        help="fail on keys present in only one file")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -54,7 +59,11 @@ def main():
             continue
         if key not in baseline or key not in current:
             where = "baseline" if key in baseline else "current"
-            print(f"{key:<48} {'(only in ' + where + ')':>39}")
+            marker = ""
+            if args.forbid_missing:
+                failures.append(key)
+                marker = "  << FAIL"
+            print(f"{key:<48} {'(only in ' + where + ')':>39}{marker}")
             continue
         old, new = baseline[key], current[key]
         if old == new:

@@ -1,0 +1,234 @@
+// ByteVec: the bag-aligned byte vector of the tree-DP states.
+//
+// Replaces std::vector<uint8_t> inside DP states (bag colorings, membership
+// flags, domination statuses). Two properties matter there:
+//
+//   1. Small-buffer storage. A state vector has bag-size entries (width + 1),
+//      so up to kInlineCapacity bytes live inside the object — zero heap
+//      traffic for every decomposition of width <= 12, which covers the
+//      common case by a wide margin.
+//   2. Arena relocation. When a wide bag does spill to the heap, the owning
+//      FlatTable calls RelocateTo(&arena) right after the state is inserted:
+//      the bytes move into the table's bump arena, the heap block is freed,
+//      and the state's storage dies with the table in one Release() — no
+//      per-state free list, and the bytes are charged to the same
+//      MemoryBytes() footprint the eviction budget already tracks.
+//
+// The object is exactly sizeof(std::vector<uint8_t>) on LP64 (24 bytes), so
+// swapping it into a DP state leaves record layouts — and therefore the
+// deterministic peak-table-bytes counters of the BENCH gate — unchanged.
+//
+// Storage modes: kInline (bytes in the object), kHeap (owned, delete[]'d),
+// kArena (borrowed from a caller's arena; freed by the arena, not by us).
+// Copies always deep-copy into inline/heap storage; moves steal heap and
+// arena pointers. Growth of heap storage is geometric with the capacity
+// implied by NextCapacity(size), so no capacity field is stored.
+#ifndef TREEDL_COMMON_BYTE_VEC_HPP_
+#define TREEDL_COMMON_BYTE_VEC_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/arena.hpp"
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace treedl {
+
+class ByteVec {
+ public:
+  /// Bytes stored without heap allocation (bag sizes up to width 12).
+  static constexpr size_t kInlineCapacity = 13;
+  using value_type = uint8_t;
+
+  ByteVec() = default;
+  ByteVec(const ByteVec& other) { CopyFrom(other.data(), other.size_); }
+  ByteVec& operator=(const ByteVec& other) {
+    if (this != &other) {
+      FreeHeap();
+      mode_ = kInline;
+      CopyFrom(other.data(), other.size_);
+    }
+    return *this;
+  }
+  ByteVec(ByteVec&& other) noexcept { StealFrom(other); }
+  ByteVec& operator=(ByteVec&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  ~ByteVec() { FreeHeap(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t* data() { return mode_ == kInline ? inline_ : ptr_; }
+  const uint8_t* data() const { return mode_ == kInline ? inline_ : ptr_; }
+  uint8_t* begin() { return data(); }
+  uint8_t* end() { return data() + size_; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + size_; }
+  uint8_t& operator[](size_t i) { return data()[i]; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  void assign(size_t n, uint8_t value) {
+    ReserveOwned(n);
+    std::memset(data(), value, n);
+    size_ = static_cast<uint16_t>(n);
+  }
+
+  /// Grows zero-filled; shrinks in place.
+  void resize(size_t n) {
+    if (n > size_) {
+      ReserveOwned(n);
+      std::memset(data() + size_, 0, n - size_);
+    }
+    size_ = static_cast<uint16_t>(n);
+  }
+
+  void reserve(size_t n) {
+    if (n > size_) ReserveOwned(n);
+  }
+
+  void push_back(uint8_t value) {
+    ReserveOwned(size_ + size_t{1});
+    data()[size_++] = value;
+  }
+
+  /// Inserts `value` before `pos` (a pointer into [begin(), end()]).
+  void insert(const uint8_t* pos, uint8_t value) {
+    size_t index = static_cast<size_t>(pos - data());
+    ReserveOwned(size_ + size_t{1});
+    uint8_t* d = data();
+    std::memmove(d + index + 1, d + index, size_ - index);
+    d[index] = value;
+    ++size_;
+  }
+
+  /// Removes the byte at `pos` (a pointer into [begin(), end())). Shifts in
+  /// place — valid in every mode, since a state owns its bytes uniquely even
+  /// when they live in an arena.
+  void erase(const uint8_t* pos) {
+    size_t index = static_cast<size_t>(pos - data());
+    uint8_t* d = data();
+    std::memmove(d + index, d + index + 1, size_ - index - 1);
+    --size_;
+  }
+
+  bool operator==(const ByteVec& other) const {
+    return size_ == other.size_ &&
+           std::memcmp(data(), other.data(), size_) == 0;
+  }
+
+  /// Order-sensitive content hash (the HashRange recipe over the bytes).
+  size_t hash() const {
+    size_t seed = 0xcbf29ce484222325ULL;
+    const uint8_t* d = data();
+    for (size_t i = 0; i < size_; ++i) HashCombine(&seed, d[i]);
+    HashCombine(&seed, size_t{size_});
+    return seed;
+  }
+
+  /// Moves heap-spilled bytes into `arena` and frees the heap block; inline
+  /// and already-arena storage is left untouched. Called by FlatTable after
+  /// inserting a state, so every stored state's bytes are either inside the
+  /// record or inside the table's own arena.
+  void RelocateTo(Arena* arena) {
+    if (mode_ != kHeap) return;
+    uint8_t* bytes = arena->AllocateArray<uint8_t>(size_);
+    std::memcpy(bytes, ptr_, size_);
+    delete[] ptr_;
+    ptr_ = bytes;
+    mode_ = kArena;
+  }
+
+ private:
+  enum Mode : uint8_t { kInline = 0, kHeap = 1, kArena = 2 };
+
+  static size_t NextCapacity(size_t n) {
+    size_t capacity = 16;
+    while (capacity < n) capacity *= 2;
+    return capacity;
+  }
+
+  void FreeHeap() {
+    if (mode_ == kHeap) delete[] ptr_;
+  }
+
+  // Leaves `other` empty-inline. Arena storage transfers as a borrowed
+  // pointer — the arena outlives every state stored in its table.
+  void StealFrom(ByteVec& other) {
+    size_ = other.size_;
+    mode_ = other.mode_;
+    if (other.mode_ == kInline) {
+      std::memcpy(inline_, other.inline_, other.size_);
+    } else {
+      ptr_ = other.ptr_;
+    }
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    other.mode_ = kInline;
+  }
+
+  void CopyFrom(const uint8_t* src, size_t n) {
+    if (n <= kInlineCapacity) {
+      std::memcpy(inline_, src, n);
+      mode_ = kInline;
+    } else {
+      uint8_t* bytes = new uint8_t[NextCapacity(n)];
+      std::memcpy(bytes, src, n);
+      ptr_ = bytes;
+      mode_ = kHeap;
+    }
+    size_ = static_cast<uint16_t>(n);
+  }
+
+  // Ensures writable owned storage (inline or heap) for `n` bytes,
+  // preserving the current contents. Arena storage is copied out first: a
+  // growing mutation must not write past its arena block.
+  void ReserveOwned(size_t n) {
+    TREEDL_CHECK(n <= 0xFFFF) << "ByteVec: size " << n << " exceeds 65535";
+    if (mode_ == kInline) {
+      if (n <= kInlineCapacity) return;
+      uint8_t* bytes = new uint8_t[NextCapacity(n)];
+      std::memcpy(bytes, inline_, size_);
+      ptr_ = bytes;
+      mode_ = kHeap;
+    } else if (mode_ == kArena) {
+      const uint8_t* src = ptr_;
+      if (n <= kInlineCapacity) {
+        std::memcpy(inline_, src, size_);
+        mode_ = kInline;
+      } else {
+        uint8_t* bytes = new uint8_t[NextCapacity(n)];
+        std::memcpy(bytes, src, size_);
+        ptr_ = bytes;
+        mode_ = kHeap;
+      }
+    } else if (n > NextCapacity(size_)) {
+      // Heap blocks hold NextCapacity(size-at-allocation) bytes, which is
+      // always >= NextCapacity(current size) — growth past that bound
+      // reallocates geometrically.
+      uint8_t* bytes = new uint8_t[NextCapacity(n)];
+      std::memcpy(bytes, ptr_, size_);
+      delete[] ptr_;
+      ptr_ = bytes;
+    }
+  }
+
+  uint8_t* ptr_ = nullptr;  // heap or arena storage; unused when inline
+  uint16_t size_ = 0;
+  uint8_t mode_ = kInline;
+  uint8_t inline_[kInlineCapacity];
+};
+
+// The layout contract behind the deterministic table-bytes counters: a DP
+// state must not change size when its vector member becomes a ByteVec.
+static_assert(sizeof(void*) != 8 || sizeof(ByteVec) == 24);
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_BYTE_VEC_HPP_

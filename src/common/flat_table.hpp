@@ -139,13 +139,21 @@ class FlatTable {
       }
     }
     new (&records_[size_]) Record{hash, {std::move(state), std::move(value)}};
+    // States that support it (ByteVec members) move any heap-spilled bytes
+    // into the table arena, so a stored state never keeps a private heap
+    // block: its storage is freed by Release() with everything else and is
+    // counted by MemoryBytes().
+    if constexpr (requires(State& s, Arena* a) { s.RelocateTo(a); }) {
+      records_[size_].entry.first.RelocateTo(&arena_);
+    }
     slots_[probe] = static_cast<uint32_t>(++size_);
   }
 
   /// The arena footprint in bytes — what this table charges against
   /// DpStats::peak_table_bytes / EngineOptions::table_memory_budget.
-  /// (State-internal heap, e.g. a bag-sized vector per state, is not
-  /// tracked; the table arrays dominate.)
+  /// Arena-relocatable states (see Emplace) keep their spilled bytes in this
+  /// same arena, so their storage is included; only states that hold plain
+  /// heap-owning members (e.g. std::vector) escape the count.
   size_t MemoryBytes() const { return arena_.TotalBytes(); }
 
   /// Eviction: destroys every entry and frees the arena, returning the table

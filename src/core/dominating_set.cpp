@@ -1,6 +1,6 @@
 #include <algorithm>
 
-#include "common/hash.hpp"
+#include "common/byte_vec.hpp"
 #include "core/extensions.hpp"
 #include "engine/passes.hpp"
 #include "engine/pipeline.hpp"
@@ -13,18 +13,18 @@ namespace {
 enum : uint8_t { kInSet = 0, kDominated = 1, kWaiting = 2 };
 
 struct DomState {
-  std::vector<uint8_t> status;
+  ByteVec status;
 
   bool operator==(const DomState&) const = default;
-  size_t hash() const { return HashRange(status); }
+  size_t hash() const { return status.hash(); }
 };
 
 // Join key: the in-set pattern (domination flags may differ between sides).
 struct DomKey {
-  std::vector<uint8_t> in_set;
+  ByteVec in_set;
 
   bool operator==(const DomKey&) const = default;
-  size_t hash() const { return HashRange(in_set); }
+  size_t hash() const { return in_set.hash(); }
 };
 
 size_t PositionInBag(const std::vector<ElementId>& bag, ElementId e) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/hash.hpp"
+#include "common/byte_vec.hpp"
 #include "engine/passes.hpp"
 #include "engine/pipeline.hpp"
 
@@ -10,12 +10,14 @@ namespace treedl::core {
 
 namespace {
 
-// Bag coloring aligned with the node's sorted bag.
+// Bag coloring aligned with the node's sorted bag. ByteVec keeps the bytes
+// inline for ordinary widths and relocates any spill into the state table's
+// arena — no per-state heap allocation survives an insert.
 struct ColorState {
-  std::vector<uint8_t> colors;
+  ByteVec colors;
 
   bool operator==(const ColorState&) const = default;
-  size_t hash() const { return HashRange(colors); }
+  size_t hash() const { return colors.hash(); }
 };
 
 size_t PositionInBag(const std::vector<ElementId>& bag, ElementId e) {

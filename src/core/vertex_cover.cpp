@@ -1,6 +1,6 @@
 #include <algorithm>
 
-#include "common/hash.hpp"
+#include "common/byte_vec.hpp"
 #include "core/extensions.hpp"
 #include "engine/passes.hpp"
 #include "engine/pipeline.hpp"
@@ -14,10 +14,10 @@ namespace {
 // vertex cover (minimize) and independent set (maximize) — the transitions
 // differ only in the local feasibility predicate and the optimization sense.
 struct SubsetState {
-  std::vector<uint8_t> in_set;
+  ByteVec in_set;
 
   bool operator==(const SubsetState&) const = default;
-  size_t hash() const { return HashRange(in_set); }
+  size_t hash() const { return in_set.hash(); }
 };
 
 size_t PositionInBag(const std::vector<ElementId>& bag, ElementId e) {

@@ -103,6 +103,7 @@ void Engine::ResetCumulativeStats() {
 }
 
 size_t Engine::ResolvedNumThreads() const {
+  if (options_.shared_pool != nullptr) return options_.shared_pool->NumThreads();
   return options_.num_threads == 0 ? ThreadPool::DefaultNumThreads()
                                    : options_.num_threads;
 }
@@ -303,6 +304,7 @@ StatusOr<const mso2dl::Mso2DlResult*> Engine::EnsureMsoProgram(
 ThreadPool* Engine::EnsurePool() {
   size_t threads = ResolvedNumThreads();
   if (threads <= 1) return nullptr;
+  if (options_.shared_pool != nullptr) return options_.shared_pool;
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
   return pool_.get();
 }
@@ -676,14 +678,82 @@ StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
 
 // --- Persistent sessions ------------------------------------------------------
 
+uint64_t Engine::FingerprintOf(const Structure& structure) {
+  return Fnv1a64("structure:" + FormatStructure(structure));
+}
+
+uint64_t Engine::FingerprintOf(const Schema& schema) {
+  return Fnv1a64("schema:" + schema.ToString());
+}
+
 uint64_t Engine::SessionFingerprint() const {
   // Stable across processes: hash a canonical text rendering of the session
   // input, tagged by session kind. Computable without building any artifact
   // (a load into a cold engine must not count as a build).
-  if (schema_ != nullptr) {
-    return Fnv1a64("schema:" + schema_->ToString());
+  if (schema_ != nullptr) return FingerprintOf(*schema_);
+  return FingerprintOf(*owned_structure_);
+}
+
+// --- Accounting ---------------------------------------------------------------
+
+namespace {
+
+// Fixed per-item charges. Deliberately not sizeof-derived: the serving
+// layer's admission budget compares these numbers across compilers and
+// standard libraries, so they must be plain arithmetic over artifact shapes.
+constexpr size_t kBytesPerElement = 48;    // interned name + id slot
+constexpr size_t kBytesPerTuple = 24;      // tuple header + relation index
+constexpr size_t kBytesPerSlot = 4;        // one ElementId
+constexpr size_t kBytesPerTdNode = 64;     // node record + child links
+
+size_t StructureCharge(const Structure& structure) {
+  size_t bytes = structure.NumElements() * kBytesPerElement;
+  const Signature& signature = structure.signature();
+  for (PredicateId p = 0; p < static_cast<PredicateId>(signature.size()); ++p) {
+    bytes += structure.Relation(p).size() *
+             (kBytesPerTuple +
+              static_cast<size_t>(signature.arity(p)) * kBytesPerSlot);
   }
-  return Fnv1a64("structure:" + FormatStructure(*owned_structure_));
+  return bytes;
+}
+
+size_t TdCharge(const TreeDecomposition& td) {
+  size_t bytes = td.NumNodes() * kBytesPerTdNode;
+  for (size_t id = 0; id < td.NumNodes(); ++id) {
+    bytes += td.Bag(static_cast<TdNodeId>(id)).size() * kBytesPerSlot;
+  }
+  return bytes;
+}
+
+size_t NtdCharge(const NormalizedTreeDecomposition& ntd) {
+  size_t bytes = ntd.NumNodes() * kBytesPerTdNode;
+  for (size_t id = 0; id < ntd.NumNodes(); ++id) {
+    bytes += ntd.Bag(static_cast<TdNodeId>(id)).size() * kBytesPerSlot;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t Engine::EstimateStructureBytes(const Structure& structure) {
+  return StructureCharge(structure);
+}
+
+size_t Engine::ResidentArtifactBytes() const {
+  std::lock_guard<std::mutex> lock(sync_->cache_mu);
+  size_t bytes = 0;
+  if (owned_structure_ != nullptr) bytes += StructureCharge(*owned_structure_);
+  if (encoding_ != nullptr) bytes += StructureCharge(encoding_->structure);
+  if (gaifman_.has_value()) {
+    bytes += gaifman_->NumVertices() * kBytesPerSlot +
+             gaifman_->NumEdges() * 2 * kBytesPerSlot;
+  }
+  if (td_.has_value()) bytes += TdCharge(*td_);
+  if (closed_td_.has_value()) bytes += TdCharge(*closed_td_);
+  if (plain_ntd_.has_value()) bytes += NtdCharge(*plain_ntd_);
+  if (enum_ntd_.has_value()) bytes += NtdCharge(*enum_ntd_);
+  if (tau_td_.has_value()) bytes += StructureCharge(tau_td_->structure);
+  return bytes;
 }
 
 Status Engine::SaveSession(const std::string& path, RunStats* stats) {

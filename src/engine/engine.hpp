@@ -186,6 +186,27 @@ class Engine {
   /// Status and leave the session unchanged.
   Status LoadSession(const std::string& path, RunStats* stats = nullptr);
 
+  // --- Identity and accounting ---------------------------------------------
+
+  /// Stable hash of the session input (schema or structure): the value that
+  /// stamps and verifies session files, and the key of the serving layer's
+  /// session pool. Computable without building any artifact.
+  uint64_t Fingerprint() const { return SessionFingerprint(); }
+  /// The fingerprint an Engine constructed from the same input would report
+  /// — lets a pool key a lookup before paying for Engine construction.
+  static uint64_t FingerprintOf(const Structure& structure);
+  static uint64_t FingerprintOf(const Schema& schema);
+
+  /// Deterministic estimate, in bytes, of the cached artifacts currently
+  /// resident in this session (structure, encoding, decompositions, normal
+  /// forms, τ_td). Fixed per-item charges, no sizeof — the same session
+  /// state yields the same number on every platform, which is what the
+  /// serving layer's shared admission budget compares.
+  size_t ResidentArtifactBytes() const;
+  /// The charge ResidentArtifactBytes assigns to a bare structure — the
+  /// admission floor of a session before any artifact is built.
+  static size_t EstimateStructureBytes(const Structure& structure);
+
   // --- Session artifacts ---------------------------------------------------
 
   /// The session schema, or null for structure sessions.

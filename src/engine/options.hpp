@@ -12,6 +12,8 @@
 
 namespace treedl {
 
+class ThreadPool;
+
 /// Which datalog fixpoint engine serves EvaluateDatalog / EvaluateMso.
 enum class DatalogBackend {
   kNaive,      // reference oracle: re-derives everything each round
@@ -62,6 +64,12 @@ struct EngineOptions {
   /// sequential behavior (no thread pool, no sharding pass). Answers are
   /// bit-identical at every setting.
   size_t num_threads = 0;
+  /// Non-owning work-stealing pool shared with other sessions. When set, the
+  /// session runs its parallel work on this pool instead of creating its own
+  /// and the resolved thread count is the pool's (`num_threads` is ignored) —
+  /// this is how the serving layer keeps N concurrent sessions on one pool.
+  /// The pool must outlive the Engine.
+  ThreadPool* shared_pool = nullptr;
   /// Shard tasks per worker thread the ShardBags pass aims for (more shards
   /// = better load balance, more scheduling overhead).
   size_t shards_per_thread = 4;

@@ -1,0 +1,502 @@
+#include "server/server.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "datalog/analysis.hpp"
+#include "datalog/parser.hpp"
+#include "mso/parser.hpp"
+#include "structure/structure_io.hpp"
+
+namespace treedl::server {
+
+namespace {
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buffer);
+}
+
+std::string KeyValue(std::string_view key, size_t value) {
+  std::string out(key);
+  out += '=';
+  out += std::to_string(value);
+  return out;
+}
+
+const char* PoolLabel(const SessionPool::Lease& lease) {
+  if (lease.hit) return "hit";
+  return lease.warm_loaded ? "warm" : "cold";
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultNumThreads()
+                                             : options_.num_threads;
+  EngineOptions engine_options = options_.engine_options;
+  if (threads > 1) {
+    shared_pool_ = std::make_unique<ThreadPool>(threads);
+    engine_options.shared_pool = shared_pool_.get();
+  } else {
+    engine_options.num_threads = 1;
+  }
+  SessionPoolOptions pool_options;
+  pool_options.max_sessions = options_.max_sessions;
+  pool_options.table_memory_budget = options_.table_memory_budget;
+  pool_options.session_dir = options_.session_dir;
+  pool_options.engine_options = engine_options;
+  pool_ = std::make_unique<SessionPool>(std::move(pool_options));
+}
+
+Server::~Server() = default;
+
+bool Server::HandleLine(std::string_view line, std::string* out) {
+  StatusOr<std::optional<Request>> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    ++stats_.requests;
+    EmitError(ErrorCodeFor(parsed.status()), parsed.status().message(), out);
+    return true;
+  }
+  if (!parsed.value().has_value()) return true;  // comment / blank line
+  ++stats_.requests;
+  const Request& request = *parsed.value();
+  if (std::holds_alternative<QuitRequest>(request)) {
+    EmitOk("QUIT", "", out);
+    return false;
+  }
+  std::visit(
+      [&](const auto& typed) {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, LoadRequest>) {
+          HandleLoad(typed, out);
+        } else if constexpr (std::is_same_v<T, AssertRequest>) {
+          HandleAssert(typed, out);
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          HandleQuery(typed, out);
+        } else if constexpr (std::is_same_v<T, SolveRequest>) {
+          HandleSolve(typed, out);
+        } else if constexpr (std::is_same_v<T, SolveAllRequest>) {
+          HandleSolveAll(typed, out);
+        } else if constexpr (std::is_same_v<T, MsoRequest>) {
+          HandleMso(typed, out);
+        } else if constexpr (std::is_same_v<T, SaveRequest>) {
+          HandleSave(typed, out);
+        } else if constexpr (std::is_same_v<T, OpenRequest>) {
+          HandleOpen(typed, out);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          HandleStats(typed, out);
+        } else if constexpr (std::is_same_v<T, CloseRequest>) {
+          HandleClose(typed, out);
+        }
+      },
+      request);
+  return true;
+}
+
+size_t Server::Serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  size_t before = stats_.requests;
+  bool keep_going = true;
+  while (keep_going && std::getline(in, line)) {
+    std::string replies;
+    keep_going = HandleLine(line, &replies);
+    out << replies;
+    out.flush();
+  }
+  return stats_.requests - before;
+}
+
+StatusOr<Server::Tenant*> Server::FindTenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("tenant '" + name + "' has no loaded structure");
+  }
+  return &it->second;
+}
+
+StatusOr<SessionPool::Lease> Server::AcquireFor(const Tenant& tenant) {
+  return pool_->Acquire(tenant.structure);
+}
+
+std::string Server::FinishRun(uint64_t fingerprint, const RunStats& run) {
+  pool_->RefreshCharge(fingerprint);
+  if (run.dp_peak_table_bytes > stats_.peak_table_bytes) {
+    stats_.peak_table_bytes = run.dp_peak_table_bytes;
+  }
+  if (!options_.echo_stats) return "";
+  std::string echo = " ";
+  echo += KeyValue("encode", run.encode_builds);
+  echo += ' ';
+  echo += KeyValue("td", run.td_builds);
+  echo += ' ';
+  echo += KeyValue("normalize", run.normalize_builds);
+  echo += ' ';
+  echo += KeyValue("cache_hits", run.cache_hits);
+  return echo;
+}
+
+void Server::HandleLoad(const LoadRequest& request, std::string* out) {
+  StatusOr<Signature> signature = Signature::Make(request.predicates);
+  if (!signature.ok()) {
+    EmitError(ErrorCode::kBadArgument, signature.status().message(), out);
+    return;
+  }
+  StatusOr<Structure> structure =
+      ParseStructure(signature.value(), request.facts);
+  if (!structure.ok()) {
+    EmitError(ErrorCode::kParse, structure.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = pool_->Acquire(structure.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  Tenant tenant{std::move(signature).value(), request.facts,
+                std::move(structure).value(), lease.value().fingerprint};
+  size_t elements = tenant.structure.NumElements();
+  size_t facts = tenant.structure.NumFacts();
+  tenants_.insert_or_assign(request.tenant, std::move(tenant));
+  std::string details = "tenant=" + request.tenant +
+                        " fingerprint=" + HexFingerprint(lease.value().fingerprint) +
+                        " " + KeyValue("elements", elements) + " " +
+                        KeyValue("facts", facts) +
+                        " pool=" + PoolLabel(lease.value());
+  if (lease.value().warm_loaded) {
+    details += " " + KeyValue("loads", lease.value().artifact_loads);
+  }
+  pool_->RefreshCharge(lease.value().fingerprint);
+  EmitOk("LOAD", details, out);
+}
+
+void Server::HandleAssert(const AssertRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  Tenant* tenant = found.value();
+  std::string combined = tenant->facts_text;
+  if (!combined.empty()) combined += '\n';
+  combined += request.facts;
+  StatusOr<Structure> structure = ParseStructure(tenant->signature, combined);
+  if (!structure.ok()) {
+    EmitError(ErrorCode::kParse, structure.status().message(), out);
+    return;
+  }
+  tenant->facts_text = std::move(combined);
+  tenant->structure = std::move(structure).value();
+  tenant->fingerprint = Engine::FingerprintOf(tenant->structure);
+  EmitOk("ASSERT",
+         "tenant=" + request.tenant + " " +
+             KeyValue("facts", tenant->structure.NumFacts()) +
+             " fingerprint=" + HexFingerprint(tenant->fingerprint),
+         out);
+}
+
+void Server::HandleQuery(const QueryRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  Tenant* tenant = found.value();
+  StatusOr<datalog::Program> program =
+      datalog::ParseProgram(request.program, tenant->signature);
+  if (!program.ok()) {
+    EmitError(ErrorCode::kParse, program.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*tenant);
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  RunStats run;
+  StatusOr<Structure> result =
+      lease.value().engine->EvaluateDatalog(program.value(), &run);
+  if (!result.ok()) {
+    EmitError(ErrorCode::kEval, result.status().message(), out);
+    return;
+  }
+  // Render the derived (intensional) facts, predicate-major in signature
+  // order, tuples in derivation order — deterministic.
+  StatusOr<datalog::ProgramInfo> info =
+      datalog::AnalyzeProgram(program.value());
+  std::vector<std::string> rows;
+  if (info.ok()) {
+    const Signature& signature = result.value().signature();
+    for (PredicateId p = 0; p < static_cast<PredicateId>(signature.size());
+         ++p) {
+      if (static_cast<size_t>(p) >= info.value().intensional.size() ||
+          !info.value().intensional[static_cast<size_t>(p)]) {
+        continue;
+      }
+      for (const Tuple& tuple : result.value().Relation(p)) {
+        std::string row = signature.name(p) + "(";
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          if (i > 0) row += ", ";
+          row += result.value().ElementName(tuple[i]);
+        }
+        row += ").";
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  std::string details = "tenant=" + request.tenant + " " +
+                        KeyValue("data", rows.size()) + " " +
+                        KeyValue("derived", run.derived_facts) +
+                        " pool=" + std::string(PoolLabel(lease.value())) +
+                        FinishRun(lease.value().fingerprint, run);
+  EmitOk("QUERY", details, out);
+  for (const std::string& row : rows) EmitData(row, out);
+}
+
+void Server::HandleSolve(const SolveRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  RunStats run;
+  StatusOr<Engine::SolveResult> result =
+      lease.value().engine->Solve(request.problem, &run);
+  if (!result.ok()) {
+    EmitError(ErrorCode::kEval, result.status().message(), out);
+    return;
+  }
+  std::string details = "tenant=" + request.tenant +
+                        " problem=" + ProblemName(request.problem);
+  switch (request.problem) {
+    case Engine::Problem::kThreeColor:
+      details += " " + KeyValue("feasible", result.value().feasible ? 1 : 0);
+      break;
+    case Engine::Problem::kThreeColorCount:
+      details +=
+          " " + KeyValue("count", static_cast<size_t>(result.value().count));
+      break;
+    default:
+      details += " " + KeyValue("optimum", result.value().optimum);
+      break;
+  }
+  details += " pool=" + std::string(PoolLabel(lease.value())) +
+             FinishRun(lease.value().fingerprint, run);
+  EmitOk("SOLVE", details, out);
+}
+
+void Server::HandleSolveAll(const SolveAllRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  RunStats run;
+  StatusOr<Engine::SolveAllResult> result =
+      lease.value().engine->SolveAll(&run);
+  if (!result.ok()) {
+    EmitError(ErrorCode::kEval, result.status().message(), out);
+    return;
+  }
+  const Engine::SolveAllResult& all = result.value();
+  std::string details =
+      "tenant=" + request.tenant + " " +
+      KeyValue("three_colorable", all.three_colorable ? 1 : 0) + " " +
+      KeyValue("colorings", static_cast<size_t>(all.three_colorings)) + " " +
+      KeyValue("vc", all.min_vertex_cover) + " " +
+      KeyValue("is", all.max_independent_set) + " " +
+      KeyValue("ds", all.min_dominating_set) +
+      " pool=" + std::string(PoolLabel(lease.value())) +
+      FinishRun(lease.value().fingerprint, run);
+  EmitOk("SOLVEALL", details, out);
+}
+
+void Server::HandleMso(const MsoRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  StatusOr<mso::FormulaPtr> formula = mso::ParseFormula(request.formula);
+  if (!formula.ok()) {
+    EmitError(ErrorCode::kParse, formula.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  RunStats run;
+  StatusOr<bool> holds =
+      lease.value().engine->EvaluateMso(formula.value(), &run);
+  if (!holds.ok()) {
+    EmitError(ErrorCode::kEval, holds.status().message(), out);
+    return;
+  }
+  std::string details = "tenant=" + request.tenant + " " +
+                        KeyValue("holds", holds.value() ? 1 : 0) +
+                        " pool=" + std::string(PoolLabel(lease.value())) +
+                        FinishRun(lease.value().fingerprint, run);
+  EmitOk("MSO", details, out);
+}
+
+void Server::HandleSave(const SaveRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  Tenant* tenant = found.value();
+  // Make sure the session is resident (SAVE after eviction re-admits it).
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*tenant);
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  RunStats run;
+  Status saved = pool_->Save(lease.value().fingerprint, &run);
+  if (!saved.ok()) {
+    EmitError(ErrorCode::kIo, saved.message(), out);
+    return;
+  }
+  EmitOk("SAVE",
+         "tenant=" + request.tenant + " " +
+             KeyValue("artifacts", run.artifact_saves) +
+             " fingerprint=" + HexFingerprint(lease.value().fingerprint),
+         out);
+}
+
+void Server::HandleOpen(const OpenRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  if (options_.session_dir.empty()) {
+    EmitError(ErrorCode::kIo,
+              "OPEN requires the server to run with a session directory", out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  size_t loads = lease.value().artifact_loads;
+  RunStats run;
+  if (!lease.value().warm_loaded) {
+    // Explicit warm start of an already-resident (or cold-constructed)
+    // session; already-built slots keep their in-memory artifacts.
+    std::string path = pool_->SessionFilePath(lease.value().fingerprint);
+    Status loaded = lease.value().engine->LoadSession(path, &run);
+    if (!loaded.ok()) {
+      EmitError(ErrorCode::kIo, loaded.message(), out);
+      return;
+    }
+    loads = run.artifact_loads;
+  }
+  pool_->RefreshCharge(lease.value().fingerprint);
+  EmitOk("OPEN",
+         "tenant=" + request.tenant + " " + KeyValue("loads", loads) +
+             " pool=" + PoolLabel(lease.value()),
+         out);
+}
+
+void Server::HandleStats(const StatsRequest& request, std::string* out) {
+  if (!request.tenant.has_value()) {
+    SessionPoolCounters pool_counters = pool_->counters();
+    std::string details =
+        KeyValue("requests", stats_.requests) + " " +
+        KeyValue("ok", stats_.replies_ok) + " " +
+        KeyValue("err", stats_.replies_error) + " " +
+        KeyValue("data", stats_.data_lines) + " " +
+        KeyValue("tenants", tenants_.size()) + " " +
+        KeyValue("resident", pool_->NumResident()) + " " +
+        KeyValue("hits", pool_counters.hits) + " " +
+        KeyValue("misses", pool_counters.misses) + " " +
+        KeyValue("evictions", pool_counters.evictions) + " " +
+        KeyValue("warm_loads", pool_counters.warm_loads) + " " +
+        KeyValue("rejections", pool_counters.rejections) + " " +
+        KeyValue("charged_bytes", pool_->ChargedBytes()) + " " +
+        KeyValue("peak_table_bytes", stats_.peak_table_bytes) + " " +
+        KeyValue("budget", options_.table_memory_budget);
+    EmitOk("STATS", details, out);
+    return;
+  }
+  StatusOr<Tenant*> found = FindTenant(*request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  Tenant* tenant = found.value();
+  std::string details = "tenant=" + *request.tenant +
+                        " fingerprint=" + HexFingerprint(tenant->fingerprint);
+  std::shared_ptr<Engine> engine = pool_->Peek(tenant->fingerprint);
+  details += " " + KeyValue("resident", engine != nullptr ? 1 : 0);
+  if (engine != nullptr) {
+    RunStats cumulative = engine->CumulativeStats();
+    details += " " + KeyValue("encode_builds", cumulative.encode_builds) +
+               " " + KeyValue("td_builds", cumulative.td_builds) + " " +
+               KeyValue("normalize_builds", cumulative.normalize_builds) +
+               " " + KeyValue("cache_hits", cumulative.cache_hits) + " " +
+               KeyValue("artifact_loads", cumulative.artifact_loads) + " " +
+               KeyValue("dp_states", cumulative.dp_states) + " " +
+               KeyValue("resident_bytes", engine->ResidentArtifactBytes());
+  }
+  EmitOk("STATS", details, out);
+}
+
+void Server::HandleClose(const CloseRequest& request, std::string* out) {
+  auto it = tenants_.find(request.tenant);
+  if (it == tenants_.end()) {
+    EmitError(ErrorCode::kNoTenant,
+              "tenant '" + request.tenant + "' has no loaded structure", out);
+    return;
+  }
+  // The pooled session (if any) stays resident for other tenants with the
+  // same structure; LRU eviction reclaims it naturally.
+  tenants_.erase(it);
+  EmitOk("CLOSE", "tenant=" + request.tenant, out);
+}
+
+void Server::EmitOk(std::string_view command, std::string_view details,
+                    std::string* out) {
+  ++stats_.replies_ok;
+  *out += OkReply(command, details);
+  *out += '\n';
+}
+
+void Server::EmitData(std::string_view payload, std::string* out) {
+  ++stats_.data_lines;
+  *out += DataReply(payload);
+  *out += '\n';
+}
+
+void Server::EmitError(ErrorCode code, std::string_view message,
+                       std::string* out) {
+  ++stats_.replies_error;
+  *out += ErrorReply(code, message);
+  *out += '\n';
+}
+
+void Server::EmitStatus(const Status& status, std::string* out) {
+  EmitError(ErrorCodeFor(status), status.message(), out);
+}
+
+}  // namespace treedl::server

@@ -1,0 +1,136 @@
+// treedl::server::Server — the multi-tenant serving layer above the Engine.
+//
+// A Server owns three things:
+//
+//   tenants   — named bindings of a signature + committed facts (LOAD/ASSERT
+//               mutate these; they are cheap text + structure state, not
+//               engines);
+//   a pool    — the fingerprint-keyed SessionPool of warm Engines, with LRU
+//               eviction, a shared memory budget, and transparent warm start
+//               from session files;
+//   a driver  — HandleLine/Serve, which parse protocol requests
+//               (server/protocol.hpp), execute them against pooled sessions,
+//               and render deterministic replies.
+//
+// Two tenants whose structures are equal share one pooled Engine: the pool
+// is keyed by structure fingerprint, not tenant name, so N clients loading
+// the same graph pay for one decomposition. With `num_threads` > 1 every
+// pooled session runs its parallel work on the server's single
+// work-stealing pool (EngineOptions::shared_pool).
+//
+// The driver is single-threaded by design — determinism is the feature (the
+// protocol smoke test diffs exact transcripts). The layers below it
+// (SessionPool, Engine) are thread-safe, so a concurrent front-end can call
+// the pool directly if one is ever added.
+#ifndef TREEDL_SERVER_SERVER_HPP_
+#define TREEDL_SERVER_SERVER_HPP_
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/thread_pool.hpp"
+#include "server/protocol.hpp"
+#include "server/session_pool.hpp"
+#include "structure/structure.hpp"
+
+namespace treedl::server {
+
+struct ServerOptions {
+  /// Most warm sessions resident at once (SessionPoolOptions::max_sessions).
+  size_t max_sessions = 8;
+  /// Global byte budget shared by all resident sessions and their live DP
+  /// tables (0 = unlimited). See SessionPoolOptions::table_memory_budget.
+  size_t table_memory_budget = 0;
+  /// Directory for SAVE/OPEN session files; empty disables persistence.
+  std::string session_dir;
+  /// Worker threads of the server's shared pool (0 = hardware concurrency,
+  /// 1 = sequential: no pool is created and sessions run inline).
+  size_t num_threads = 1;
+  /// Echo per-request RunStats counters (encode/td/normalize/cache_hits) in
+  /// OK replies. Off for byte-stable transcripts that must not depend on
+  /// cache state.
+  bool echo_stats = true;
+  /// Template for pooled engines. Witness extraction defaults off: the
+  /// serving layer prefers evictable tables over coloring witnesses.
+  EngineOptions engine_options = [] {
+    EngineOptions options;
+    options.extract_witness = false;
+    return options;
+  }();
+};
+
+struct ServerStats {
+  size_t requests = 0;      // protocol lines parsed as requests (incl. failed)
+  size_t replies_ok = 0;    // OK lines written
+  size_t replies_error = 0; // ERR lines written
+  size_t data_lines = 0;    // DATA lines written
+  /// High-water mark of RunStats::dp_peak_table_bytes across requests —
+  /// together with the pool's ChargedBytes this is what the shared budget
+  /// bounds.
+  size_t peak_table_bytes = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// Handles one raw protocol line, appending '\n'-terminated reply lines to
+  /// `*out` (comments and blank lines append nothing). Returns false when
+  /// the line was QUIT. Not thread-safe: one driver at a time.
+  bool HandleLine(std::string_view line, std::string* out);
+
+  /// The driver loop: getline over `in`, replies to `out` (flushed per
+  /// request), until EOF or QUIT. Returns the number of requests handled.
+  size_t Serve(std::istream& in, std::ostream& out);
+
+  const ServerStats& stats() const { return stats_; }
+  SessionPool& pool() { return *pool_; }
+  const SessionPool& pool() const { return *pool_; }
+
+ private:
+  struct Tenant {
+    Signature signature;
+    std::string facts_text;
+    Structure structure;
+    uint64_t fingerprint = 0;
+  };
+
+  /// The tenant for `name`, or a kNoTenant-shaped NotFound status.
+  StatusOr<Tenant*> FindTenant(const std::string& name);
+  /// Acquire + common error mapping; echoes `pool=hit|warm|cold`.
+  StatusOr<SessionPool::Lease> AcquireFor(const Tenant& tenant);
+  /// Folds a finished request's RunStats into the server counters and the
+  /// pool charge, and renders the echo suffix ("" when echo_stats is off).
+  std::string FinishRun(uint64_t fingerprint, const RunStats& run);
+
+  void HandleLoad(const LoadRequest& request, std::string* out);
+  void HandleAssert(const AssertRequest& request, std::string* out);
+  void HandleQuery(const QueryRequest& request, std::string* out);
+  void HandleSolve(const SolveRequest& request, std::string* out);
+  void HandleSolveAll(const SolveAllRequest& request, std::string* out);
+  void HandleMso(const MsoRequest& request, std::string* out);
+  void HandleSave(const SaveRequest& request, std::string* out);
+  void HandleOpen(const OpenRequest& request, std::string* out);
+  void HandleStats(const StatsRequest& request, std::string* out);
+  void HandleClose(const CloseRequest& request, std::string* out);
+
+  void EmitOk(std::string_view command, std::string_view details,
+              std::string* out);
+  void EmitData(std::string_view payload, std::string* out);
+  void EmitError(ErrorCode code, std::string_view message, std::string* out);
+  void EmitStatus(const Status& status, std::string* out);
+
+  ServerOptions options_;
+  std::unique_ptr<ThreadPool> shared_pool_;  // null when sequential
+  std::unique_ptr<SessionPool> pool_;
+  std::map<std::string, Tenant> tenants_;  // ordered: deterministic STATS
+  ServerStats stats_;
+};
+
+}  // namespace treedl::server
+
+#endif  // TREEDL_SERVER_SERVER_HPP_

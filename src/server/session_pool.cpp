@@ -1,0 +1,184 @@
+#include "server/session_pool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace treedl::server {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buffer);
+}
+
+}  // namespace
+
+SessionPool::SessionPool(SessionPoolOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+  if (options_.table_memory_budget > 0) {
+    options_.engine_options.table_memory_budget = options_.table_memory_budget;
+  }
+}
+
+StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
+  uint64_t fingerprint = Engine::FingerprintOf(structure);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto it = sessions_.find(fingerprint);
+  if (it != sessions_.end()) {
+    ++counters_.hits;
+    it->second.last_used = ++clock_;
+    return Lease{it->second.engine, fingerprint, /*hit=*/true,
+                 /*warm_loaded=*/false, /*artifact_loads=*/0};
+  }
+
+  ++counters_.misses;
+  size_t estimate = Engine::EstimateStructureBytes(structure);
+  if (options_.table_memory_budget > 0 &&
+      estimate > options_.table_memory_budget) {
+    ++counters_.rejections;
+    return Status::ResourceExhausted(
+        "structure estimate " + std::to_string(estimate) +
+        "B exceeds the shared table_memory_budget " +
+        std::to_string(options_.table_memory_budget) + "B");
+  }
+  while (sessions_.size() >= options_.max_sessions ||
+         (options_.table_memory_budget > 0 &&
+          ChargedBytesLocked() + estimate > options_.table_memory_budget)) {
+    if (!EvictOneLocked()) {
+      ++counters_.rejections;
+      return Status::ResourceExhausted(
+          "session pool: every resident session is in use (" +
+          std::to_string(sessions_.size()) + " resident, " +
+          std::to_string(ChargedBytesLocked()) + "B charged)");
+    }
+  }
+
+  auto engine = std::make_shared<Engine>(structure, options_.engine_options);
+  Lease lease{engine, fingerprint, /*hit=*/false, /*warm_loaded=*/false,
+              /*artifact_loads=*/0};
+  if (!options_.session_dir.empty()) {
+    std::string path = SessionFilePath(fingerprint);
+    if (FileExists(path)) {
+      RunStats load_stats;
+      // A corrupt or mismatched file must not fail the request: the session
+      // simply starts cold and rebuilds.
+      if (engine->LoadSession(path, &load_stats).ok()) {
+        ++counters_.warm_loads;
+        lease.warm_loaded = true;
+        lease.artifact_loads = load_stats.artifact_loads;
+      }
+    }
+  }
+  Entry entry;
+  entry.engine = engine;
+  entry.charge = std::max(estimate, engine->ResidentArtifactBytes());
+  entry.last_used = ++clock_;
+  sessions_.emplace(fingerprint, std::move(entry));
+  return lease;
+}
+
+void SessionPool::RefreshCharge(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(fingerprint);
+  if (it == sessions_.end()) return;
+  it->second.charge =
+      std::max(it->second.charge, it->second.engine->ResidentArtifactBytes());
+}
+
+Status SessionPool::Save(uint64_t fingerprint, RunStats* stats) {
+  std::shared_ptr<Engine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(fingerprint);
+    if (it != sessions_.end()) engine = it->second.engine;
+  }
+  if (engine == nullptr) {
+    return Status::NotFound("no resident session for fingerprint " +
+                            HexFingerprint(fingerprint));
+  }
+  if (options_.session_dir.empty()) {
+    return Status::InvalidArgument(
+        "SAVE requires the server to run with a session directory");
+  }
+  return engine->SaveSession(SessionFilePath(fingerprint), stats);
+}
+
+std::shared_ptr<Engine> SessionPool::Peek(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(fingerprint);
+  return it == sessions_.end() ? nullptr : it->second.engine;
+}
+
+std::string SessionPool::SessionFilePath(uint64_t fingerprint) const {
+  if (options_.session_dir.empty()) return "";
+  return options_.session_dir + "/" + HexFingerprint(fingerprint) + ".tdls";
+}
+
+SessionPoolCounters SessionPool::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t SessionPool::NumResident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+size_t SessionPool::ChargedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ChargedBytesLocked();
+}
+
+std::vector<uint64_t> SessionPool::LruFingerprints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, uint64_t>> order;  // {last_used, fp}
+  order.reserve(sessions_.size());
+  for (const auto& [fingerprint, entry] : sessions_) {
+    order.emplace_back(entry.last_used, fingerprint);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<uint64_t> fingerprints;
+  fingerprints.reserve(order.size());
+  for (const auto& [used, fingerprint] : order) {
+    fingerprints.push_back(fingerprint);
+  }
+  return fingerprints;
+}
+
+size_t SessionPool::ChargedBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [fingerprint, entry] : sessions_) total += entry.charge;
+  return total;
+}
+
+bool SessionPool::EvictOneLocked() {
+  auto victim = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    // use_count == 1 means the pool holds the only reference — the session
+    // is idle. Leased sessions are never evicted mid-request.
+    if (it->second.engine.use_count() > 1) continue;
+    if (victim == sessions_.end() ||
+        it->second.last_used < victim->second.last_used) {
+      victim = it;
+    }
+  }
+  if (victim == sessions_.end()) return false;
+  sessions_.erase(victim);
+  ++counters_.evictions;
+  return true;
+}
+
+}  // namespace treedl::server

@@ -1,0 +1,127 @@
+// SessionPool: the fingerprint-keyed Engine cache of treedl::Server.
+//
+// The paper's amortization story (§5.3: one decomposition, many linear-time
+// queries) only pays off when requests for the same structure land on the
+// same warm Engine. The pool makes that happen across tenants and requests:
+//
+//   Acquire(structure) — fingerprint the structure (Engine::FingerprintOf,
+//   the same hash that stamps session files), return the resident Engine on
+//   a hit, or construct one on a miss. Misses pass admission control first:
+//   a max-sessions cap and a global table_memory_budget shared by every
+//   resident session (each session is charged its deterministic
+//   ResidentArtifactBytes estimate). When full, idle least-recently-used
+//   sessions are evicted; if every resident session is leased out, the
+//   request is rejected with kResourceExhausted — the server's E_ADMISSION.
+//
+//   Warm start — on a miss, if `session_dir` holds a session file for the
+//   fingerprint, it is loaded into the fresh Engine before the lease is
+//   returned (zero encode/TD/normalize builds on the first query).
+//
+// Leases are shared_ptr copies: a session is "in use" while any lease is
+// alive, and only idle sessions are evicted — a leased Engine is never
+// destroyed mid-request. All methods are thread-safe; the engines themselves
+// are thread-safe by design.
+#ifndef TREEDL_SERVER_SESSION_POOL_HPP_
+#define TREEDL_SERVER_SESSION_POOL_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "engine/engine.hpp"
+#include "engine/options.hpp"
+
+namespace treedl::server {
+
+struct SessionPoolOptions {
+  /// Most sessions resident at once (clamped to >= 1).
+  size_t max_sessions = 8;
+  /// Global byte budget shared by all resident sessions (0 = unlimited).
+  /// Each session is charged max(structure estimate, resident artifacts);
+  /// the same value becomes each Engine's per-query table_memory_budget, so
+  /// live DP tables obey the ceiling too.
+  size_t table_memory_budget = 0;
+  /// Directory of session files ("<16-hex-fingerprint>.tdls"). Empty
+  /// disables warm start and Save.
+  std::string session_dir;
+  /// Template for pooled engines (the server fills shared_pool and, when a
+  /// global budget is set, table_memory_budget).
+  EngineOptions engine_options;
+};
+
+struct SessionPoolCounters {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t warm_loads = 0;
+  size_t rejections = 0;
+};
+
+class SessionPool {
+ public:
+  /// What Acquire returns: a shared lease on a resident Engine plus how the
+  /// pool satisfied it.
+  struct Lease {
+    std::shared_ptr<Engine> engine;
+    uint64_t fingerprint = 0;
+    bool hit = false;          // the session was already resident
+    bool warm_loaded = false;  // a miss restored from a session file
+    size_t artifact_loads = 0;  // artifacts the warm start restored
+  };
+
+  explicit SessionPool(SessionPoolOptions options);
+
+  /// Hit, warm start, or cold construction — or kResourceExhausted when
+  /// admission control cannot make room.
+  StatusOr<Lease> Acquire(const Structure& structure);
+
+  /// Re-measures the budget charge of a resident session against its
+  /// engine's ResidentArtifactBytes (call after running requests, which may
+  /// have built artifacts).
+  void RefreshCharge(uint64_t fingerprint);
+
+  /// Writes the resident session's artifacts to SessionFilePath(fingerprint).
+  Status Save(uint64_t fingerprint, RunStats* stats = nullptr);
+
+  /// The resident engine for `fingerprint`, or null. Does not touch LRU
+  /// order or counters (STATS must not perturb eviction).
+  std::shared_ptr<Engine> Peek(uint64_t fingerprint) const;
+
+  /// "<session_dir>/<16-hex-fingerprint>.tdls" ("" without a session_dir).
+  std::string SessionFilePath(uint64_t fingerprint) const;
+
+  SessionPoolCounters counters() const;
+  size_t NumResident() const;
+  /// Sum of resident session charges against the global budget.
+  size_t ChargedBytes() const;
+  /// Resident fingerprints, least recently used first.
+  std::vector<uint64_t> LruFingerprints() const;
+
+  const SessionPoolOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Engine> engine;
+    size_t charge = 0;
+    uint64_t last_used = 0;  // logical clock tick of the last Acquire
+  };
+
+  size_t ChargedBytesLocked() const;
+  /// Evicts the least-recently-used idle session; false when every resident
+  /// session is leased out.
+  bool EvictOneLocked();
+
+  SessionPoolOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> sessions_;
+  uint64_t clock_ = 0;
+  SessionPoolCounters counters_;
+};
+
+}  // namespace treedl::server
+
+#endif  // TREEDL_SERVER_SESSION_POOL_HPP_

@@ -1,0 +1,231 @@
+// treedl::server — protocol parsing, end-to-end request handling, tenant
+// errors, admission via the protocol, and a garbage-line fuzz pass that must
+// never crash the driver.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "server/protocol.hpp"
+#include "test_util.hpp"
+
+namespace treedl::server {
+namespace {
+
+constexpr const char* kTriangleLoad =
+    "LOAD g SIG e/2 FACTS e(a, b). e(b, c). e(c, a).";
+
+/// Runs one line through a stats-free server and returns the raw reply text.
+std::string Reply(Server* server, std::string_view line) {
+  std::string out;
+  server->HandleLine(line, &out);
+  return out;
+}
+
+ServerOptions QuietOptions() {
+  ServerOptions options;
+  options.echo_stats = false;
+  return options;
+}
+
+TEST(ProtocolTest, BlankAndCommentLinesParseToNothing) {
+  for (const char* line : {"", "   ", "% a comment", "  % indented comment"}) {
+    auto request = ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << line;
+    EXPECT_FALSE(request.value().has_value()) << line;
+  }
+}
+
+TEST(ProtocolTest, ParsesTypedRequests) {
+  auto load = ParseRequest("LOAD t SIG e/2 p/1 FACTS e(a, b). p(a).");
+  ASSERT_TRUE(load.ok());
+  const auto* load_request = std::get_if<LoadRequest>(&load.value().value());
+  ASSERT_NE(load_request, nullptr);
+  EXPECT_EQ(load_request->tenant, "t");
+  ASSERT_EQ(load_request->predicates.size(), 2u);
+  EXPECT_EQ(load_request->predicates[0], (std::pair<std::string, int>{"e", 2}));
+  EXPECT_EQ(load_request->predicates[1], (std::pair<std::string, int>{"p", 1}));
+  EXPECT_EQ(load_request->facts, "e(a, b). p(a).");
+
+  auto solve = ParseRequest("SOLVE t #3COL");
+  ASSERT_TRUE(solve.ok());
+  const auto* solve_request = std::get_if<SolveRequest>(&solve.value().value());
+  ASSERT_NE(solve_request, nullptr);
+  EXPECT_EQ(solve_request->problem, Engine::Problem::kThreeColorCount);
+
+  auto stats = ParseRequest("STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(std::get<StatsRequest>(stats.value().value()).tenant);
+  auto tenant_stats = ParseRequest("STATS t");
+  ASSERT_TRUE(tenant_stats.ok());
+  EXPECT_EQ(std::get<StatsRequest>(tenant_stats.value().value()).tenant, "t");
+}
+
+TEST(ProtocolTest, ParseFailuresMapToTypedErrorCodes) {
+  auto unknown = ParseRequest("FROB t");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(ErrorCodeFor(unknown.status()), ErrorCode::kUnknownCommand);
+
+  auto bad_problem = ParseRequest("SOLVE t XYZ");
+  ASSERT_FALSE(bad_problem.ok());
+  EXPECT_EQ(ErrorCodeFor(bad_problem.status()), ErrorCode::kBadArgument);
+
+  for (const char* line : {"LOAD t", "LOAD t SIG", "LOAD t SIG e", "QUERY t",
+                           "SOLVE t", "QUIT extra"}) {
+    EXPECT_FALSE(ParseRequest(line).ok()) << line;
+  }
+}
+
+TEST(ProtocolTest, ReplyRenderersAreSingleLine) {
+  EXPECT_EQ(OkReply("LOAD", "tenant=t"), "OK LOAD tenant=t");
+  EXPECT_EQ(DataReply("e(a, b)."), "DATA e(a, b).");
+  std::string err = ErrorReply(ErrorCode::kParse, "multi\nline\rmessage");
+  EXPECT_EQ(err.find('\n'), std::string::npos);
+  EXPECT_EQ(err.find('\r'), std::string::npos);
+  EXPECT_EQ(err.rfind("ERR E_PARSE ", 0), 0u);
+}
+
+TEST(ServerTest, TriangleEndToEnd) {
+  Server server(QuietOptions());
+  std::string load = Reply(&server, kTriangleLoad);
+  EXPECT_NE(load.find("OK LOAD tenant=g"), std::string::npos) << load;
+  EXPECT_NE(load.find("elements=3 facts=3 pool=cold"), std::string::npos)
+      << load;
+
+  EXPECT_NE(Reply(&server, "SOLVE g 3COL").find("feasible=1"),
+            std::string::npos);
+  EXPECT_NE(Reply(&server, "SOLVE g #3COL").find("count=6"),
+            std::string::npos);
+  EXPECT_NE(Reply(&server, "SOLVE g VC").find("optimum=2"), std::string::npos);
+  std::string all = Reply(&server, "SOLVEALL g");
+  EXPECT_NE(all.find("three_colorable=1"), std::string::npos) << all;
+  EXPECT_NE(all.find("vc=2"), std::string::npos) << all;
+  EXPECT_NE(all.find("pool=hit"), std::string::npos) << all;
+
+  // MSO over a width-0 tenant takes the direct evaluation route (the Thm 4.5
+  // compile needs width >= 1 and saturates on binary-atom formulas).
+  ASSERT_NE(Reply(&server, "LOAD m SIG p/1 FACTS p(a). p(b).").find("OK LOAD"),
+            std::string::npos);
+  std::string mso = Reply(&server, "MSO m ex1 x: p(x)");
+  EXPECT_NE(mso.find("holds=1"), std::string::npos) << mso;
+  std::string refuted = Reply(&server, "MSO m all1 x: ~p(x)");
+  EXPECT_NE(refuted.find("holds=0"), std::string::npos) << refuted;
+
+  std::string query =
+      Reply(&server, "QUERY g reach(X, Y) :- e(X, Y). "
+                     "reach(X, Y) :- e(X, Z), reach(Z, Y).");
+  EXPECT_NE(query.find("OK QUERY tenant=g data=9 derived=9"),
+            std::string::npos)
+      << query;
+  // 9 DATA rows: reach is the full 3x3 relation on a directed triangle.
+  size_t data_rows = 0;
+  for (size_t pos = 0; (pos = query.find("DATA reach(", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++data_rows;
+  }
+  EXPECT_EQ(data_rows, 9u);
+
+  EXPECT_EQ(server.stats().replies_error, 0u);
+}
+
+TEST(ServerTest, SecondTenantWithEqualStructureSharesTheSession) {
+  Server server(QuietOptions());
+  EXPECT_NE(Reply(&server, kTriangleLoad).find("pool=cold"),
+            std::string::npos);
+  std::string second = Reply(
+      &server, "LOAD h SIG e/2 FACTS e(a, b). e(b, c). e(c, a).");
+  EXPECT_NE(second.find("pool=hit"), std::string::npos) << second;
+  EXPECT_EQ(server.pool().counters().hits, 1u);
+  EXPECT_EQ(server.pool().NumResident(), 1u);
+}
+
+TEST(ServerTest, TenantAndArgumentErrors) {
+  Server server(QuietOptions());
+  EXPECT_EQ(Reply(&server, "SOLVE nope VC").rfind("ERR E_TENANT ", 0), 0u);
+  EXPECT_EQ(Reply(&server, "FROB x").rfind("ERR E_CMD ", 0), 0u);
+  EXPECT_EQ(Reply(&server, "LOAD t SIG e/2 FACTS e(a").rfind("ERR E_PARSE", 0),
+            0u);
+  EXPECT_EQ(Reply(&server, "SAVE t").rfind("ERR E_TENANT ", 0), 0u);
+
+  ASSERT_NE(Reply(&server, kTriangleLoad).find("OK LOAD"), std::string::npos);
+  EXPECT_EQ(Reply(&server, "MSO g not a formula").rfind("ERR E_PARSE", 0), 0u);
+  // SAVE without a session directory is an IO error, not a crash.
+  EXPECT_EQ(Reply(&server, "SAVE g").rfind("ERR ", 0), 0u);
+  EXPECT_NE(Reply(&server, "CLOSE g").find("OK CLOSE"), std::string::npos);
+  EXPECT_EQ(Reply(&server, "SOLVE g VC").rfind("ERR E_TENANT ", 0), 0u);
+  EXPECT_GT(server.stats().replies_error, 0u);
+}
+
+TEST(ServerTest, TinyBudgetRejectsLoadViaProtocol) {
+  ServerOptions options = QuietOptions();
+  options.table_memory_budget = 32;  // below the triangle's estimate
+  Server server(options);
+  std::string reply = Reply(&server, kTriangleLoad);
+  EXPECT_EQ(reply.rfind("ERR E_ADMISSION ", 0), 0u) << reply;
+  EXPECT_EQ(server.pool().counters().rejections, 1u);
+}
+
+TEST(ServerTest, ServeCountsRequestsAndStopsAtQuit) {
+  Server server(QuietOptions());
+  std::istringstream in(
+      "% transcript\n\n" + std::string(kTriangleLoad) +
+      "\nSOLVE g VC\nQUIT\nSOLVE g VC\n");  // after QUIT: never handled
+  std::ostringstream out;
+  EXPECT_EQ(server.Serve(in, out), 3u);  // LOAD, SOLVE, QUIT
+  EXPECT_NE(out.str().find("OK QUIT"), std::string::npos);
+  EXPECT_EQ(server.stats().requests, 3u);
+}
+
+TEST(ServerTest, GarbageLinesNeverCrashAndAlwaysReplyOkOrErr) {
+  Server server(QuietOptions());
+  ASSERT_NE(Reply(&server, kTriangleLoad).find("OK LOAD"), std::string::npos);
+
+  // Structured near-misses first: prefixes, truncations, wrong arities.
+  const std::vector<std::string> corpus = {
+      "LOAD", "LOAD g", "LOAD g SIG", "LOAD g SIG e/", "LOAD g SIG e/2x",
+      "LOAD g SIG /2", "LOAD g SIG e/99999", "LOAD ~!bad SIG e/2",
+      "ASSERT g", "ASSERT nope e(a, b).", "QUERY g :-", "QUERY g p(X)",
+      "SOLVE g", "SOLVE g vc", "SOLVE g VC extra", "SOLVEALL", "MSO g",
+      "MSO g ex9 x: e(x, x)", "SAVE", "OPEN g", "STATS g extra", "CLOSE",
+      "QUIT now", "load g SIG e/2", "  LOAD  x  SIG  e/2  ", "DATA x",
+      "OK LOAD", "ERR E_PARSE x", std::string(4096, 'A'),
+      std::string("LOAD g SIG e/2 FACTS ") + std::string(512, '('),
+  };
+  for (const std::string& line : corpus) {
+    std::string out;
+    EXPECT_TRUE(server.HandleLine(line, &out)) << line;
+    if (!out.empty()) {
+      EXPECT_TRUE(out.rfind("OK ", 0) == 0 || out.rfind("ERR ", 0) == 0)
+          << line << " -> " << out;
+    }
+  }
+
+  // Then raw fuzz: deterministic random byte soup (no '\n', no leading '%').
+  Rng rng(TestSeed());
+  for (int i = 0; i < 300; ++i) {
+    std::string line;
+    size_t length = rng.UniformIndex(64);
+    for (size_t j = 0; j < length; ++j) {
+      line.push_back(static_cast<char>(rng.UniformInt(1, 126)));
+    }
+    std::string out;
+    bool keep_going = server.HandleLine(line, &out);
+    if (!keep_going) continue;  // a lucky "QUIT" draw is still a valid reply
+    if (!out.empty()) {
+      EXPECT_TRUE(out.rfind("OK ", 0) == 0 || out.rfind("ERR ", 0) == 0)
+          << "line " << i << " -> " << out;
+    }
+  }
+
+  // The driver is still coherent after the fuzz pass.
+  EXPECT_NE(Reply(&server, "SOLVE g VC").find("optimum=2"), std::string::npos);
+  EXPECT_NE(Reply(&server, "STATS").find("OK STATS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treedl::server

@@ -1,0 +1,182 @@
+// SessionPool: fingerprint-keyed reuse, LRU eviction order, warm start from
+// session files, and shared-budget admission control.
+#include "server/session_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "structure/structure_io.hpp"
+#include "test_util.hpp"
+
+namespace treedl::server {
+namespace {
+
+/// A path graph a -> b -> c -> ... with `n` vertices over the e/2 signature.
+Structure PathStructure(size_t n) {
+  auto signature = Signature::Make({{"e", 2}});
+  EXPECT_TRUE(signature.ok());
+  std::string text;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    text += "e(v" + std::to_string(i) + ", v" + std::to_string(i + 1) + ").\n";
+  }
+  if (n == 1) text = "element(v0).\n";
+  auto structure = ParseStructure(*signature, text);
+  EXPECT_TRUE(structure.ok()) << structure.status();
+  return *std::move(structure);
+}
+
+TEST(SessionPoolTest, HitIsKeyedByFingerprintNotIdentity) {
+  SessionPool pool(SessionPoolOptions{});
+  Structure first = PathStructure(4);
+  Structure second = PathStructure(4);  // equal content, distinct object
+
+  auto miss = pool.Acquire(first);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().hit);
+  auto hit = pool.Acquire(second);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().hit);
+  EXPECT_EQ(hit.value().engine.get(), miss.value().engine.get());
+  EXPECT_EQ(hit.value().fingerprint, Engine::FingerprintOf(first));
+
+  SessionPoolCounters counters = pool.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(pool.NumResident(), 1u);
+}
+
+TEST(SessionPoolTest, LruEvictionOrder) {
+  SessionPoolOptions options;
+  options.max_sessions = 2;
+  SessionPool pool(options);
+  Structure s1 = PathStructure(3);
+  Structure s2 = PathStructure(4);
+  Structure s3 = PathStructure(5);
+  uint64_t fp1 = Engine::FingerprintOf(s1);
+  uint64_t fp2 = Engine::FingerprintOf(s2);
+  uint64_t fp3 = Engine::FingerprintOf(s3);
+
+  ASSERT_TRUE(pool.Acquire(s1).ok());
+  ASSERT_TRUE(pool.Acquire(s2).ok());
+  EXPECT_EQ(pool.LruFingerprints(), (std::vector<uint64_t>{fp1, fp2}));
+
+  // Touch s1: s2 becomes the eviction victim.
+  ASSERT_TRUE(pool.Acquire(s1).ok());
+  EXPECT_EQ(pool.LruFingerprints(), (std::vector<uint64_t>{fp2, fp1}));
+
+  ASSERT_TRUE(pool.Acquire(s3).ok());
+  EXPECT_EQ(pool.NumResident(), 2u);
+  EXPECT_EQ(pool.Peek(fp2), nullptr);
+  EXPECT_NE(pool.Peek(fp1), nullptr);
+  EXPECT_EQ(pool.LruFingerprints(), (std::vector<uint64_t>{fp1, fp3}));
+  EXPECT_EQ(pool.counters().evictions, 1u);
+}
+
+TEST(SessionPoolTest, SecondAcquireReusesArtifactsWithZeroBuilds) {
+  SessionPool pool(SessionPoolOptions{});
+  Structure structure = PathStructure(6);
+
+  {
+    auto lease = pool.Acquire(structure);
+    ASSERT_TRUE(lease.ok());
+    RunStats cold;
+    ASSERT_TRUE(lease.value().engine->SolveAll(&cold).ok());
+    EXPECT_GT(cold.td_builds, 0u);
+  }
+  auto lease = pool.Acquire(structure);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(lease.value().hit);
+  RunStats warm;
+  ASSERT_TRUE(lease.value().engine->SolveAll(&warm).ok());
+  EXPECT_EQ(warm.encode_builds, 0u);
+  EXPECT_EQ(warm.td_builds, 0u);
+  EXPECT_EQ(warm.normalize_builds, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+}
+
+TEST(SessionPoolTest, WarmStartFromSavedSessionFile) {
+  const std::string dir =
+      "session_pool_test_" + std::to_string(TestSeed() % 100000);
+  std::filesystem::create_directories(dir);
+  Structure structure = PathStructure(6);
+  uint64_t fingerprint = Engine::FingerprintOf(structure);
+
+  SessionPoolOptions options;
+  options.session_dir = dir;
+  {
+    SessionPool pool(options);
+    auto lease = pool.Acquire(structure);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_FALSE(lease.value().warm_loaded);  // nothing saved yet
+    ASSERT_TRUE(lease.value().engine->SolveAll(nullptr).ok());
+    RunStats saved;
+    ASSERT_TRUE(pool.Save(fingerprint, &saved).ok());
+    EXPECT_GT(saved.artifact_saves, 0u);
+  }
+
+  SessionPool fresh(options);
+  auto lease = fresh.Acquire(structure);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease.value().hit);
+  EXPECT_TRUE(lease.value().warm_loaded);
+  EXPECT_GT(lease.value().artifact_loads, 0u);
+  EXPECT_EQ(fresh.counters().warm_loads, 1u);
+
+  RunStats warm;
+  ASSERT_TRUE(lease.value().engine->SolveAll(&warm).ok());
+  EXPECT_EQ(warm.encode_builds, 0u);
+  EXPECT_EQ(warm.td_builds, 0u);
+  EXPECT_EQ(warm.normalize_builds, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionPoolTest, BudgetRejectsOversizedStructure) {
+  SessionPoolOptions options;
+  options.table_memory_budget = 64;  // below any structure estimate
+  SessionPool pool(options);
+  auto lease = pool.Acquire(PathStructure(8));
+  EXPECT_FALSE(lease.ok());
+  EXPECT_EQ(lease.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.counters().rejections, 1u);
+  EXPECT_EQ(pool.NumResident(), 0u);
+}
+
+TEST(SessionPoolTest, BudgetRejectsWhenEveryResidentSessionIsLeased) {
+  Structure s1 = PathStructure(4);
+  Structure s2 = PathStructure(5);
+  // Room for one structure charge but not two (4 elements * 48 + 3 tuples *
+  // (24 + 2 * 4) = 288 bytes for s1; s2 is bigger).
+  SessionPoolOptions options;
+  options.table_memory_budget = 400;
+  SessionPool pool(options);
+
+  auto held = pool.Acquire(s1);
+  ASSERT_TRUE(held.ok()) << held.status();
+  auto rejected = pool.Acquire(s2);  // s1 is leased: nothing to evict
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.counters().rejections, 1u);
+
+  held.value().engine.reset();  // release the lease; s1 becomes evictable
+  auto admitted = pool.Acquire(s2);
+  EXPECT_TRUE(admitted.ok()) << admitted.status();
+  EXPECT_EQ(pool.counters().evictions, 1u);
+  EXPECT_EQ(pool.Peek(Engine::FingerprintOf(s1)), nullptr);
+}
+
+TEST(SessionPoolTest, SaveRequiresResidencyAndSessionDir) {
+  SessionPool pool(SessionPoolOptions{});
+  EXPECT_EQ(pool.Save(0x1234).code(), StatusCode::kNotFound);
+
+  Structure structure = PathStructure(3);
+  ASSERT_TRUE(pool.Acquire(structure).ok());
+  Status no_dir = pool.Save(Engine::FingerprintOf(structure));
+  EXPECT_EQ(no_dir.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace treedl::server
