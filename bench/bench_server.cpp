@@ -19,11 +19,13 @@
 // Flags: --quick shrinks the workload for CI; --json <path> writes the
 // deterministic counters (requests, hits, evictions, warm builds, table
 // bytes — no wall-clock) for the BENCH gate.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -32,6 +34,7 @@
 #include "common/timer.hpp"
 #include "graph/gaifman.hpp"
 #include "graph/generators.hpp"
+#include "server/frontend.hpp"
 #include "server/server.hpp"
 #include "structure/structure_io.hpp"
 
@@ -202,6 +205,115 @@ size_t RunAdmissionPhase(const std::vector<std::string>& loads) {
   return server.pool().counters().rejections;
 }
 
+struct ContendedResult {
+  size_t requests = 0;       // requests per driver run
+  size_t dispatched = 0;     // compute requests executed on workers (4t run)
+  size_t barriers = 0;       // pipeline drains (4t run)
+  bool identical = false;    // 1t / frontend-2t / frontend-4t transcripts
+  double millis_plain = 0;
+  double millis_4t = 0;
+};
+
+/// The contended phase: the cold workload again, driven through the
+/// concurrent front-end at several thread counts. The payoff being measured
+/// is correctness under contention — every driver must produce the same
+/// transcript byte for byte — plus the deterministic pipeline counters.
+ContendedResult RunContendedPhase(const BenchConfig& config,
+                                  const std::vector<std::string>& loads) {
+  std::string script;
+  for (const std::string& load : loads) script += load + "\n";
+  for (size_t round = 0; round < config.rounds; ++round) {
+    for (size_t i = 0; i < config.structures; ++i) {
+      const std::string tenant = "g" + std::to_string(i);
+      script += "SOLVEALL " + tenant + "\n";
+      script += "SOLVE " + tenant + " VC\n";
+      script += "SOLVE " + tenant + " #3COL\n";
+    }
+  }
+  script += "STATS\nQUIT\n";
+
+  server::ServerOptions options;
+  options.max_sessions = config.structures;
+  options.table_memory_budget = config.budget;
+  options.echo_stats = false;
+
+  ContendedResult result;
+  std::string reference;
+  {
+    server::Server server(options);
+    Timer timer;
+    result.requests = RunScript(&server, script, &reference);
+    result.millis_plain = timer.ElapsedMillis();
+  }
+
+  auto run_frontend = [&](size_t threads, std::string* transcript,
+                          double* millis) {
+    server::Server server(options);
+    server::FrontendOptions frontend_options;
+    frontend_options.num_threads = threads;
+    server::Frontend frontend(&server, frontend_options);
+    std::istringstream in(script);
+    std::ostringstream out;
+    Timer timer;
+    frontend.Serve(in, out);
+    if (millis != nullptr) *millis = timer.ElapsedMillis();
+    *transcript = out.str();
+    return frontend.counters();
+  };
+
+  std::string two_threads;
+  run_frontend(2, &two_threads, nullptr);
+  std::string four_threads;
+  server::FrontendCounters counters =
+      run_frontend(4, &four_threads, &result.millis_4t);
+  result.dispatched = counters.dispatched_compute;
+  result.barriers = counters.barriers;
+  result.identical = two_threads == reference && four_threads == reference;
+  return result;
+}
+
+struct ShedResult {
+  size_t dispatched = 0;
+  size_t rejections = 0;
+  size_t max_queue_depth = 0;
+};
+
+/// Deterministic back-pressure: workers gated, one session, a burst beyond
+/// queue_capacity with reject_when_full — the shed set is exact, not a
+/// timing artifact.
+ShedResult RunShedPhase(const std::vector<std::string>& loads) {
+  constexpr size_t kBurst = 8;
+  constexpr size_t kCapacity = 2;
+  server::ServerOptions options;
+  options.echo_stats = false;
+  server::Server server(options);
+  server::FrontendOptions frontend_options;
+  frontend_options.num_threads = 2;
+  frontend_options.queue_capacity = kCapacity;
+  frontend_options.reject_when_full = true;
+  frontend_options.hold_workers = true;
+  server::Frontend frontend(&server, frontend_options);
+
+  std::string script = loads[0] + "\n";
+  for (size_t i = 0; i < kBurst; ++i) script += "SOLVE g0 VC\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  std::thread driver([&] { frontend.Serve(in, out); });
+  while (frontend.counters().queue_full_rejections < kBurst - kCapacity) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  frontend.ReleaseWorkers();
+  driver.join();
+
+  TREEDL_CHECK(out.str().find("ERR E_ADMISSION") != std::string::npos);
+  server::FrontendCounters counters = frontend.counters();
+  ShedResult result;
+  result.dispatched = counters.dispatched_compute;
+  result.rejections = counters.queue_full_rejections;
+  result.max_queue_depth = counters.max_queue_depth;
+  return result;
+}
+
 void RunServerBench(const BenchConfig& config) {
   const std::string session_dir = "bench_server_sessions";
   std::filesystem::create_directories(session_dir);
@@ -247,6 +359,24 @@ void RunServerBench(const BenchConfig& config) {
               rejections);
   TREEDL_CHECK(rejections == 1);
 
+  ContendedResult contended = RunContendedPhase(config, loads);
+  std::printf(
+      "  contended: %zu requests, plain %.2f ms vs frontend(4) %.2f ms, "
+      "%zu dispatched, %zu barriers, transcripts identical=%d\n",
+      contended.requests, contended.millis_plain, contended.millis_4t,
+      contended.dispatched, contended.barriers, contended.identical ? 1 : 0);
+  TREEDL_CHECK(contended.identical)
+      << "front-end transcript diverged from the single-threaded driver";
+  TREEDL_CHECK(contended.dispatched ==
+               config.rounds * config.structures * 3);
+
+  ShedResult shed = RunShedPhase(loads);
+  std::printf(
+      "  shed (capacity 2, workers held): %zu dispatched, %zu rejected, "
+      "max depth %zu\n",
+      shed.dispatched, shed.rejections, shed.max_queue_depth);
+  TREEDL_CHECK(shed.dispatched == 2 && shed.rejections == 6);
+
   std::filesystem::remove_all(session_dir);
 
   if (config.json_path != nullptr) {
@@ -270,7 +400,13 @@ void RunServerBench(const BenchConfig& config) {
                  "  \"warm_td_builds\": %zu,\n"
                  "  \"warm_normalize_builds\": %zu,\n"
                  "  \"churn_evictions\": %zu,\n"
-                 "  \"admission_rejections\": %zu\n"
+                 "  \"admission_rejections\": %zu,\n"
+                 "  \"contended_requests\": %zu,\n"
+                 "  \"contended_dispatched\": %zu,\n"
+                 "  \"contended_barriers\": %zu,\n"
+                 "  \"contended_transcripts_identical\": %d,\n"
+                 "  \"shed_dispatched\": %zu,\n"
+                 "  \"shed_rejections\": %zu\n"
                  "}\n",
                  config.structures, config.vertices, config.treewidth,
                  static_cast<unsigned long long>(config.seed), cold.requests,
@@ -278,7 +414,9 @@ void RunServerBench(const BenchConfig& config) {
                  1000 * cold.pool.hits / lookups, cold.peak_table_bytes,
                  cold.charged_bytes, warm.warm_loads, warm.encode_builds,
                  warm.td_builds, warm.normalize_builds, churn.evictions,
-                 rejections);
+                 rejections, contended.requests, contended.dispatched,
+                 contended.barriers, contended.identical ? 1 : 0,
+                 shed.dispatched, shed.rejections);
     std::fclose(out);
     std::printf("  wrote %s\n", config.json_path);
   }

@@ -5,16 +5,26 @@
 // are deterministic, so the same binary serves interactive exploration, the
 // CI smoke test (scripts/server_smoke.txt) and ad-hoc benchmarking.
 //
+// With --threads N > 1 requests are driven through the concurrent front-end
+// (server/frontend.hpp): different sessions execute in parallel, each
+// session stays strictly ordered, and replies are re-sequenced into input
+// order — the transcript is byte-for-byte identical at every thread count.
+//
 //   ./treedl_server                          # interactive, from stdin
 //   ./treedl_server --script requests.txt    # replay a request script
+//   ./treedl_server --script requests.txt --threads 8   # same bytes, faster
 //
 // Flags:
-//   --script FILE       read requests from FILE instead of stdin
-//   --max-sessions N    session-pool capacity (default 8)
-//   --budget BYTES      shared table_memory_budget in bytes (default 0 = off)
-//   --session-dir DIR   enable SAVE/OPEN + warm start from DIR
-//   --threads N         shared worker pool size (default 1 = sequential)
-//   --no-stats          omit per-request RunStats echoes (byte-stable replies)
+//   --script FILE        read requests from FILE instead of stdin
+//   --max-sessions N     session-pool capacity (default 8)
+//   --budget BYTES       shared table_memory_budget in bytes (default 0 = off)
+//   --session-dir DIR    enable SAVE/OPEN + warm start from DIR
+//   --threads N          front-end worker threads (default 1 = the
+//                        single-threaded driver; 0 = hardware concurrency)
+//   --engine-threads N   shared engine pool size for intra-request
+//                        parallelism (default 1 = sequential)
+//   --queue-capacity N   per-session front-end queue bound (default 64)
+//   --no-stats           omit per-request RunStats echoes (byte-stable replies)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,11 +32,14 @@
 #include <iostream>
 #include <string>
 
+#include "server/frontend.hpp"
 #include "server/server.hpp"
 
 int main(int argc, char** argv) {
   treedl::server::ServerOptions options;
+  treedl::server::FrontendOptions frontend_options;
   const char* script_path = nullptr;
+  bool use_frontend = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
       script_path = argv[++i];
@@ -37,29 +50,41 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--session-dir") == 0 && i + 1 < argc) {
       options.session_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      frontend_options.num_threads = static_cast<size_t>(std::atol(argv[++i]));
+      use_frontend = frontend_options.num_threads != 1;
+    } else if (std::strcmp(argv[i], "--engine-threads") == 0 && i + 1 < argc) {
       options.num_threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0 && i + 1 < argc) {
+      frontend_options.queue_capacity =
+          static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-stats") == 0) {
       options.echo_stats = false;
     } else {
       std::fprintf(stderr,
                    "usage: treedl_server [--script FILE] [--max-sessions N] "
                    "[--budget BYTES] [--session-dir DIR] [--threads N] "
-                   "[--no-stats]\n");
+                   "[--engine-threads N] [--queue-capacity N] [--no-stats]\n");
       return 2;
     }
   }
 
   treedl::server::Server server(options);
+  std::ifstream script;
+  std::istream* in = &std::cin;
   if (script_path != nullptr) {
-    std::ifstream script(script_path);
+    script.open(script_path);
     if (!script) {
       std::fprintf(stderr, "treedl_server: cannot open script '%s'\n",
                    script_path);
       return 2;
     }
-    server.Serve(script, std::cout);
+    in = &script;
+  }
+  if (use_frontend) {
+    treedl::server::Frontend frontend(&server, frontend_options);
+    frontend.Serve(*in, std::cout);
   } else {
-    server.Serve(std::cin, std::cout);
+    server.Serve(*in, std::cout);
   }
   return 0;
 }

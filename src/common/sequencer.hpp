@@ -1,0 +1,72 @@
+// Sequencer: re-orders numbered payloads produced by concurrent workers back
+// into their input order (multi-producer, single logical consumer).
+//
+// The concurrent serving front-end executes requests out of order but must
+// write replies in exactly the order the requests were read, so a scripted
+// transcript stays byte-for-byte identical at any thread count. The dispatch
+// thread assigns each request a dense sequence number with Allocate();
+// whichever thread finishes a request Push()es its (possibly empty) reply
+// text under that number, and the sequencer hands every maximal ready run
+// 0, 1, 2, ... to the sink exactly once, in order. The sink runs under the
+// sequencer lock, so its invocations are totally ordered — an ostream write
+// needs no further synchronization.
+//
+// Every allocated number must be pushed exactly once, or the stream stalls
+// at the gap. Header-only, like thread_pool.hpp, so any layer can
+// re-sequence without a new library.
+#ifndef TREEDL_COMMON_SEQUENCER_HPP_
+#define TREEDL_COMMON_SEQUENCER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace treedl {
+
+class Sequencer {
+ public:
+  using Sink = std::function<void(std::string&&)>;
+
+  explicit Sequencer(Sink sink) : sink_(std::move(sink)) {}
+
+  Sequencer(const Sequencer&) = delete;
+  Sequencer& operator=(const Sequencer&) = delete;
+
+  /// Next sequence number. Call only from the single dispatch thread (the
+  /// allocation order IS the emission order).
+  uint64_t Allocate() { return next_alloc_++; }
+
+  /// Hands in the payload for `seq` and emits every payload that is now
+  /// contiguous with the emission frontier. Any thread.
+  void Push(uint64_t seq, std::string payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(payload));
+    for (auto it = pending_.find(next_emit_); it != pending_.end();
+         it = pending_.find(next_emit_)) {
+      std::string out = std::move(it->second);
+      pending_.erase(it);
+      ++next_emit_;
+      sink_(std::move(out));
+    }
+  }
+
+  /// Numbers emitted so far (== Allocate() calls once every payload landed).
+  uint64_t NumEmitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_emit_;
+  }
+
+ private:
+  Sink sink_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::string> pending_;  // out-of-order payloads
+  uint64_t next_alloc_ = 0;  // dispatch thread only
+  uint64_t next_emit_ = 0;   // guarded by mu_
+};
+
+}  // namespace treedl
+
+#endif  // TREEDL_COMMON_SEQUENCER_HPP_

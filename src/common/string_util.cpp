@@ -1,6 +1,8 @@
 #include "common/string_util.hpp"
 
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 
 namespace treedl {
 
@@ -43,6 +45,13 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Hex16(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer);
 }
 
 bool IsIdentifier(std::string_view text) {

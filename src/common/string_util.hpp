@@ -22,6 +22,10 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// True iff `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_']*.
 bool IsIdentifier(std::string_view text);
 
+/// `value` as exactly 16 zero-padded lowercase hex digits — the rendering of
+/// session fingerprints in protocol replies and session file names.
+std::string Hex16(uint64_t value);
+
 }  // namespace treedl
 
 #endif  // TREEDL_COMMON_STRING_UTIL_HPP_

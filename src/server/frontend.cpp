@@ -1,0 +1,237 @@
+#include "server/frontend.hpp"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace treedl::server {
+
+namespace {
+
+const std::string* TenantNameOf(const Request& request) {
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    return &query->tenant;
+  }
+  if (const auto* solve = std::get_if<SolveRequest>(&request)) {
+    return &solve->tenant;
+  }
+  if (const auto* all = std::get_if<SolveAllRequest>(&request)) {
+    return &all->tenant;
+  }
+  if (const auto* mso = std::get_if<MsoRequest>(&request)) {
+    return &mso->tenant;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Frontend::Frontend(Server* server, FrontendOptions options)
+    : server_(server), options_(options) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::DefaultNumThreads();
+  }
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  hold_ = options_.hold_workers;
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Frontend::~Frontend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t Frontend::Serve(std::istream& in, std::ostream& out) {
+  // The sink runs under the sequencer lock, so stream writes are totally
+  // ordered; flushing per reply matches the single-threaded driver.
+  Sequencer sequencer([&out](std::string&& payload) {
+    if (payload.empty()) return;
+    out << payload;
+    out.flush();
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequencer_ = &sequencer;
+  }
+
+  size_t handled = 0;
+  std::string line;
+  bool keep_going = true;
+  while (keep_going && std::getline(in, line)) {
+    StatusOr<std::optional<Request>> parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      ++handled;
+      server_->stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      std::string reply;
+      server_->EmitError(ErrorCodeFor(parsed.status()),
+                         parsed.status().message(), &reply);
+      sequencer.Push(sequencer.Allocate(), std::move(reply));
+      continue;
+    }
+    if (!parsed.value().has_value()) continue;  // comment / blank line
+    const Request& request = *parsed.value();
+    ++handled;
+
+    if (!Server::IsComputeRequest(request)) {
+      // Cross-session request (LOAD/ASSERT/SAVE/OPEN/STATS/CLOSE/QUIT):
+      // drain the pipeline, then run inline — counters, pool labels, and
+      // tenant state are only ever observed at quiescent points.
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++counters_.barriers;
+        Drain(lock);
+      }
+      std::string reply;
+      keep_going = server_->HandleRequest(request, &reply);
+      sequencer.Push(sequencer.Allocate(), std::move(reply));
+      continue;
+    }
+
+    std::optional<uint64_t> fingerprint = server_->ComputeFingerprint(request);
+    if (fingerprint.has_value() &&
+        !server_->pool().IsResident(*fingerprint)) {
+      // The acquire will miss: cold construction, eviction, and admission
+      // all read charges that in-flight requests are still writing. Quiesce
+      // so the miss sees the same pool the single-threaded driver would.
+      std::unique_lock<std::mutex> lock(mu_);
+      ++counters_.barriers;
+      Drain(lock);
+    }
+
+    if (fingerprint.has_value() && options_.reject_when_full) {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = queues_.find(*fingerprint);
+      size_t depth = it == queues_.end()
+                         ? 0
+                         : it->second.items.size() +
+                               (it->second.running ? 1 : 0);
+      if (depth >= options_.queue_capacity) {
+        ++counters_.queue_full_rejections;
+        lock.unlock();
+        server_->stats_.requests.fetch_add(1, std::memory_order_relaxed);
+        const std::string* tenant = TenantNameOf(request);
+        std::string reply;
+        server_->EmitError(ErrorCode::kAdmission,
+                           "session queue for tenant '" +
+                               (tenant != nullptr ? *tenant : std::string()) +
+                               "' is full (" +
+                               std::to_string(options_.queue_capacity) +
+                               " queued); retry later",
+                           &reply);
+        sequencer.Push(sequencer.Allocate(), std::move(reply));
+        continue;
+      }
+    }
+
+    server_->stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    std::string reply;
+    std::optional<Server::ComputeWork> work =
+        server_->PrepareCompute(request, &reply);
+    uint64_t seq = sequencer.Allocate();
+    if (!work.has_value()) {
+      sequencer.Push(seq, std::move(reply));
+      continue;
+    }
+    WorkItem item;
+    item.seq = seq;
+    item.work = std::move(work).value();
+    uint64_t session = item.work.lease.fingerprint;
+    std::unique_lock<std::mutex> lock(mu_);
+    Enqueue(session, std::move(item), lock);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Drain(lock);
+    sequencer_ = nullptr;
+  }
+  return handled;
+}
+
+void Frontend::ReleaseWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hold_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+FrontendCounters Frontend::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Frontend::Drain(std::unique_lock<std::mutex>& lock) {
+  done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void Frontend::Enqueue(uint64_t fingerprint, WorkItem item,
+                       std::unique_lock<std::mutex>& lock) {
+  // Queue entries are never erased and only the (blocked) dispatch thread
+  // inserts, so this reference stays valid across the wait below.
+  SessionQueue& queue = queues_[fingerprint];
+  if (!options_.reject_when_full) {
+    // Bounded queue, blocking policy: dispatch stalls until the session
+    // drains a slot. (With reject_when_full the caller already shed.)
+    done_cv_.wait(lock, [&] {
+      return queue.items.size() + (queue.running ? 1 : 0) <
+             options_.queue_capacity;
+    });
+  }
+  queue.items.push_back(std::move(item));
+  ++in_flight_;
+  ++counters_.dispatched_compute;
+  size_t depth = queue.items.size() + (queue.running ? 1 : 0);
+  if (depth > counters_.max_queue_depth) counters_.max_queue_depth = depth;
+  if (!queue.running && queue.items.size() == 1) {
+    // First pending item of an idle session: hand it to a worker. In every
+    // other case the session is already in ready_ or its worker requeues it.
+    ready_.push_back(fingerprint);
+    work_cv_.notify_one();
+  }
+}
+
+void Frontend::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || (!hold_ && !ready_.empty()); });
+    if (stop_) return;
+    uint64_t fingerprint = ready_.front();
+    ready_.pop_front();
+    auto it = queues_.find(fingerprint);
+    WorkItem item = std::move(it->second.items.front());
+    it->second.items.pop_front();
+    it->second.running = true;  // still occupies a capacity slot
+    Sequencer* sequencer = sequencer_;
+    lock.unlock();
+
+    std::string reply;
+    server_->ExecuteCompute(item.work, &reply);
+    sequencer->Push(item.seq, std::move(reply));
+    // Drop the lease (and everything else the work holds) BEFORE reporting
+    // done: after a drain the pool must see zero leases from finished
+    // requests, or eviction decisions would depend on worker timing.
+    item.work = Server::ComputeWork{};
+
+    lock.lock();
+    it = queues_.find(fingerprint);
+    if (!it->second.items.empty()) {
+      ready_.push_back(fingerprint);
+      work_cv_.notify_one();
+    }
+    it->second.running = false;
+    --in_flight_;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace treedl::server

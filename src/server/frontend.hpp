@@ -1,0 +1,147 @@
+// treedl::server::Frontend — the concurrent driver of a Server.
+//
+// Server::Serve handles one request at a time. The front-end turns the same
+// Server into a pipelined, multi-threaded driver while keeping scripted
+// transcripts byte-for-byte identical at ANY thread count:
+//
+//   dispatch   One thread (the Serve caller) reads lines in order, assigns
+//              each request a dense sequence number, and runs the sequential
+//              stage: parsing, tenant mutation, and Server::PrepareCompute —
+//              so every pool acquire, LRU tick, hit/miss count, and
+//              admission decision happens in INPUT order, exactly as the
+//              single-threaded driver would make them.
+//
+//   execute    num_threads workers pull prepared compute requests
+//              (QUERY/SOLVE/SOLVEALL/MSO) from per-session FIFO queues and
+//              run Server::ExecuteCompute concurrently. Queues are keyed by
+//              pool fingerprint, not tenant name: requests on one session
+//              stay strictly ordered (so per-request cache echoes are
+//              deterministic even when tenants share an engine), while
+//              different sessions overlap freely.
+//
+//   re-sequence  Replies carry their input sequence number into a
+//              treedl::Sequencer, which writes them to the output stream in
+//              input order no matter which worker finished first.
+//
+//   barriers   Requests that read or write cross-session state — LOAD,
+//              ASSERT, SAVE, OPEN, STATS, CLOSE, QUIT, parse errors, and any
+//              compute whose session is not resident (its acquire may evict
+//              or build) — drain all in-flight work, then run inline on the
+//              dispatch thread. This is what makes concurrent STATS
+//              counters and pool=hit/warm/cold labels deterministic: they
+//              are only ever rendered at quiescent points or in dispatch
+//              order.
+//
+// Back-pressure: each session queue is bounded by queue_capacity. The
+// default policy BLOCKS the dispatch thread until the queue drains (clients
+// slow down; the transcript is unchanged). With reject_when_full the
+// request is instead shed immediately with a deterministic E_ADMISSION
+// reply at its sequence position — combined with HoldWorkers() (tests and
+// benches gate the workers, dispatch everything, then release) even the
+// shed SET is deterministic.
+#ifndef TREEDL_SERVER_FRONTEND_HPP_
+#define TREEDL_SERVER_FRONTEND_HPP_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sequencer.hpp"
+#include "server/server.hpp"
+
+namespace treedl::server {
+
+struct FrontendOptions {
+  /// Worker threads executing compute requests (0 = hardware concurrency).
+  /// 1 still pipelines dispatch against execution; the transcript is
+  /// identical at every value.
+  size_t num_threads = 1;
+  /// Most queued-but-unstarted compute requests per session (>= 1).
+  size_t queue_capacity = 64;
+  /// Full queue policy: false = block dispatch until the queue drains
+  /// (default; transcript unchanged), true = shed the request with an
+  /// E_ADMISSION reply at its sequence position.
+  bool reject_when_full = false;
+  /// Start with the workers gated: dispatch proceeds, execution waits for
+  /// ReleaseWorkers(). With reject_when_full this makes shed decisions
+  /// deterministic — every queue fills before anything drains.
+  bool hold_workers = false;
+};
+
+struct FrontendCounters {
+  size_t dispatched_compute = 0;  // compute requests handed to workers
+  size_t barriers = 0;            // pipeline drains (incl. non-resident compute)
+  size_t queue_full_rejections = 0;  // requests shed with E_ADMISSION
+  size_t max_queue_depth = 0;  // deepest any single session queue ever got
+};
+
+class Frontend {
+ public:
+  /// The server must outlive the front-end. The front-end assumes it is the
+  /// only driver while Serve runs (Server::HandleLine is not thread-safe
+  /// against it).
+  Frontend(Server* server, FrontendOptions options);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Reads protocol lines from `in` until EOF or QUIT, writing re-sequenced
+  /// replies to `out`. Returns the number of requests handled. Call from one
+  /// thread at a time; the caller's thread becomes the dispatch stage.
+  size_t Serve(std::istream& in, std::ostream& out);
+
+  /// Opens the worker gate (no-op unless hold_workers).
+  void ReleaseWorkers();
+
+  FrontendCounters counters() const;
+
+ private:
+  struct WorkItem {
+    uint64_t seq = 0;
+    Server::ComputeWork work;
+  };
+
+  /// FIFO of prepared requests for one pooled session.
+  struct SessionQueue {
+    std::deque<WorkItem> items;
+    /// A worker is executing this session's front item (popped items leave
+    /// `items` only after execution, so capacity counts running work too).
+    bool running = false;
+  };
+
+  void WorkerLoop();
+  /// Blocks until every dispatched request has executed and released its
+  /// lease. Dispatch thread only.
+  void Drain(std::unique_lock<std::mutex>& lock);
+  void Enqueue(uint64_t fingerprint, WorkItem item,
+               std::unique_lock<std::mutex>& lock);
+
+  Server* server_;
+  FrontendOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: ready work or stop
+  std::condition_variable done_cv_;  // dispatch: drain / queue space
+  std::unordered_map<uint64_t, SessionQueue> queues_;
+  /// Sessions with queued work and no running worker, in enqueue order.
+  std::deque<uint64_t> ready_;
+  size_t in_flight_ = 0;  // dispatched, not yet fully finished
+  bool hold_ = false;
+  bool stop_ = false;
+  FrontendCounters counters_;
+
+  Sequencer* sequencer_ = nullptr;  // non-null while Serve runs
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace treedl::server
+
+#endif  // TREEDL_SERVER_FRONTEND_HPP_

@@ -1,11 +1,11 @@
 #include "server/server.hpp"
 
-#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <utility>
 #include <vector>
 
+#include "common/string_util.hpp"
 #include "datalog/analysis.hpp"
 #include "datalog/parser.hpp"
 #include "mso/parser.hpp"
@@ -14,13 +14,6 @@
 namespace treedl::server {
 
 namespace {
-
-std::string HexFingerprint(uint64_t fingerprint) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return std::string(buffer);
-}
 
 std::string KeyValue(std::string_view key, size_t value) {
   std::string out(key);
@@ -59,16 +52,27 @@ Server::~Server() = default;
 bool Server::HandleLine(std::string_view line, std::string* out) {
   StatusOr<std::optional<Request>> parsed = ParseRequest(line);
   if (!parsed.ok()) {
-    ++stats_.requests;
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
     EmitError(ErrorCodeFor(parsed.status()), parsed.status().message(), out);
     return true;
   }
   if (!parsed.value().has_value()) return true;  // comment / blank line
-  ++stats_.requests;
-  const Request& request = *parsed.value();
+  return HandleRequest(*parsed.value(), out);
+}
+
+bool Server::HandleRequest(const Request& request, std::string* out) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
   if (std::holds_alternative<QuitRequest>(request)) {
     EmitOk("QUIT", "", out);
     return false;
+  }
+  if (IsComputeRequest(request)) {
+    // The single-threaded driver runs the exact two stages the concurrent
+    // front-end runs, back to back — the transcript cannot depend on which
+    // driver produced it.
+    std::optional<ComputeWork> work = PrepareCompute(request, out);
+    if (work.has_value()) ExecuteCompute(*work, out);
+    return true;
   }
   std::visit(
       [&](const auto& typed) {
@@ -77,14 +81,6 @@ bool Server::HandleLine(std::string_view line, std::string* out) {
           HandleLoad(typed, out);
         } else if constexpr (std::is_same_v<T, AssertRequest>) {
           HandleAssert(typed, out);
-        } else if constexpr (std::is_same_v<T, QueryRequest>) {
-          HandleQuery(typed, out);
-        } else if constexpr (std::is_same_v<T, SolveRequest>) {
-          HandleSolve(typed, out);
-        } else if constexpr (std::is_same_v<T, SolveAllRequest>) {
-          HandleSolveAll(typed, out);
-        } else if constexpr (std::is_same_v<T, MsoRequest>) {
-          HandleMso(typed, out);
         } else if constexpr (std::is_same_v<T, SaveRequest>) {
           HandleSave(typed, out);
         } else if constexpr (std::is_same_v<T, OpenRequest>) {
@@ -101,7 +97,7 @@ bool Server::HandleLine(std::string_view line, std::string* out) {
 
 size_t Server::Serve(std::istream& in, std::ostream& out) {
   std::string line;
-  size_t before = stats_.requests;
+  size_t before = stats_.requests.load(std::memory_order_relaxed);
   bool keep_going = true;
   while (keep_going && std::getline(in, line)) {
     std::string replies;
@@ -109,7 +105,114 @@ size_t Server::Serve(std::istream& in, std::ostream& out) {
     out << replies;
     out.flush();
   }
-  return stats_.requests - before;
+  return stats_.requests.load(std::memory_order_relaxed) - before;
+}
+
+bool Server::IsComputeRequest(const Request& request) {
+  return std::holds_alternative<QueryRequest>(request) ||
+         std::holds_alternative<SolveRequest>(request) ||
+         std::holds_alternative<SolveAllRequest>(request) ||
+         std::holds_alternative<MsoRequest>(request);
+}
+
+std::optional<uint64_t> Server::ComputeFingerprint(
+    const Request& request) const {
+  const std::string* tenant_name = nullptr;
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    tenant_name = &query->tenant;
+  } else if (const auto* solve = std::get_if<SolveRequest>(&request)) {
+    tenant_name = &solve->tenant;
+  } else if (const auto* all = std::get_if<SolveAllRequest>(&request)) {
+    tenant_name = &all->tenant;
+  } else if (const auto* mso = std::get_if<MsoRequest>(&request)) {
+    tenant_name = &mso->tenant;
+  }
+  if (tenant_name == nullptr) return std::nullopt;
+  auto it = tenants_.find(*tenant_name);
+  if (it == tenants_.end()) return std::nullopt;
+  return it->second.fingerprint;
+}
+
+std::optional<Server::ComputeWork> Server::PrepareCompute(
+    const Request& request, std::string* out) {
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    StatusOr<Tenant*> found = FindTenant(query->tenant);
+    if (!found.ok()) {
+      EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+      return std::nullopt;
+    }
+    StatusOr<datalog::Program> program =
+        datalog::ParseProgram(query->program, found.value()->signature);
+    if (!program.ok()) {
+      EmitError(ErrorCode::kParse, program.status().message(), out);
+      return std::nullopt;
+    }
+    StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+    if (!lease.ok()) {
+      EmitStatus(lease.status(), out);
+      return std::nullopt;
+    }
+    ComputeWork work;
+    work.request = request;
+    work.lease = std::move(lease).value();
+    work.program = std::move(program).value();
+    return work;
+  }
+  if (const auto* mso = std::get_if<MsoRequest>(&request)) {
+    StatusOr<Tenant*> found = FindTenant(mso->tenant);
+    if (!found.ok()) {
+      EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+      return std::nullopt;
+    }
+    StatusOr<mso::FormulaPtr> formula = mso::ParseFormula(mso->formula);
+    if (!formula.ok()) {
+      EmitError(ErrorCode::kParse, formula.status().message(), out);
+      return std::nullopt;
+    }
+    StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+    if (!lease.ok()) {
+      EmitStatus(lease.status(), out);
+      return std::nullopt;
+    }
+    ComputeWork work;
+    work.request = request;
+    work.lease = std::move(lease).value();
+    work.formula = std::move(formula).value();
+    return work;
+  }
+  const std::string* tenant_name = nullptr;
+  if (const auto* solve = std::get_if<SolveRequest>(&request)) {
+    tenant_name = &solve->tenant;
+  } else if (const auto* all = std::get_if<SolveAllRequest>(&request)) {
+    tenant_name = &all->tenant;
+  }
+  if (tenant_name == nullptr) return std::nullopt;  // not a compute request
+  StatusOr<Tenant*> found = FindTenant(*tenant_name);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return std::nullopt;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return std::nullopt;
+  }
+  ComputeWork work;
+  work.request = request;
+  work.lease = std::move(lease).value();
+  return work;
+}
+
+void Server::ExecuteCompute(ComputeWork& work, std::string* out) {
+  if (std::holds_alternative<QueryRequest>(work.request)) {
+    ExecuteQuery(work, out);
+  } else if (std::holds_alternative<SolveRequest>(work.request)) {
+    ExecuteSolve(work, out);
+  } else if (std::holds_alternative<SolveAllRequest>(work.request)) {
+    ExecuteSolveAll(work, out);
+  } else if (std::holds_alternative<MsoRequest>(work.request)) {
+    ExecuteMso(work, out);
+  }
 }
 
 StatusOr<Server::Tenant*> Server::FindTenant(const std::string& name) {
@@ -126,8 +229,10 @@ StatusOr<SessionPool::Lease> Server::AcquireFor(const Tenant& tenant) {
 
 std::string Server::FinishRun(uint64_t fingerprint, const RunStats& run) {
   pool_->RefreshCharge(fingerprint);
-  if (run.dp_peak_table_bytes > stats_.peak_table_bytes) {
-    stats_.peak_table_bytes = run.dp_peak_table_bytes;
+  size_t peak = stats_.peak_table_bytes.load(std::memory_order_relaxed);
+  while (run.dp_peak_table_bytes > peak &&
+         !stats_.peak_table_bytes.compare_exchange_weak(
+             peak, run.dp_peak_table_bytes, std::memory_order_relaxed)) {
   }
   if (!options_.echo_stats) return "";
   std::string echo = " ";
@@ -164,7 +269,7 @@ void Server::HandleLoad(const LoadRequest& request, std::string* out) {
   size_t facts = tenant.structure.NumFacts();
   tenants_.insert_or_assign(request.tenant, std::move(tenant));
   std::string details = "tenant=" + request.tenant +
-                        " fingerprint=" + HexFingerprint(lease.value().fingerprint) +
+                        " fingerprint=" + Hex16(lease.value().fingerprint) +
                         " " + KeyValue("elements", elements) + " " +
                         KeyValue("facts", facts) +
                         " pool=" + PoolLabel(lease.value());
@@ -196,39 +301,22 @@ void Server::HandleAssert(const AssertRequest& request, std::string* out) {
   EmitOk("ASSERT",
          "tenant=" + request.tenant + " " +
              KeyValue("facts", tenant->structure.NumFacts()) +
-             " fingerprint=" + HexFingerprint(tenant->fingerprint),
+             " fingerprint=" + Hex16(tenant->fingerprint),
          out);
 }
 
-void Server::HandleQuery(const QueryRequest& request, std::string* out) {
-  StatusOr<Tenant*> found = FindTenant(request.tenant);
-  if (!found.ok()) {
-    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
-    return;
-  }
-  Tenant* tenant = found.value();
-  StatusOr<datalog::Program> program =
-      datalog::ParseProgram(request.program, tenant->signature);
-  if (!program.ok()) {
-    EmitError(ErrorCode::kParse, program.status().message(), out);
-    return;
-  }
-  StatusOr<SessionPool::Lease> lease = AcquireFor(*tenant);
-  if (!lease.ok()) {
-    EmitStatus(lease.status(), out);
-    return;
-  }
+void Server::ExecuteQuery(ComputeWork& work, std::string* out) {
+  const QueryRequest& request = std::get<QueryRequest>(work.request);
   RunStats run;
   StatusOr<Structure> result =
-      lease.value().engine->EvaluateDatalog(program.value(), &run);
+      work.lease.engine->EvaluateDatalog(work.program, &run);
   if (!result.ok()) {
     EmitError(ErrorCode::kEval, result.status().message(), out);
     return;
   }
   // Render the derived (intensional) facts, predicate-major in signature
   // order, tuples in derivation order — deterministic.
-  StatusOr<datalog::ProgramInfo> info =
-      datalog::AnalyzeProgram(program.value());
+  StatusOr<datalog::ProgramInfo> info = datalog::AnalyzeProgram(work.program);
   std::vector<std::string> rows;
   if (info.ok()) {
     const Signature& signature = result.value().signature();
@@ -252,26 +340,17 @@ void Server::HandleQuery(const QueryRequest& request, std::string* out) {
   std::string details = "tenant=" + request.tenant + " " +
                         KeyValue("data", rows.size()) + " " +
                         KeyValue("derived", run.derived_facts) +
-                        " pool=" + std::string(PoolLabel(lease.value())) +
-                        FinishRun(lease.value().fingerprint, run);
+                        " pool=" + std::string(PoolLabel(work.lease)) +
+                        FinishRun(work.lease.fingerprint, run);
   EmitOk("QUERY", details, out);
   for (const std::string& row : rows) EmitData(row, out);
 }
 
-void Server::HandleSolve(const SolveRequest& request, std::string* out) {
-  StatusOr<Tenant*> found = FindTenant(request.tenant);
-  if (!found.ok()) {
-    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
-    return;
-  }
-  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
-  if (!lease.ok()) {
-    EmitStatus(lease.status(), out);
-    return;
-  }
+void Server::ExecuteSolve(ComputeWork& work, std::string* out) {
+  const SolveRequest& request = std::get<SolveRequest>(work.request);
   RunStats run;
   StatusOr<Engine::SolveResult> result =
-      lease.value().engine->Solve(request.problem, &run);
+      work.lease.engine->Solve(request.problem, &run);
   if (!result.ok()) {
     EmitError(ErrorCode::kEval, result.status().message(), out);
     return;
@@ -290,25 +369,15 @@ void Server::HandleSolve(const SolveRequest& request, std::string* out) {
       details += " " + KeyValue("optimum", result.value().optimum);
       break;
   }
-  details += " pool=" + std::string(PoolLabel(lease.value())) +
-             FinishRun(lease.value().fingerprint, run);
+  details += " pool=" + std::string(PoolLabel(work.lease)) +
+             FinishRun(work.lease.fingerprint, run);
   EmitOk("SOLVE", details, out);
 }
 
-void Server::HandleSolveAll(const SolveAllRequest& request, std::string* out) {
-  StatusOr<Tenant*> found = FindTenant(request.tenant);
-  if (!found.ok()) {
-    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
-    return;
-  }
-  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
-  if (!lease.ok()) {
-    EmitStatus(lease.status(), out);
-    return;
-  }
+void Server::ExecuteSolveAll(ComputeWork& work, std::string* out) {
+  const SolveAllRequest& request = std::get<SolveAllRequest>(work.request);
   RunStats run;
-  StatusOr<Engine::SolveAllResult> result =
-      lease.value().engine->SolveAll(&run);
+  StatusOr<Engine::SolveAllResult> result = work.lease.engine->SolveAll(&run);
   if (!result.ok()) {
     EmitError(ErrorCode::kEval, result.status().message(), out);
     return;
@@ -321,38 +390,23 @@ void Server::HandleSolveAll(const SolveAllRequest& request, std::string* out) {
       KeyValue("vc", all.min_vertex_cover) + " " +
       KeyValue("is", all.max_independent_set) + " " +
       KeyValue("ds", all.min_dominating_set) +
-      " pool=" + std::string(PoolLabel(lease.value())) +
-      FinishRun(lease.value().fingerprint, run);
+      " pool=" + std::string(PoolLabel(work.lease)) +
+      FinishRun(work.lease.fingerprint, run);
   EmitOk("SOLVEALL", details, out);
 }
 
-void Server::HandleMso(const MsoRequest& request, std::string* out) {
-  StatusOr<Tenant*> found = FindTenant(request.tenant);
-  if (!found.ok()) {
-    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
-    return;
-  }
-  StatusOr<mso::FormulaPtr> formula = mso::ParseFormula(request.formula);
-  if (!formula.ok()) {
-    EmitError(ErrorCode::kParse, formula.status().message(), out);
-    return;
-  }
-  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
-  if (!lease.ok()) {
-    EmitStatus(lease.status(), out);
-    return;
-  }
+void Server::ExecuteMso(ComputeWork& work, std::string* out) {
+  const MsoRequest& request = std::get<MsoRequest>(work.request);
   RunStats run;
-  StatusOr<bool> holds =
-      lease.value().engine->EvaluateMso(formula.value(), &run);
+  StatusOr<bool> holds = work.lease.engine->EvaluateMso(work.formula, &run);
   if (!holds.ok()) {
     EmitError(ErrorCode::kEval, holds.status().message(), out);
     return;
   }
   std::string details = "tenant=" + request.tenant + " " +
                         KeyValue("holds", holds.value() ? 1 : 0) +
-                        " pool=" + std::string(PoolLabel(lease.value())) +
-                        FinishRun(lease.value().fingerprint, run);
+                        " pool=" + std::string(PoolLabel(work.lease)) +
+                        FinishRun(work.lease.fingerprint, run);
   EmitOk("MSO", details, out);
 }
 
@@ -378,7 +432,7 @@ void Server::HandleSave(const SaveRequest& request, std::string* out) {
   EmitOk("SAVE",
          "tenant=" + request.tenant + " " +
              KeyValue("artifacts", run.artifact_saves) +
-             " fingerprint=" + HexFingerprint(lease.value().fingerprint),
+             " fingerprint=" + Hex16(lease.value().fingerprint),
          out);
 }
 
@@ -421,11 +475,12 @@ void Server::HandleOpen(const OpenRequest& request, std::string* out) {
 void Server::HandleStats(const StatsRequest& request, std::string* out) {
   if (!request.tenant.has_value()) {
     SessionPoolCounters pool_counters = pool_->counters();
+    ServerStats snapshot = stats();
     std::string details =
-        KeyValue("requests", stats_.requests) + " " +
-        KeyValue("ok", stats_.replies_ok) + " " +
-        KeyValue("err", stats_.replies_error) + " " +
-        KeyValue("data", stats_.data_lines) + " " +
+        KeyValue("requests", snapshot.requests) + " " +
+        KeyValue("ok", snapshot.replies_ok) + " " +
+        KeyValue("err", snapshot.replies_error) + " " +
+        KeyValue("data", snapshot.data_lines) + " " +
         KeyValue("tenants", tenants_.size()) + " " +
         KeyValue("resident", pool_->NumResident()) + " " +
         KeyValue("hits", pool_counters.hits) + " " +
@@ -434,7 +489,7 @@ void Server::HandleStats(const StatsRequest& request, std::string* out) {
         KeyValue("warm_loads", pool_counters.warm_loads) + " " +
         KeyValue("rejections", pool_counters.rejections) + " " +
         KeyValue("charged_bytes", pool_->ChargedBytes()) + " " +
-        KeyValue("peak_table_bytes", stats_.peak_table_bytes) + " " +
+        KeyValue("peak_table_bytes", snapshot.peak_table_bytes) + " " +
         KeyValue("budget", options_.table_memory_budget);
     EmitOk("STATS", details, out);
     return;
@@ -446,7 +501,7 @@ void Server::HandleStats(const StatsRequest& request, std::string* out) {
   }
   Tenant* tenant = found.value();
   std::string details = "tenant=" + *request.tenant +
-                        " fingerprint=" + HexFingerprint(tenant->fingerprint);
+                        " fingerprint=" + Hex16(tenant->fingerprint);
   std::shared_ptr<Engine> engine = pool_->Peek(tenant->fingerprint);
   details += " " + KeyValue("resident", engine != nullptr ? 1 : 0);
   if (engine != nullptr) {
@@ -475,22 +530,33 @@ void Server::HandleClose(const CloseRequest& request, std::string* out) {
   EmitOk("CLOSE", "tenant=" + request.tenant, out);
 }
 
+ServerStats Server::stats() const {
+  ServerStats snapshot;
+  snapshot.requests = stats_.requests.load(std::memory_order_relaxed);
+  snapshot.replies_ok = stats_.replies_ok.load(std::memory_order_relaxed);
+  snapshot.replies_error = stats_.replies_error.load(std::memory_order_relaxed);
+  snapshot.data_lines = stats_.data_lines.load(std::memory_order_relaxed);
+  snapshot.peak_table_bytes =
+      stats_.peak_table_bytes.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
 void Server::EmitOk(std::string_view command, std::string_view details,
                     std::string* out) {
-  ++stats_.replies_ok;
+  stats_.replies_ok.fetch_add(1, std::memory_order_relaxed);
   *out += OkReply(command, details);
   *out += '\n';
 }
 
 void Server::EmitData(std::string_view payload, std::string* out) {
-  ++stats_.data_lines;
+  stats_.data_lines.fetch_add(1, std::memory_order_relaxed);
   *out += DataReply(payload);
   *out += '\n';
 }
 
 void Server::EmitError(ErrorCode code, std::string_view message,
                        std::string* out) {
-  ++stats_.replies_error;
+  stats_.replies_error.fetch_add(1, std::memory_order_relaxed);
   *out += ErrorReply(code, message);
   *out += '\n';
 }

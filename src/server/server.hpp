@@ -18,20 +18,31 @@
 // pooled session runs its parallel work on the server's single
 // work-stealing pool (EngineOptions::shared_pool).
 //
-// The driver is single-threaded by design — determinism is the feature (the
-// protocol smoke test diffs exact transcripts). The layers below it
-// (SessionPool, Engine) are thread-safe, so a concurrent front-end can call
-// the pool directly if one is ever added.
+// Serve/HandleLine remain the single-threaded driver — one request at a
+// time, deterministic by construction. The concurrent front-end
+// (server/frontend.hpp) reuses the exact same execution code through the
+// two-stage compute split below: PrepareCompute runs sequentially on the
+// dispatch thread (tenant lookup, payload parse, pool acquire — everything
+// that orders the pool), ExecuteCompute runs on any worker thread (engine
+// evaluation + reply rendering — everything thread-safe). HandleLine's
+// compute path is literally PrepareCompute + ExecuteCompute, so the two
+// drivers cannot diverge byte-wise. Reply counters are atomics: workers
+// bump them concurrently, and the barrier discipline of the front-end makes
+// every STATS read deterministic.
 #ifndef TREEDL_SERVER_SERVER_HPP_
 #define TREEDL_SERVER_SERVER_HPP_
 
+#include <atomic>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/thread_pool.hpp"
+#include "datalog/ast.hpp"
+#include "mso/ast.hpp"
 #include "server/protocol.hpp"
 #include "server/session_pool.hpp"
 #include "structure/structure.hpp"
@@ -46,8 +57,10 @@ struct ServerOptions {
   size_t table_memory_budget = 0;
   /// Directory for SAVE/OPEN session files; empty disables persistence.
   std::string session_dir;
-  /// Worker threads of the server's shared pool (0 = hardware concurrency,
-  /// 1 = sequential: no pool is created and sessions run inline).
+  /// Worker threads of the server's shared ENGINE pool — intra-request
+  /// parallelism (0 = hardware concurrency, 1 = sequential: no pool is
+  /// created and sessions run inline). Inter-request parallelism is the
+  /// front-end's num_threads (server/frontend.hpp); the two compose.
   size_t num_threads = 1;
   /// Echo per-request RunStats counters (encode/td/normalize/cache_hits) in
   /// OK replies. Off for byte-stable transcripts that must not depend on
@@ -62,6 +75,8 @@ struct ServerOptions {
   }();
 };
 
+/// A point-in-time snapshot of the server counters (the live counters are
+/// atomics shared by the front-end workers).
 struct ServerStats {
   size_t requests = 0;      // protocol lines parsed as requests (incl. failed)
   size_t replies_ok = 0;    // OK lines written
@@ -83,20 +98,70 @@ class Server {
   /// the line was QUIT. Not thread-safe: one driver at a time.
   bool HandleLine(std::string_view line, std::string* out);
 
-  /// The driver loop: getline over `in`, replies to `out` (flushed per
-  /// request), until EOF or QUIT. Returns the number of requests handled.
+  /// Handles one already-parsed request. Same contract as HandleLine.
+  bool HandleRequest(const Request& request, std::string* out);
+
+  /// The single-threaded driver loop: getline over `in`, replies to `out`
+  /// (flushed per request), until EOF or QUIT. Returns the number of
+  /// requests handled. For a concurrent driver, see server/frontend.hpp.
   size_t Serve(std::istream& in, std::ostream& out);
 
-  const ServerStats& stats() const { return stats_; }
+  // --- The two-stage compute split used by the concurrent front-end --------
+
+  /// True for per-tenant compute requests (QUERY/SOLVE/SOLVEALL/MSO): no
+  /// tenant-map or pool-structure mutation, so the front-end may execute
+  /// them off the dispatch thread after PrepareCompute.
+  static bool IsComputeRequest(const Request& request);
+
+  /// One compute request validated and leased by the sequential stage;
+  /// everything ExecuteCompute needs is captured here, so it can run on any
+  /// thread.
+  struct ComputeWork {
+    Request request;
+    SessionPool::Lease lease;
+    datalog::Program program;  // QUERY only
+    mso::FormulaPtr formula;   // MSO only
+  };
+
+  /// The pool fingerprint a compute request would acquire, or nullopt when
+  /// its tenant is unbound. Lets the front-end decide whether the acquire
+  /// will hit a resident session (safe to dispatch immediately) or miss
+  /// (must drain the pipeline first: cold construction, eviction and
+  /// admission all read state in-flight requests may still be writing).
+  std::optional<uint64_t> ComputeFingerprint(const Request& request) const;
+
+  /// Sequential stage of a compute request: tenant lookup, payload parse,
+  /// pool acquire — everything whose ORDER determines pool state (LRU
+  /// clock, hit/miss counters, admission). On failure the error reply is
+  /// rendered into *out and nullopt returns. Call from one thread at a time.
+  std::optional<ComputeWork> PrepareCompute(const Request& request,
+                                            std::string* out);
+
+  /// Parallel stage: evaluates the leased engine and renders the reply.
+  /// Thread-safe — engines, pool accounting and the reply counters all
+  /// tolerate concurrent callers.
+  void ExecuteCompute(ComputeWork& work, std::string* out);
+
+  ServerStats stats() const;
   SessionPool& pool() { return *pool_; }
   const SessionPool& pool() const { return *pool_; }
 
  private:
+  friend class Frontend;
+
   struct Tenant {
     Signature signature;
     std::string facts_text;
     Structure structure;
     uint64_t fingerprint = 0;
+  };
+
+  struct AtomicStats {
+    std::atomic<size_t> requests{0};
+    std::atomic<size_t> replies_ok{0};
+    std::atomic<size_t> replies_error{0};
+    std::atomic<size_t> data_lines{0};
+    std::atomic<size_t> peak_table_bytes{0};
   };
 
   /// The tenant for `name`, or a kNoTenant-shaped NotFound status.
@@ -109,14 +174,15 @@ class Server {
 
   void HandleLoad(const LoadRequest& request, std::string* out);
   void HandleAssert(const AssertRequest& request, std::string* out);
-  void HandleQuery(const QueryRequest& request, std::string* out);
-  void HandleSolve(const SolveRequest& request, std::string* out);
-  void HandleSolveAll(const SolveAllRequest& request, std::string* out);
-  void HandleMso(const MsoRequest& request, std::string* out);
   void HandleSave(const SaveRequest& request, std::string* out);
   void HandleOpen(const OpenRequest& request, std::string* out);
   void HandleStats(const StatsRequest& request, std::string* out);
   void HandleClose(const CloseRequest& request, std::string* out);
+
+  void ExecuteQuery(ComputeWork& work, std::string* out);
+  void ExecuteSolve(ComputeWork& work, std::string* out);
+  void ExecuteSolveAll(ComputeWork& work, std::string* out);
+  void ExecuteMso(ComputeWork& work, std::string* out);
 
   void EmitOk(std::string_view command, std::string_view details,
               std::string* out);
@@ -128,7 +194,7 @@ class Server {
   std::unique_ptr<ThreadPool> shared_pool_;  // null when sequential
   std::unique_ptr<SessionPool> pool_;
   std::map<std::string, Tenant> tenants_;  // ordered: deterministic STATS
-  ServerStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace treedl::server

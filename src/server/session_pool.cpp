@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/string_util.hpp"
+
 namespace treedl::server {
 
 namespace {
@@ -13,13 +15,6 @@ bool FileExists(const std::string& path) {
   if (file == nullptr) return false;
   std::fclose(file);
   return true;
-}
-
-std::string HexFingerprint(uint64_t fingerprint) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return std::string(buffer);
 }
 
 }  // namespace
@@ -32,20 +27,49 @@ SessionPool::SessionPool(SessionPoolOptions options)
   }
 }
 
+SessionPool::Lease SessionPool::MakeLeaseLocked(Entry& entry,
+                                                uint64_t fingerprint, bool hit,
+                                                bool warm_loaded,
+                                                size_t artifact_loads) {
+  entry.leases->fetch_add(1, std::memory_order_acq_rel);
+  Lease lease{entry.engine, fingerprint, hit, warm_loaded, artifact_loads,
+              /*pin=*/nullptr};
+  std::shared_ptr<std::atomic<size_t>> count = entry.leases;
+  // The pin's deleter runs exactly once, when the last copy of the lease
+  // dies. It captures the counter by shared_ptr, not the pool, so a lease
+  // outliving the pool (or its entry's eviction) stays safe.
+  lease.pin = std::shared_ptr<void>(
+      static_cast<void*>(nullptr), [count](void*) {
+        count->fetch_sub(1, std::memory_order_acq_rel);
+      });
+  return lease;
+}
+
 StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
   uint64_t fingerprint = Engine::FingerprintOf(structure);
-  std::lock_guard<std::mutex> lock(mu_);
+  size_t estimate = Engine::EstimateStructureBytes(structure);
+  std::unique_lock<std::mutex> lock(mu_);
 
-  auto it = sessions_.find(fingerprint);
-  if (it != sessions_.end()) {
-    ++counters_.hits;
-    it->second.last_used = ++clock_;
-    return Lease{it->second.engine, fingerprint, /*hit=*/true,
-                 /*warm_loaded=*/false, /*artifact_loads=*/0};
+  bool waited = false;
+  while (true) {
+    auto it = sessions_.find(fingerprint);
+    if (it != sessions_.end()) {
+      ++counters_.hits;
+      it->second.last_used = ++clock_;
+      return MakeLeaseLocked(it->second, fingerprint, /*hit=*/true,
+                             /*warm_loaded=*/false, /*artifact_loads=*/0);
+    }
+    if (builds_.find(fingerprint) == builds_.end()) break;
+    // Another thread is building this very session: wait for its insert
+    // rather than building a second copy.
+    if (!waited) {
+      waited = true;
+      ++counters_.build_waits;
+    }
+    build_cv_.wait(lock);
   }
 
   ++counters_.misses;
-  size_t estimate = Engine::EstimateStructureBytes(structure);
   if (options_.table_memory_budget > 0 &&
       estimate > options_.table_memory_budget) {
     ++counters_.rejections;
@@ -54,7 +78,7 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
         "B exceeds the shared table_memory_budget " +
         std::to_string(options_.table_memory_budget) + "B");
   }
-  while (sessions_.size() >= options_.max_sessions ||
+  while (sessions_.size() + builds_.size() >= options_.max_sessions ||
          (options_.table_memory_budget > 0 &&
           ChargedBytesLocked() + estimate > options_.table_memory_budget)) {
     if (!EvictOneLocked()) {
@@ -66,9 +90,16 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
     }
   }
 
+  // Reserve the slot and the byte estimate, then build OUTSIDE the lock: one
+  // cold tenant's construction + warm-load I/O must not block every other
+  // tenant's Acquire. The builds_ latch keeps concurrent acquires of this
+  // fingerprint from building twice.
+  builds_.emplace(fingerprint, estimate);
+  lock.unlock();
+
   auto engine = std::make_shared<Engine>(structure, options_.engine_options);
-  Lease lease{engine, fingerprint, /*hit=*/false, /*warm_loaded=*/false,
-              /*artifact_loads=*/0};
+  bool warm_loaded = false;
+  size_t artifact_loads = 0;
   if (!options_.session_dir.empty()) {
     std::string path = SessionFilePath(fingerprint);
     if (FileExists(path)) {
@@ -76,26 +107,47 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
       // A corrupt or mismatched file must not fail the request: the session
       // simply starts cold and rebuilds.
       if (engine->LoadSession(path, &load_stats).ok()) {
-        ++counters_.warm_loads;
-        lease.warm_loaded = true;
-        lease.artifact_loads = load_stats.artifact_loads;
+        warm_loaded = true;
+        artifact_loads = load_stats.artifact_loads;
       }
     }
   }
+  size_t resident_bytes = engine->ResidentArtifactBytes();
+
+  lock.lock();
+  builds_.erase(fingerprint);
+  if (warm_loaded) ++counters_.warm_loads;
   Entry entry;
-  entry.engine = engine;
-  entry.charge = std::max(estimate, engine->ResidentArtifactBytes());
+  entry.engine = std::move(engine);
+  entry.leases = std::make_shared<std::atomic<size_t>>(0);
+  entry.estimate = estimate;
+  entry.charge = std::max(estimate, resident_bytes);
   entry.last_used = ++clock_;
-  sessions_.emplace(fingerprint, std::move(entry));
-  return lease;
+  auto [pos, inserted] = sessions_.emplace(fingerprint, std::move(entry));
+  build_cv_.notify_all();
+  return MakeLeaseLocked(pos->second, fingerprint, /*hit=*/false, warm_loaded,
+                         artifact_loads);
 }
 
 void SessionPool::RefreshCharge(uint64_t fingerprint) {
+  std::shared_ptr<Engine> engine;
+  size_t estimate = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(fingerprint);
+    if (it == sessions_.end()) return;
+    engine = it->second.engine;
+    estimate = it->second.estimate;
+  }
+  // Measure outside the pool lock: ResidentArtifactBytes takes the engine's
+  // cache mutex, which a long build may hold — the pool must stay responsive.
+  size_t resident = engine->ResidentArtifactBytes();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(fingerprint);
-  if (it == sessions_.end()) return;
-  it->second.charge =
-      std::max(it->second.charge, it->second.engine->ResidentArtifactBytes());
+  if (it == sessions_.end() || it->second.engine != engine) return;
+  // Recompute, never ratchet: a session whose tables were evicted gives its
+  // charge back to the admission budget (the estimate stays a floor).
+  it->second.charge = std::max(estimate, resident);
 }
 
 Status SessionPool::Save(uint64_t fingerprint, RunStats* stats) {
@@ -107,7 +159,7 @@ Status SessionPool::Save(uint64_t fingerprint, RunStats* stats) {
   }
   if (engine == nullptr) {
     return Status::NotFound("no resident session for fingerprint " +
-                            HexFingerprint(fingerprint));
+                            Hex16(fingerprint));
   }
   if (options_.session_dir.empty()) {
     return Status::InvalidArgument(
@@ -122,9 +174,21 @@ std::shared_ptr<Engine> SessionPool::Peek(uint64_t fingerprint) const {
   return it == sessions_.end() ? nullptr : it->second.engine;
 }
 
+bool SessionPool::IsResident(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.find(fingerprint) != sessions_.end();
+}
+
+size_t SessionPool::ActiveLeases(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(fingerprint);
+  if (it == sessions_.end()) return 0;
+  return it->second.leases->load(std::memory_order_acquire);
+}
+
 std::string SessionPool::SessionFilePath(uint64_t fingerprint) const {
   if (options_.session_dir.empty()) return "";
-  return options_.session_dir + "/" + HexFingerprint(fingerprint) + ".tdls";
+  return options_.session_dir + "/" + Hex16(fingerprint) + ".tdls";
 }
 
 SessionPoolCounters SessionPool::counters() const {
@@ -161,15 +225,19 @@ std::vector<uint64_t> SessionPool::LruFingerprints() const {
 size_t SessionPool::ChargedBytesLocked() const {
   size_t total = 0;
   for (const auto& [fingerprint, entry] : sessions_) total += entry.charge;
+  // Builds in flight have reserved their estimate against the budget.
+  for (const auto& [fingerprint, estimate] : builds_) total += estimate;
   return total;
 }
 
 bool SessionPool::EvictOneLocked() {
   auto victim = sessions_.end();
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    // use_count == 1 means the pool holds the only reference — the session
-    // is idle. Leased sessions are never evicted mid-request.
-    if (it->second.engine.use_count() > 1) continue;
+    // A zero lease count means no Acquire is outstanding — the session is
+    // idle. Leased sessions are never evicted mid-request. (use_count on the
+    // engine pointer would also count Peek copies and lease copies on other
+    // threads, so it is not the lease truth.)
+    if (it->second.leases->load(std::memory_order_acquire) > 0) continue;
     if (victim == sessions_.end() ||
         it->second.last_used < victim->second.last_used) {
       victim = it;

@@ -1,0 +1,215 @@
+// Concurrent serving front-end: reply re-sequencing, transcript determinism
+// across thread counts, barrier semantics, and deterministic queue-full
+// shedding. Runs under TSan in CI.
+#include "server/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sequencer.hpp"
+#include "server/server.hpp"
+
+namespace treedl::server {
+namespace {
+
+TEST(SequencerTest, EmitsInAllocationOrderUnderConcurrentPushes) {
+  std::vector<std::string> emitted;
+  Sequencer sequencer(
+      [&emitted](std::string&& payload) { emitted.push_back(payload); });
+
+  constexpr size_t kItems = 256;
+  std::vector<uint64_t> seqs;
+  seqs.reserve(kItems);
+  for (size_t i = 0; i < kItems; ++i) seqs.push_back(sequencer.Allocate());
+
+  // Four pushers, each owning every 4th number, pushing newest-first so the
+  // sequencer has to buffer aggressively.
+  std::vector<std::thread> pushers;
+  for (size_t t = 0; t < 4; ++t) {
+    pushers.emplace_back([&sequencer, &seqs, t] {
+      for (size_t i = kItems; i-- > 0;) {
+        if (i % 4 != t) continue;
+        sequencer.Push(seqs[i], "item" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& pusher : pushers) pusher.join();
+
+  ASSERT_EQ(emitted.size(), kItems);
+  EXPECT_EQ(sequencer.NumEmitted(), kItems);
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(emitted[i], "item" + std::to_string(i)) << i;
+  }
+}
+
+/// A multi-tenant script that exercises every determinism hazard: two
+/// tenants sharing one pooled session, a third with its own, per-request
+/// cache echoes, errors, a mid-script STATS barrier, and re-acquire after
+/// the pool state settled.
+std::string ContendedScript() {
+  return
+      "LOAD a SIG e/2 FACTS e(v0, v1). e(v1, v2). e(v2, v3).\n"
+      "LOAD b SIG e/2 FACTS e(v0, v1). e(v1, v2). e(v2, v3).\n"  // same fp as a
+      "LOAD c SIG e/2 FACTS e(x, y). e(y, z). e(z, x).\n"
+      "SOLVE a VC\n"
+      "SOLVE b IS\n"
+      "SOLVE c #3COL\n"
+      "QUERY a path(X, Y) :- e(X, Y). path(X, Z) :- path(X, Y), e(Y, Z).\n"
+      "MSO c ex1 x: e(x, x)\n"
+      "SOLVEALL b\n"
+      "SOLVE missing VC\n"            // E_NO_TENANT, between compute bursts
+      "THIS IS NOT A REQUEST\n"       // parse error at a fixed position
+      "STATS\n"                       // barrier: counters must be quiescent
+      "SOLVE a DS\n"
+      "SOLVE c VC\n"
+      "QUERY b same(X, X) :- e(X, Y).\n"
+      "STATS\n"
+      "QUIT\n";
+}
+
+std::string RunSingleThreaded(const std::string& script) {
+  ServerOptions options;  // echo_stats on: cache echoes must match too
+  Server server(options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  server.Serve(in, out);
+  return out.str();
+}
+
+std::string RunFrontend(const std::string& script, size_t threads,
+                        size_t queue_capacity = 64) {
+  ServerOptions options;
+  Server server(options);
+  FrontendOptions frontend_options;
+  frontend_options.num_threads = threads;
+  frontend_options.queue_capacity = queue_capacity;
+  Frontend frontend(&server, frontend_options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  frontend.Serve(in, out);
+  return out.str();
+}
+
+TEST(FrontendTest, TranscriptIsByteIdenticalAtEveryThreadCount) {
+  const std::string script = ContendedScript();
+  const std::string reference = RunSingleThreaded(script);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(RunFrontend(script, 1), reference);
+  EXPECT_EQ(RunFrontend(script, 2), reference);
+  EXPECT_EQ(RunFrontend(script, 8), reference);
+  // A tiny queue forces the blocking back-pressure path; same bytes.
+  EXPECT_EQ(RunFrontend(script, 8, /*queue_capacity=*/1), reference);
+}
+
+TEST(FrontendTest, RepeatedRunsAgreeUnderContention) {
+  const std::string script = ContendedScript();
+  const std::string reference = RunSingleThreaded(script);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(RunFrontend(script, 8), reference) << "round " << round;
+  }
+}
+
+TEST(FrontendTest, CountsBarriersAndDispatchedCompute) {
+  ServerOptions options;
+  Server server(options);
+  FrontendOptions frontend_options;
+  frontend_options.num_threads = 4;
+  Frontend frontend(&server, frontend_options);
+  std::istringstream in(ContendedScript());
+  std::ostringstream out;
+  size_t handled = frontend.Serve(in, out);
+  EXPECT_EQ(handled, 17u);  // every non-comment line of ContendedScript
+
+  FrontendCounters counters = frontend.counters();
+  // 9 compute requests execute on workers; SOLVE missing fails in the
+  // sequential stage and THIS IS NOT A REQUEST never reaches a queue.
+  EXPECT_EQ(counters.dispatched_compute, 9u);
+  // 3 LOADs + 2 STATS + QUIT drain; the first compute on each of the two
+  // distinct sessions after a LOAD... sessions stay resident (LOAD itself
+  // acquired them), so no extra non-resident barriers are needed.
+  EXPECT_EQ(counters.barriers, 6u);
+  EXPECT_EQ(counters.queue_full_rejections, 0u);
+  EXPECT_GE(counters.max_queue_depth, 1u);
+}
+
+TEST(FrontendTest, HeldWorkersMakeQueueFullSheddingDeterministic) {
+  ServerOptions options;
+  options.echo_stats = false;
+  Server server(options);
+  FrontendOptions frontend_options;
+  frontend_options.num_threads = 2;
+  frontend_options.queue_capacity = 2;
+  frontend_options.reject_when_full = true;
+  frontend_options.hold_workers = true;
+  Frontend frontend(&server, frontend_options);
+
+  // One session, 5 identical compute requests, capacity 2: with the workers
+  // gated, requests 3..5 MUST be shed — no timing involved.
+  std::string script =
+      "LOAD t SIG e/2 FACTS e(a, b). e(b, c).\n"
+      "SOLVE t VC\n"
+      "SOLVE t VC\n"
+      "SOLVE t VC\n"
+      "SOLVE t VC\n"
+      "SOLVE t VC\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  std::thread driver([&] { frontend.Serve(in, out); });
+
+  // Dispatch runs ahead of the gated workers; wait until it shed the tail.
+  while (frontend.counters().queue_full_rejections < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  frontend.ReleaseWorkers();
+  driver.join();
+
+  FrontendCounters counters = frontend.counters();
+  EXPECT_EQ(counters.dispatched_compute, 2u);
+  EXPECT_EQ(counters.queue_full_rejections, 3u);
+  EXPECT_EQ(counters.max_queue_depth, 2u);
+
+  // Replies land at their request's position: 2 OKs then 3 E_ADMISSION.
+  std::istringstream replies(out.str());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(replies, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("OK LOAD", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("OK SOLVE", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("OK SOLVE", 0), 0u);
+  for (size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(lines[i].rfind("ERR E_ADMISSION", 0), 0u) << lines[i];
+    EXPECT_NE(lines[i].find("queue"), std::string::npos) << lines[i];
+  }
+  EXPECT_EQ(server.stats().requests, 6u);
+}
+
+TEST(FrontendTest, ServesMultipleScriptsBackToBack) {
+  ServerOptions options;
+  Server server(options);
+  FrontendOptions frontend_options;
+  frontend_options.num_threads = 3;
+  Frontend frontend(&server, frontend_options);
+
+  std::istringstream first(
+      "LOAD t SIG e/2 FACTS e(a, b). e(b, c).\n"
+      "SOLVE t VC\n");
+  std::ostringstream out1;
+  EXPECT_EQ(frontend.Serve(first, out1), 2u);
+
+  std::istringstream second("SOLVE t IS\nSTATS\n");
+  std::ostringstream out2;
+  EXPECT_EQ(frontend.Serve(second, out2), 2u);
+  EXPECT_NE(out2.str().find("OK SOLVE"), std::string::npos);
+  EXPECT_NE(out2.str().find("OK STATS"), std::string::npos);
+  EXPECT_EQ(server.stats().requests, 4u);
+}
+
+}  // namespace
+}  // namespace treedl::server

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -161,11 +165,131 @@ TEST(SessionPoolTest, BudgetRejectsWhenEveryResidentSessionIsLeased) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(pool.counters().rejections, 1u);
 
-  held.value().engine.reset();  // release the lease; s1 becomes evictable
+  held.value().Release();  // release the lease; s1 becomes evictable
   auto admitted = pool.Acquire(s2);
   EXPECT_TRUE(admitted.ok()) << admitted.status();
   EXPECT_EQ(pool.counters().evictions, 1u);
   EXPECT_EQ(pool.Peek(Engine::FingerprintOf(s1)), nullptr);
+}
+
+TEST(SessionPoolTest, LeaseCountBlocksEvictionUntilLastCopyDies) {
+  SessionPoolOptions options;
+  options.max_sessions = 1;
+  SessionPool pool(options);
+  Structure s1 = PathStructure(3);
+  Structure s2 = PathStructure(4);
+  uint64_t fp1 = Engine::FingerprintOf(s1);
+
+  auto lease = pool.Acquire(s1);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(pool.ActiveLeases(fp1), 1u);
+
+  // A copy shares the pin: the count stays 1 and drops only when BOTH die.
+  SessionPool::Lease copy = lease.value();
+  EXPECT_EQ(pool.ActiveLeases(fp1), 1u);
+
+  // While any copy is alive the session cannot be evicted, so a second
+  // structure finds no room in the 1-slot pool.
+  EXPECT_FALSE(pool.Acquire(s2).ok());
+  lease.value().Release();
+  EXPECT_EQ(pool.ActiveLeases(fp1), 1u);  // copy still pins it
+  EXPECT_FALSE(pool.Acquire(s2).ok());
+  copy.Release();
+  EXPECT_EQ(pool.ActiveLeases(fp1), 0u);
+  EXPECT_TRUE(pool.Acquire(s2).ok());
+  EXPECT_FALSE(pool.IsResident(fp1));
+}
+
+TEST(SessionPoolTest, ConcurrentAcquiresOfOneFingerprintBuildOnce) {
+  SessionPool pool(SessionPoolOptions{});
+  Structure structure = PathStructure(6);
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::shared_ptr<Engine>> engines(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &structure, &engines, t] {
+      auto lease = pool.Acquire(structure);
+      ASSERT_TRUE(lease.ok());
+      engines[t] = lease.value().engine;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SessionPoolCounters counters = pool.counters();
+  EXPECT_EQ(counters.misses, 1u);  // the build latch admits ONE builder
+  EXPECT_EQ(counters.hits, kThreads - 1);  // everyone else is served the build
+  EXPECT_LE(counters.build_waits, kThreads - 1);
+  EXPECT_EQ(pool.NumResident(), 1u);
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(engines[t].get(), engines[0].get()) << t;
+  }
+}
+
+TEST(SessionPoolTest, RefreshChargeRecomputesInsteadOfRatcheting) {
+  SessionPoolOptions options;
+  options.table_memory_budget = 1 << 20;
+  SessionPool pool(options);
+  Structure structure = PathStructure(6);
+  uint64_t fingerprint = Engine::FingerprintOf(structure);
+  size_t estimate = Engine::EstimateStructureBytes(structure);
+
+  auto lease = pool.Acquire(structure);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(pool.ChargedBytes(), estimate);  // nothing built yet
+
+  ASSERT_TRUE(lease.value().engine->SolveAll(nullptr).ok());
+  pool.RefreshCharge(fingerprint);
+  size_t resident = lease.value().engine->ResidentArtifactBytes();
+  // Exact recomputation, not a high-water mark: the charge IS the formula.
+  EXPECT_EQ(pool.ChargedBytes(), std::max(estimate, resident));
+
+  // Refreshing again without new work must not drift the charge upward.
+  pool.RefreshCharge(fingerprint);
+  pool.RefreshCharge(fingerprint);
+  EXPECT_EQ(pool.ChargedBytes(), std::max(estimate, resident));
+}
+
+TEST(SessionPoolTest, ContendedAcquireReleaseEvictStress) {
+  SessionPoolOptions options;
+  options.max_sessions = 2;  // forces constant eviction pressure
+  SessionPool pool(options);
+  std::vector<Structure> structures;
+  for (size_t n = 3; n < 7; ++n) structures.push_back(PathStructure(n));
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 25;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const Structure& structure = structures[(t + round) % structures.size()];
+        auto lease = pool.Acquire(structure);
+        if (!lease.ok()) {
+          // Transient: every slot leased by the other threads.
+          ++failures;
+          continue;
+        }
+        EXPECT_GE(pool.ActiveLeases(lease.value().fingerprint), 1u);
+        ASSERT_TRUE(lease.value().engine->SolveAll(nullptr).ok());
+        pool.RefreshCharge(lease.value().fingerprint);
+        lease.value().Release();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Idle pool: no lease leaked a pin, every entry is evictable again.
+  for (uint64_t fingerprint : pool.LruFingerprints()) {
+    EXPECT_EQ(pool.ActiveLeases(fingerprint), 0u);
+  }
+  SessionPoolCounters counters = pool.counters();
+  // Every attempt is classified exactly once (a rejected acquire counts as a
+  // miss first), so the ledger must balance.
+  EXPECT_EQ(counters.hits + counters.misses, kThreads * kRounds);
+  EXPECT_EQ(counters.rejections, failures.load());
+  EXPECT_LE(pool.NumResident(), 2u);
 }
 
 TEST(SessionPoolTest, SaveRequiresResidencyAndSessionDir) {
