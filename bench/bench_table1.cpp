@@ -7,9 +7,16 @@
 // decompositions with all node kinds, #Att = 3·#FD, rows at the paper's
 // sizes. Absolute times differ from 2007 hardware; the shape to verify is
 // MD ≈ linear milliseconds vs MSO exploding and failing from tiny sizes.
+//
+// Flags: --quick shrinks the row ladder for CI; --json <path> writes the
+// deterministic counters of the largest row (instance shape, normalized
+// node count, DP states — no wall-clock, so the artifact is comparable
+// across runners).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "core/primality.hpp"
@@ -40,16 +47,21 @@ double MedianOfThree(const std::function<double()>& run) {
   return a + b + c - lo - hi;
 }
 
+struct BenchConfig {
+  std::vector<int> groups = {1, 2, 3, 4, 7, 11, 15, 19, 23, 27, 31};
+  const char* json_path = nullptr;
+};
+
 }  // namespace
 
-void RunTable1() {
+void RunTable1(const BenchConfig& config) {
   std::printf("Table 1 — PRIMALITY processing time (ms)\n");
   std::printf("%3s %6s %5s %6s %10s %12s %12s\n", "tw", "#Att", "#FD", "#tn",
               "MD", "MD(engine)", "MSO(MONA*)");
   const uint64_t kMsoBudget = 200'000'000;  // the stand-in's "memory"
   mso::FormulaPtr phi = mso::PrimalityFormula("x");
 
-  for (int g : {1, 2, 3, 4, 7, 11, 15, 19, 23, 27, 31}) {
+  for (int g : config.groups) {
     BalancedInstance inst = GenerateBalancedInstance(g);
     size_t tn = NormalizedNodeCount(inst);
 
@@ -105,11 +117,49 @@ void RunTable1() {
       "    for MONA: identical exponential data complexity and failure mode\n"
       "    (paper: 650/9210/17930 ms then out-of-memory from #Att >= 12).\n",
       200.0);
+
+  if (config.json_path != nullptr) {
+    // Deterministic shape/counter profile of the largest row.
+    int g = config.groups.back();
+    BalancedInstance inst = GenerateBalancedInstance(g);
+    size_t tn = NormalizedNodeCount(inst);
+    EngineOptions engine_options;
+    engine_options.decomposition = inst.td;
+    Engine engine(inst.schema, engine_options);
+    RunStats run;
+    auto verdict = engine.IsPrime(inst.query_attribute, &run);
+    TREEDL_CHECK(verdict.ok() && *verdict);
+    FILE* out = std::fopen(config.json_path, "w");
+    TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"table1\",\n"
+                 "  \"num_fds\": %d,\n"
+                 "  \"num_attributes\": %d,\n"
+                 "  \"treewidth\": %d,\n"
+                 "  \"normalized_nodes\": %zu,\n"
+                 "  \"dp_states\": %zu,\n"
+                 "  \"dp_max_states_per_node\": %zu\n"
+                 "}\n",
+                 inst.schema.NumFds(), inst.schema.NumAttributes(),
+                 inst.td.Width(), tn, run.dp_states,
+                 run.dp_max_states_per_node);
+    std::fclose(out);
+    std::printf("  wrote %s\n", config.json_path);
+  }
 }
 
 }  // namespace treedl
 
-int main() {
-  treedl::RunTable1();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.groups = {1, 2, 3, 4, 7};
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunTable1(config);
   return 0;
 }

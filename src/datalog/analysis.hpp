@@ -16,8 +16,10 @@ struct ProgramInfo {
   /// Every intensional predicate is unary (or zero-ary) — Def 4.1 extended by
   /// the 0-ary decision predicates of §4's discussion.
   bool is_monadic = false;
-  /// Per rule: body literal indices in evaluation order (positives scheduled
-  /// greedily by bound-argument count; negatives once fully bound).
+  /// Per rule: body literal indices in evaluation order. Positive
+  /// intensional literals schedule first (so the semi-naive engine's delta
+  /// literal lands at plan position 0, where delta batching applies), then
+  /// positives greedily by bound-argument count; negatives once fully bound.
   std::vector<std::vector<size_t>> plans;
 };
 

@@ -1,19 +1,36 @@
-// FactStore: the working database used by datalog evaluation.
+// FactStore: the columnar working database of datalog evaluation.
 //
-// Holds per-predicate deduplicated tuple sets over structure element ids,
-// with incrementally maintained single-column hash indexes created on first
-// use. Also provides literal matching under partial variable bindings — the
-// shared kernel of the naive and semi-naive evaluators.
+// Each relation stores one column vector per argument position (ElementId
+// values in row-insertion order), a full-tuple dedup index, and a set of
+// pow2 open-addressing hash indexes keyed by *bound pattern* — the bitmask
+// of argument positions a join step has bound when it probes the relation.
+// Every array lives in the relation's own bump arena (common/arena.hpp via
+// common/arena_vec.hpp), following the FlatTable layout of the DP side:
+// dense records plus a power-of-two slot array, one arena block per growth
+// step, whole-relation release in O(1).
+//
+// Index buckets chain matching rows in insertion order (head/tail plus a
+// per-row `next` link), so every enumeration — indexed or full scan — yields
+// rows in exactly the relation's insertion order. That property is what
+// keeps the compiled executors bit-identical to the interpreted oracle and
+// to themselves at any thread count: a stronger index only skips
+// non-matching rows, it never reorders the matches.
+//
+// Freeze protocol (unchanged from the single-column predecessor): the
+// parallel fixpoint pre-builds, via EnsureIndex, every (predicate, pattern)
+// index its compiled plans can probe before a round starts, so Probe is a
+// pure read while tasks share the store across threads; Add maintains all
+// built indexes between rounds.
 #ifndef TREEDL_DATALOG_DATABASE_HPP_
 #define TREEDL_DATALOG_DATABASE_HPP_
 
+#include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "common/hash.hpp"
+#include "common/arena.hpp"
+#include "common/arena_vec.hpp"
 #include "datalog/ast.hpp"
 #include "structure/structure.hpp"
 
@@ -26,46 +43,105 @@ using Binding = std::vector<ElementId>;
 
 class FactStore {
  public:
-  explicit FactStore(int num_predicates)
-      : relations_(static_cast<size_t>(num_predicates)),
-        sets_(static_cast<size_t>(num_predicates)),
-        indexes_(static_cast<size_t>(num_predicates)) {}
+  /// Row chain terminator / "no match" sentinel.
+  static constexpr uint32_t kNoRow = std::numeric_limits<uint32_t>::max();
 
-  /// Adds a tuple; returns true iff it was new.
+  FactStore() = default;
+  /// One columnar relation per predicate of `sig`, with matching arities.
+  explicit FactStore(const Signature& sig);
+
+  FactStore(FactStore&&) = default;
+  FactStore& operator=(FactStore&&) = default;
+  FactStore(const FactStore&) = delete;
+  FactStore& operator=(const FactStore&) = delete;
+
+  /// Adds a tuple; returns true iff it was new. Maintains every built index.
   bool Add(PredicateId p, const Tuple& t);
 
-  bool Contains(PredicateId p, const Tuple& t) const {
-    return sets_[static_cast<size_t>(p)].count(t) > 0;
-  }
+  bool Contains(PredicateId p, const Tuple& t) const;
 
-  const std::vector<Tuple>& Tuples(PredicateId p) const {
-    return relations_[static_cast<size_t>(p)];
+  size_t NumTuples(PredicateId p) const {
+    return relations_[static_cast<size_t>(p)].num_rows;
   }
-
+  int Arity(PredicateId p) const {
+    return relations_[static_cast<size_t>(p)].arity;
+  }
   size_t TotalFacts() const { return total_; }
 
-  /// Indices (into Tuples(p)) of tuples whose `pos`-th argument equals
-  /// `value`. Builds the (p, pos) index on first use; maintained by Add.
-  const std::vector<size_t>& MatchByColumn(PredicateId p, int pos,
-                                           ElementId value);
+  /// The `pos`-th argument of row `row` of relation `p` (columnar access).
+  ElementId At(PredicateId p, int pos, uint32_t row) const {
+    return relations_[static_cast<size_t>(p)]
+        .columns[static_cast<size_t>(pos)][row];
+  }
 
-  /// Builds the (p, pos) column index now if absent. The parallel fixpoint
-  /// pre-builds every index its rule tasks could probe, so MatchByColumn is
-  /// a pure read while tasks share the store across threads.
-  void EnsureColumnIndex(PredicateId p, int pos);
+  /// Materializes one row (used when a caller needs an owning Tuple).
+  Tuple Row(PredicateId p, uint32_t row) const;
+
+  /// Row id of the (unique) tuple equal to `t`, or kNoRow. The ranged
+  /// containment primitive of fully-bound delta steps.
+  uint32_t FindRow(PredicateId p, const Tuple& t) const;
+
+  /// Builds the (p, mask) bound-pattern index now if absent. `mask` bit i
+  /// set = argument position i is part of the probe key. mask 0 (full scan)
+  /// and fully-bound masks need no index and are ignored. The parallel
+  /// fixpoint pre-builds every index its compiled plans could probe, so
+  /// Probe is a pure read while rounds share the store across threads.
+  void EnsureIndex(PredicateId p, uint32_t mask);
+
+  /// First row whose mask-positions equal `key` (the bound values in
+  /// ascending position order), or kNoRow. The (p, mask) index is built on
+  /// first use; walk the chain with NextRow. Rows arrive in insertion order.
+  uint32_t Probe(PredicateId p, uint32_t mask, const ElementId* key);
+
+  /// Successor of `row` in the probed chain of the (p, mask) index.
+  uint32_t NextRow(PredicateId p, uint32_t mask, uint32_t row) const;
+
+  /// Arena bytes backing relation `p` (columns + indexes).
+  size_t MemoryBytes(PredicateId p) const {
+    return relations_[static_cast<size_t>(p)].arena.TotalBytes();
+  }
 
  private:
-  struct TupleHash {
-    size_t operator()(const Tuple& t) const { return HashRange(t); }
+  struct Bucket {
+    size_t hash = 0;
+    uint32_t head = kNoRow;
+    uint32_t tail = kNoRow;
   };
-  using ColumnIndex = std::unordered_map<ElementId, std::vector<size_t>>;
+  /// One bound-pattern hash index: pow2 slot array over buckets, buckets
+  /// chain rows in insertion order through `next`.
+  struct PatternIndex {
+    uint32_t mask = 0;
+    ArenaVec<uint32_t> slots;  // bucket id + 1; 0 = empty
+    ArenaVec<Bucket> buckets;
+    ArenaVec<uint32_t> next;  // per covered row
+  };
+  struct Relation {
+    int arity = 0;
+    uint32_t num_rows = 0;
+    uint32_t full_mask = 0;
+    Arena arena;
+    std::vector<ArenaVec<ElementId>> columns;
+    PatternIndex dedup;                 // full-tuple index (mask = full_mask)
+    std::vector<PatternIndex> indexes;  // one per built bound pattern
+  };
 
-  std::vector<std::vector<Tuple>> relations_;
-  std::vector<std::unordered_set<Tuple, TupleHash>> sets_;
-  // indexes_[p][pos] — present once built.
-  std::vector<std::unordered_map<int, ColumnIndex>> indexes_;
+  size_t KeyHashAt(const Relation& rel, uint32_t mask, uint32_t row) const;
+  static size_t KeyHash(uint32_t mask, const ElementId* key);
+  bool KeyEqualsAt(const Relation& rel, uint32_t mask, uint32_t row,
+                   const ElementId* key) const;
+  bool RowsKeyEqual(const Relation& rel, uint32_t mask, uint32_t a,
+                    uint32_t b) const;
+  /// Bucket of `hash`/`key` in `index`, or kNoRow-equivalent (returns bucket
+  /// id or UINT32_MAX).
+  uint32_t FindBucket(const Relation& rel, const PatternIndex& index,
+                      size_t hash, const ElementId* key) const;
+  void InsertRow(Relation* rel, PatternIndex* index, uint32_t row,
+                 size_t hash);
+  void RehashSlots(Relation* rel, PatternIndex* index, size_t slot_count);
+  void BuildIndex(Relation* rel, PatternIndex* index, uint32_t mask);
+
+  std::vector<Relation> relations_;
   size_t total_ = 0;
-  static const std::vector<size_t> kEmptyMatch;
 };
 
 /// An atom with constants pre-resolved to element ids (kUnbound marks
@@ -82,24 +158,25 @@ ResolvedAtom ResolveAtom(const Atom& atom, Structure* domain);
 /// Calls `yield` once per tuple of `store` matching `atom` under `binding`,
 /// with the binding temporarily extended by the tuple's assignments. `yield`
 /// returns false to stop early. Returns the number of matches visited.
+///
+/// This is the *interpreted* matching kernel: it decides the probe column at
+/// runtime, tuple by tuple. The naive evaluator and the grounder keep using
+/// it as the reference oracle the compiled executors
+/// (datalog/executor.hpp) are differentially tested against.
 size_t MatchAtom(FactStore* store, const ResolvedAtom& atom, Binding* binding,
                  const std::function<bool(void)>& yield);
 
-/// MatchAtom restricted to tuples whose index into Tuples(atom.predicate)
-/// lies in [begin, end) — the delta-batch primitive of the parallel
-/// semi-naive engine: batches over contiguous slices of the delta relation
-/// concatenate to exactly the unrestricted enumeration order.
+/// MatchAtom restricted to tuples whose row in relation `atom.predicate`
+/// lies in [begin, end) — the delta-batch primitive: batches over contiguous
+/// slices of the delta relation concatenate to exactly the unrestricted
+/// enumeration order.
 size_t MatchAtomInRange(FactStore* store, const ResolvedAtom& atom,
                         Binding* binding, size_t begin, size_t end,
                         const std::function<bool(void)>& yield);
 
-/// The argument position MatchAtom probes an index on: the first position
-/// that is a constant or whose variable satisfies `is_bound`; -1 when every
-/// position is unbound (full scan). The single source of the probe choice —
-/// MatchAtom applies it to the runtime binding, and the parallel fixpoint's
-/// index freeze applies it to the statically-bound variable set, so the two
-/// can never diverge (a divergence would reintroduce a lazy index build
-/// under concurrent readers).
+/// The argument position the interpreted MatchAtom probes an index on: the
+/// first position that is a constant or whose variable satisfies `is_bound`;
+/// -1 when every position is unbound (full scan).
 int ProbePosition(const ResolvedAtom& atom,
                   const std::function<bool(VariableId)>& is_bound);
 

@@ -47,7 +47,7 @@ StatusOr<PreparedProgram> Prepare(const Program& program,
     ElementId copied = prep.result.AddElement(edb.ElementName(e));
     TREEDL_CHECK(copied == e);
   }
-  prep.store = FactStore(combined.size());
+  prep.store = FactStore(combined);
   for (const Fact& fact : edb.AllFacts()) {
     // EDB predicate ids coincide with combined ids by construction.
     prep.store.Add(fact.predicate, fact.args);
@@ -82,6 +82,13 @@ StatusOr<PreparedProgram> Prepare(const Program& program,
       prepared.body_intensional.push_back(
           prep.intensional[static_cast<size_t>(translated.predicate)]);
     }
+    // Compile the rule's join plans once, here: the full plan plus one
+    // delta variant per positive intensional body position.
+    prep.compiled.push_back(CompileRule(prepared.head, prepared.body,
+                                        prepared.positive,
+                                        prepared.body_intensional,
+                                        prep.num_variables));
+    prep.plan_compiles += 1 + prep.compiled.back().delta_variants.size();
     prep.rules.push_back(std::move(prepared));
   }
   return prep;

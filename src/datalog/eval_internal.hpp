@@ -7,6 +7,7 @@
 #include "datalog/analysis.hpp"
 #include "datalog/ast.hpp"
 #include "datalog/database.hpp"
+#include "datalog/executor.hpp"
 
 namespace treedl::datalog::internal {
 
@@ -23,17 +24,25 @@ struct PreparedProgram {
   /// Program predicate id -> result predicate id.
   std::vector<PredicateId> predicate_map;
   std::vector<PreparedRule> rules;
+  /// Compiled join plans, aligned with `rules` — the full (round 0) plan
+  /// plus one variant per positive intensional body position. The
+  /// semi-naive engine runs these; the naive evaluator keeps the
+  /// interpreted ApplyRule below as the differential oracle.
+  std::vector<CompiledRule> compiled;
+  /// Total JoinPlans compiled (full + delta variants over all rules).
+  size_t plan_compiles = 0;
   /// Per result-predicate intensional flag.
   std::vector<bool> intensional;
   size_t num_variables = 0;
   /// EDB facts plus ground program facts, in result-predicate ids.
   FactStore store;
 
-  PreparedProgram() : result(Signature()), store(0) {}
+  PreparedProgram() : result(Signature()) {}
 };
 
 /// Builds the union signature, copies the EDB, resolves all rules into plan
-/// order, and seeds the fact store (EDB facts + ground program facts).
+/// order, compiles their join plans, and seeds the fact store (EDB facts +
+/// ground program facts).
 StatusOr<PreparedProgram> Prepare(const Program& program, const Structure& edb);
 
 /// Restriction of the delta literal to a contiguous slice of its relation —
@@ -48,6 +57,11 @@ struct DeltaRange {
 /// `store` for the body literal at plan position `delta_position`, optionally
 /// restricted to `delta_range`); derived head tuples are passed to `derive`.
 /// Returns the number of body matches attempted (work measure).
+///
+/// This is the tuple-at-a-time *interpreted* evaluation the compiled
+/// executors replaced in the semi-naive engine. The naive evaluator keeps it
+/// as the reference oracle; the differential harness pins the two engines'
+/// models and work counters against each other.
 size_t ApplyRule(const PreparedRule& rule, FactStore* store, FactStore* delta,
                  int delta_position, size_t num_variables,
                  const std::function<void(const Tuple&)>& derive,

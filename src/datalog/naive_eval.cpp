@@ -1,3 +1,9 @@
+// Naive (jacobi) fixpoint over the *interpreted* ApplyRule kernel.
+//
+// Deliberately not ported to the compiled executors: this engine is the
+// reference oracle the differential harness (tests/datalog_executor_test.cpp)
+// pins the compiled semi-naive engine's model against, so the two paths must
+// stay independent implementations of the same semantics.
 #include "common/logging.hpp"
 #include "datalog/eval.hpp"
 #include "datalog/eval_internal.hpp"

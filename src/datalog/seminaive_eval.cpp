@@ -1,3 +1,9 @@
+// Semi-naive fixpoint over compiled join plans (datalog/executor.hpp).
+//
+// Rounds decompose into rule x delta-position x delta-batch task units, each
+// running one compiled JoinPlan against the shared columnar store; units
+// merge in task order, so the derived model and every fact-insertion
+// sequence are bit-identical to a sequential run at any thread count.
 #include <algorithm>
 #include <utility>
 #include <vector>
@@ -13,50 +19,48 @@ namespace {
 
 constexpr size_t kMaxDeltaBatches = 8;
 
-/// One rule-evaluation unit of a fixpoint round: rule x delta position x
-/// contiguous delta batch. Round 0 units carry delta_position = -1 and a
-/// full-relation range. The decomposition of a round into units depends only
-/// on the program and the delta sizes — never on the thread count — so the
-/// fixpoint_rule_tasks counter (and every derived-work counter) is identical
-/// between sequential and parallel runs.
+/// One rule-evaluation unit of a fixpoint round: rule x delta variant x
+/// contiguous delta batch. Round 0 units carry variant = -1 (the full plan)
+/// and a full-relation range. The decomposition of a round into units
+/// depends only on the program and the delta sizes — never on the thread
+/// count — so the fixpoint_rule_tasks counter (and every derived-work
+/// counter) is identical between sequential and parallel runs.
 struct RuleTask {
   size_t rule = 0;
-  int delta_position = -1;
+  int variant = -1;  // index into CompiledRule::delta_variants, -1 = full
   internal::DeltaRange range;
 };
 
 struct TaskResult {
-  std::vector<std::pair<PredicateId, Tuple>> pending;
-  size_t rule_applications = 0;
+  /// Derived head tuples, flat in the task's own arena.
+  PendingSet pending;
+  ExecCounters counters;
 };
 
-/// Pre-builds the (predicate, position) column indexes the rule tasks will
-/// probe against `store`. The probe position of a body atom is statically
-/// determined: ProbePosition (the same choice MatchAtom makes at runtime)
-/// applied to the statically-bound variable set — at plan position k exactly
-/// the variables of positive atoms 0..k-1 are bound (negative literals bind
-/// nothing new). The parallel round shares the store read-only across
-/// tasks; with the probed indexes frozen, MatchAtom is a pure read (Add
-/// keeps built indexes maintained between rounds).
+/// Pre-builds every (predicate, bound-pattern) index the compiled plans
+/// will probe against `store`. Plan compilation already fixed each step's
+/// probe mask from the statically-bound variable set — at plan position k
+/// exactly the variables of positive steps 0..k-1 are bound, regardless of
+/// which position is the delta — so the full plans' step masks cover every
+/// store probe any delta variant makes. With the probed indexes frozen, a
+/// parallel round's Probe calls are pure reads (Add keeps built indexes
+/// maintained between rounds as the merge step inserts derived facts).
+///
+/// `delta_positions_only` freezes instead the masks the delta steps probe —
+/// applied to each round's fresh delta store.
 void FreezeIndexes(const internal::PreparedProgram& prep, FactStore* store,
                    bool delta_positions_only) {
-  std::vector<bool> bound(prep.num_variables);
-  for (const internal::PreparedRule& rule : prep.rules) {
-    bound.assign(prep.num_variables, false);
-    for (size_t pos = 0; pos < rule.body.size(); ++pos) {
-      const ResolvedAtom& atom = rule.body[pos];
-      if (rule.positive[pos] &&
-          (!delta_positions_only || rule.body_intensional[pos])) {
-        int probe = ProbePosition(atom, [&](VariableId var) {
-          return bound[static_cast<size_t>(var)];
-        });
-        if (probe >= 0) store->EnsureColumnIndex(atom.predicate, probe);
+  for (const CompiledRule& compiled : prep.compiled) {
+    if (!delta_positions_only) {
+      for (const CompiledStep& step : compiled.full.steps) {
+        store->EnsureIndex(step.spec.predicate, step.spec.probe_mask);
       }
-      if (rule.positive[pos]) {
-        for (VariableId var : atom.vars) {
-          if (var >= 0) bound[static_cast<size_t>(var)] = true;
-        }
-      }
+      continue;
+    }
+    for (const JoinPlan& variant : compiled.delta_variants) {
+      const CompiledStep& step =
+          variant.steps[static_cast<size_t>(variant.delta_position)];
+      store->EnsureIndex(step.spec.predicate, step.spec.probe_mask);
     }
   }
 }
@@ -72,14 +76,14 @@ std::vector<TaskResult> RunRuleTasks(const internal::PreparedProgram& prep,
   std::vector<TaskResult> results(tasks.size());
   auto run_one = [&](size_t i) {
     const RuleTask& task = tasks[i];
-    const internal::PreparedRule& rule = prep.rules[task.rule];
+    const CompiledRule& compiled = prep.compiled[task.rule];
+    const JoinPlan& plan =
+        task.variant < 0
+            ? compiled.full
+            : compiled.delta_variants[static_cast<size_t>(task.variant)];
     TaskResult& out = results[i];
-    out.rule_applications = internal::ApplyRule(
-        rule, store, delta, task.delta_position, prep.num_variables,
-        [&](const Tuple& tuple) {
-          out.pending.emplace_back(rule.head.predicate, tuple);
-        },
-        task.range);
+    ExecutePlan(plan, store, delta, task.range.begin, task.range.end,
+                &out.pending, &out.counters);
   };
   if (!exec.Parallel() || tasks.size() <= 1) {
     for (size_t i = 0; i < tasks.size(); ++i) run_one(i);
@@ -101,24 +105,23 @@ std::vector<TaskResult> RunRuleTasks(const internal::PreparedProgram& prep,
   return results;
 }
 
-/// Batch count for one (rule, delta position) unit: 1 unless the delta
-/// literal is the plan's first atom (no prefix join to re-run per batch) and
+/// Batch count for one (rule, delta variant) unit: 1 unless the delta
+/// literal is the plan's first step (no prefix join to re-run per batch) and
 /// its delta relation is wide enough to be worth splitting. A pure function
 /// of the data and exec.delta_batch_grain.
-size_t NumDeltaBatches(const internal::PreparedRule& rule, size_t pos,
-                       size_t delta_size, const EvalExec& exec) {
-  (void)rule;
-  if (pos != 0 || exec.delta_batch_grain == 0) return 1;
+size_t NumDeltaBatches(int delta_position, size_t delta_size,
+                       const EvalExec& exec) {
+  if (delta_position != 0 || exec.delta_batch_grain == 0) return 1;
   if (delta_size < 2 * exec.delta_batch_grain) return 1;
   return std::min(kMaxDeltaBatches, delta_size / exec.delta_batch_grain);
 }
 
 void AppendBatchedTasks(std::vector<RuleTask>* tasks, size_t rule_index,
-                        size_t pos, size_t delta_size, size_t batches) {
+                        int variant, size_t delta_size, size_t batches) {
   for (size_t b = 0; b < batches; ++b) {
     RuleTask task;
     task.rule = rule_index;
-    task.delta_position = static_cast<int>(pos);
+    task.variant = variant;
     task.range.begin = delta_size * b / batches;
     task.range.end = delta_size * (b + 1) / batches;
     tasks->push_back(task);
@@ -134,8 +137,8 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
   TREEDL_ASSIGN_OR_RETURN(internal::PreparedProgram prep,
                           internal::Prepare(program, edb));
   EvalStats local;
+  ExecCounters exec_counters;
   size_t rule_tasks = 0;
-  int num_preds = prep.result.signature().size();
   const bool parallel = exec.Parallel();
   // The store is shared read-only by the tasks of a round; freeze its
   // indexes up front so no task triggers a lazy index build mid-round (Add
@@ -144,7 +147,7 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
 
   // Round 0: full evaluation against the EDB (+ ground facts); all derived
   // facts form the first delta.
-  FactStore delta(num_preds);
+  FactStore delta(prep.result.signature());
   auto derive_into = [&](FactStore* next_delta, PredicateId pred,
                          const Tuple& tuple) {
     if (prep.store.Add(pred, tuple)) {
@@ -157,9 +160,12 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
   auto merge_results = [&](const std::vector<TaskResult>& results,
                            FactStore* next_delta) {
     for (const TaskResult& result : results) {
-      local.rule_applications += result.rule_applications;
-      for (const auto& [pred, tuple] : result.pending) {
-        derive_into(next_delta, pred, tuple);
+      exec_counters.work += result.counters.work;
+      exec_counters.dispatches += result.counters.dispatches;
+      for (size_t i = 0; i < result.pending.size(); ++i) {
+        const ElementId* args = result.pending.args(i);
+        derive_into(next_delta, result.pending.predicate(i),
+                    Tuple(args, args + result.pending.arity(i)));
       }
     }
   };
@@ -176,22 +182,26 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
                   &delta);
   }
 
-  // Delta rounds: for every rule and every intensional body position, match
-  // that position against the previous delta and the rest against the full
+  // Delta rounds: for every rule and every delta variant (one per positive
+  // intensional body position, ascending), run the variant's plan with its
+  // delta step against the previous delta and the rest against the full
   // store; wide position-0 deltas split into contiguous batches. Duplicate
   // derivations are absorbed by the store.
   while (delta.TotalFacts() > 0) {
     ++local.iterations;
     if (parallel) FreezeIndexes(prep, &delta, /*delta_positions_only=*/true);
-    FactStore next_delta(num_preds);
+    FactStore next_delta(prep.result.signature());
     std::vector<RuleTask> tasks;
     for (size_t r = 0; r < prep.rules.size(); ++r) {
-      const internal::PreparedRule& rule = prep.rules[r];
-      for (size_t pos = 0; pos < rule.body.size(); ++pos) {
-        if (!rule.body_intensional[pos] || !rule.positive[pos]) continue;
-        size_t delta_size = delta.Tuples(rule.body[pos].predicate).size();
-        AppendBatchedTasks(&tasks, r, pos, delta_size,
-                           NumDeltaBatches(rule, pos, delta_size, exec));
+      const CompiledRule& compiled = prep.compiled[r];
+      for (size_t v = 0; v < compiled.delta_variants.size(); ++v) {
+        const JoinPlan& variant = compiled.delta_variants[v];
+        size_t delta_size = delta.NumTuples(
+            variant.steps[static_cast<size_t>(variant.delta_position)]
+                .spec.predicate);
+        AppendBatchedTasks(
+            &tasks, r, static_cast<int>(v), delta_size,
+            NumDeltaBatches(variant.delta_position, delta_size, exec));
       }
     }
     rule_tasks += tasks.size();
@@ -200,12 +210,15 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
     delta = std::move(next_delta);
   }
 
+  local.rule_applications = exec_counters.work;
   if (stats != nullptr) {
     stats->eval_iterations += local.iterations;
     stats->derived_facts += local.derived_facts;
     stats->rule_applications += local.rule_applications;
     stats->fixpoint_rounds += local.iterations;
     stats->fixpoint_rule_tasks += rule_tasks;
+    stats->plan_compiles += prep.plan_compiles;
+    stats->executor_dispatches += exec_counters.dispatches;
   }
   return std::move(prep.result);
 }

@@ -85,6 +85,17 @@ struct RunStats {
   /// identical at num_threads = 1 and 8 — with a pool the units run
   /// concurrently, without one they run in the same order inline.
   size_t fixpoint_rule_tasks = 0;
+  /// Join plans compiled by Prepare: one full plan per rule plus one delta
+  /// variant per positive intensional body position. A pure function of the
+  /// program — identical across backends, thread counts, and repeats.
+  size_t plan_compiles = 0;
+  /// StepExecutor::Execute invocations by the compiled semi-naive engine —
+  /// one per join-plan step entered per prefix binding. When evaluation is
+  /// fully compiled this equals the engine's rule_applications contribution
+  /// (the interpreted oracle's work measure), and like every fixpoint
+  /// counter it is a deterministic function of program + data, never of the
+  /// thread count.
+  size_t executor_dispatches = 0;
 
   // --- PRIMALITY enumeration sharding --------------------------------------
   /// Shard tasks run by the two sharded walks (bottom-up solve and top-down
@@ -137,6 +148,8 @@ struct RunStats {
     rule_applications += other.rule_applications;
     fixpoint_rounds += other.fixpoint_rounds;
     fixpoint_rule_tasks += other.fixpoint_rule_tasks;
+    plan_compiles += other.plan_compiles;
+    executor_dispatches += other.executor_dispatches;
     primality_shards += other.primality_shards;
     ground_clauses += other.ground_clauses;
     ground_atoms += other.ground_atoms;

@@ -48,6 +48,10 @@ std::string RunStats::ToString() const {
       out << " rounds=" << fixpoint_rounds
           << " rule_tasks=" << fixpoint_rule_tasks;
     }
+    if (plan_compiles > 0) {
+      out << " plans=" << plan_compiles
+          << " dispatches=" << executor_dispatches;
+    }
     out << "}";
   }
   if (primality_shards > 0) {

@@ -93,6 +93,34 @@ TEST(AnalysisTest, IntensionalClassificationAndMonadicity) {
   EXPECT_FALSE(AnalyzeProgram(*binary)->is_monadic);
 }
 
+TEST(AnalysisTest, PlansOrderIntensionalLiteralsFirst) {
+  // The recursive rule is written EDB-first, but the plan must schedule the
+  // intensional literal at position 0: that is where the semi-naive engine's
+  // delta literal has to sit for delta batching to split it into range
+  // tasks.
+  auto program = ParseProgram(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- edge(X, Y), path(Y, Z).\n");
+  ASSERT_TRUE(program.ok());
+  auto info = AnalyzeProgram(*program);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->plans[1].size(), 2u);
+  EXPECT_EQ(info->plans[1][0], 1u);  // path(Y, Z) scheduled first
+  EXPECT_EQ(info->plans[1][1], 0u);
+
+  // Fully-bound negatives still schedule ahead of intensional positives.
+  auto negated = ParseProgram(
+      "odd(Y) :- even(X), succ(X, Y).\n"
+      "even(Y) :- odd(X), succ(X, Y), not blocked(Y).\n");
+  ASSERT_TRUE(negated.ok());
+  auto neg_info = AnalyzeProgram(*negated);
+  ASSERT_TRUE(neg_info.ok());
+  ASSERT_EQ(neg_info->plans[1].size(), 3u);
+  EXPECT_EQ(neg_info->plans[1][0], 0u);  // odd(X): intensional, first
+  EXPECT_EQ(neg_info->plans[1][1], 1u);  // succ binds Y
+  EXPECT_EQ(neg_info->plans[1][2], 2u);  // negative filter last
+}
+
 TEST(AnalysisTest, RejectsUnsafeRules) {
   // Head variable not range-restricted.
   auto p1 = ParseProgram("p(Y) :- q(X).");

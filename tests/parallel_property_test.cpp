@@ -321,6 +321,16 @@ TEST(ParallelPropertyTest, DatalogFixpointAgreesAcrossThreadCounts) {
     EXPECT_EQ(seq_run.rule_applications, par_run.rule_applications);
     EXPECT_EQ(seq_run.eval_iterations, par_run.eval_iterations);
 
+    // Compiled-executor counters: plan compilation is a pure function of
+    // the program, dispatch counts of program + data — neither sees the
+    // thread count, and a fully compiled run dispatches exactly once per
+    // unit of rule-application work.
+    EXPECT_GT(par_run.plan_compiles, 0u) << "trial " << trial;
+    EXPECT_GT(par_run.executor_dispatches, 0u) << "trial " << trial;
+    EXPECT_EQ(seq_run.plan_compiles, par_run.plan_compiles);
+    EXPECT_EQ(seq_run.executor_dispatches, par_run.executor_dispatches);
+    EXPECT_EQ(par_run.executor_dispatches, par_run.rule_applications);
+
     // And the parallel model still matches the naive reference oracle.
     auto naive = seq_engine.EvaluateDatalog(*program, DatalogBackend::kNaive);
     ASSERT_TRUE(naive.ok()) << naive.status();
