@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
@@ -314,6 +315,83 @@ ShedResult RunShedPhase(const std::vector<std::string>& loads) {
   return result;
 }
 
+struct ChaosResult {
+  size_t faults_injected = 0;  // across both chaos servers
+  size_t deadline_sheds = 0;   // ERR E_DEADLINE replies
+  size_t quarantines = 0;      // session files renamed to .corrupt
+  size_t errors = 0;           // total ERR replies (every one fault-typed)
+  bool recovered = false;      // every tenant answered after its fault
+};
+
+/// The chaos phase: a fixed fault schedule (failed session-file write,
+/// failed cold build), deadline shedding, and a quarantined warm start —
+/// every injected fault must surface as a typed ERR reply, every tenant must
+/// answer correctly on its next request, and the counters are deterministic.
+ChaosResult RunChaosPhase(const std::vector<std::string>& loads) {
+  const std::string dir = "bench_server_chaos_sessions";
+  std::filesystem::create_directories(dir);
+  server::ServerOptions options;
+  options.echo_stats = false;
+  options.session_dir = dir;
+
+  ChaosResult result;
+  std::string transcript;
+  {
+    TREEDL_CHECK(FaultInjector::Global()
+                     .SetSchedule("session_io.write@0,session_pool.build@1")
+                     .ok());
+    server::Server server(options);
+    std::string script = loads[0] + "\n" +
+                         "SAVE g0\n"    // write hit 0: injected E_IO
+                         "SAVE g0\n" +  // recovery write lands on disk
+                         loads[1] + "\n" +  // build hit 1: injected failure
+                         loads[1] + "\n" +  // exactly-once retry builds
+                         "DEADLINE 1\n"
+                         "SOLVE g0 VC\n"  // shed
+                         "SOLVE g1 VC\n"  // shed
+                         "DEADLINE OFF\n"
+                         "SOLVE g0 VC\n"  // recovered compute
+                         "SOLVE g1 VC\n"
+                         "QUIT\n";
+    RunScript(&server, script, &transcript);
+    result.faults_injected += FaultInjector::Global().FaultsInjected();
+    result.errors += server.stats().replies_error;
+  }
+  for (size_t pos = transcript.find("ERR E_DEADLINE");
+       pos != std::string::npos;
+       pos = transcript.find("ERR E_DEADLINE", pos + 1)) {
+    ++result.deadline_sheds;
+  }
+  size_t solves = 0;
+  for (size_t pos = transcript.find("OK SOLVE"); pos != std::string::npos;
+       pos = transcript.find("OK SOLVE", pos + 1)) {
+    ++solves;
+  }
+  result.recovered = solves == 2 &&
+                     transcript.find("OK SAVE") != std::string::npos;
+
+  {
+    // A fresh server over the same session directory, with the warm-start
+    // read scheduled to fail: the file is quarantined, the session rebuilds
+    // cold, and the tenant still answers — degradation, not an error.
+    TREEDL_CHECK(
+        FaultInjector::Global().SetSchedule("session_io.read@0").ok());
+    server::Server degraded(options);
+    std::string script = loads[0] + "\nSOLVE g0 VC\nQUIT\n";
+    std::string degraded_transcript;
+    RunScript(&degraded, script, &degraded_transcript);
+    result.faults_injected += FaultInjector::Global().FaultsInjected();
+    result.quarantines = degraded.pool().counters().quarantines;
+    result.errors += degraded.stats().replies_error;
+    result.recovered = result.recovered &&
+                       degraded_transcript.find("OK SOLVE") !=
+                           std::string::npos;
+  }
+  FaultInjector::Global().Disable();
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
 void RunServerBench(const BenchConfig& config) {
   const std::string session_dir = "bench_server_sessions";
   std::filesystem::create_directories(session_dir);
@@ -377,6 +455,21 @@ void RunServerBench(const BenchConfig& config) {
       shed.dispatched, shed.rejections, shed.max_queue_depth);
   TREEDL_CHECK(shed.dispatched == 2 && shed.rejections == 6);
 
+  ChaosResult chaos = RunChaosPhase(loads);
+  std::printf(
+      "  chaos: %zu faults injected, %zu deadline sheds, %zu quarantine(s), "
+      "%zu typed errors, recovered=%d\n",
+      chaos.faults_injected, chaos.deadline_sheds, chaos.quarantines,
+      chaos.errors, chaos.recovered ? 1 : 0);
+  TREEDL_CHECK(chaos.faults_injected == 3);
+  TREEDL_CHECK(chaos.deadline_sheds == 2);
+  TREEDL_CHECK(chaos.quarantines == 1);
+  // Every ERR reply is accounted for: two injected faults surfaced on the
+  // first server, two deadline sheds; the quarantined warm start degrades
+  // without erroring.
+  TREEDL_CHECK(chaos.errors == 4) << chaos.errors;
+  TREEDL_CHECK(chaos.recovered);
+
   std::filesystem::remove_all(session_dir);
 
   if (config.json_path != nullptr) {
@@ -406,7 +499,12 @@ void RunServerBench(const BenchConfig& config) {
                  "  \"contended_barriers\": %zu,\n"
                  "  \"contended_transcripts_identical\": %d,\n"
                  "  \"shed_dispatched\": %zu,\n"
-                 "  \"shed_rejections\": %zu\n"
+                 "  \"shed_rejections\": %zu,\n"
+                 "  \"chaos_faults_injected\": %zu,\n"
+                 "  \"chaos_deadline_sheds\": %zu,\n"
+                 "  \"chaos_quarantines\": %zu,\n"
+                 "  \"chaos_typed_errors\": %zu,\n"
+                 "  \"chaos_recovered\": %d\n"
                  "}\n",
                  config.structures, config.vertices, config.treewidth,
                  static_cast<unsigned long long>(config.seed), cold.requests,
@@ -416,7 +514,9 @@ void RunServerBench(const BenchConfig& config) {
                  warm.td_builds, warm.normalize_builds, churn.evictions,
                  rejections, contended.requests, contended.dispatched,
                  contended.barriers, contended.identical ? 1 : 0,
-                 shed.dispatched, shed.rejections);
+                 shed.dispatched, shed.rejections, chaos.faults_injected,
+                 chaos.deadline_sheds, chaos.quarantines, chaos.errors,
+                 chaos.recovered ? 1 : 0);
     std::fclose(out);
     std::printf("  wrote %s\n", config.json_path);
   }

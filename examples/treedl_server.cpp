@@ -25,6 +25,8 @@
 //                        parallelism (default 1 = sequential)
 //   --queue-capacity N   per-session front-end queue bound (default 64)
 //   --no-stats           omit per-request RunStats echoes (byte-stable replies)
+//   --faults SCHEDULE    deterministic fault schedule ("site[@N],..."), e.g.
+//                        --faults session_io.write@0,session_pool.build
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +34,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/fault_injection.hpp"
 #include "server/frontend.hpp"
 #include "server/server.hpp"
 
@@ -59,11 +62,20 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-stats") == 0) {
       options.echo_stats = false;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      treedl::Status installed =
+          treedl::FaultInjector::Global().SetSchedule(argv[++i]);
+      if (!installed.ok()) {
+        std::fprintf(stderr, "treedl_server: bad --faults schedule: %s\n",
+                     std::string(installed.message()).c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: treedl_server [--script FILE] [--max-sessions N] "
                    "[--budget BYTES] [--session-dir DIR] [--threads N] "
-                   "[--engine-threads N] [--queue-capacity N] [--no-stats]\n");
+                   "[--engine-threads N] [--queue-capacity N] [--no-stats] "
+                   "[--faults SCHEDULE]\n");
       return 2;
     }
   }

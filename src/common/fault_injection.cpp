@@ -1,0 +1,117 @@
+#include "common/fault_injection.hpp"
+
+#include <cctype>
+
+namespace treedl {
+
+namespace {
+
+// splitmix64: a full-avalanche mixer, so per-(seed, site, hit) decisions are
+// independent without any shared RNG stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::SetSchedule(const std::string& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seeded_ = false;
+  faults_injected_.store(0, std::memory_order_relaxed);
+  if (schedule.empty()) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  size_t start = 0;
+  while (start <= schedule.size()) {
+    size_t comma = schedule.find(',', start);
+    if (comma == std::string::npos) comma = schedule.size();
+    std::string token = schedule.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    uint64_t hit = 0;
+    std::string site = token;
+    size_t at = token.rfind('@');
+    if (at != std::string::npos) {
+      site = token.substr(0, at);
+      std::string index = token.substr(at + 1);
+      if (site.empty() || index.empty()) {
+        return Status::InvalidArgument("fault schedule: bad token '" + token +
+                                       "' (want site or site@N)");
+      }
+      for (char c : index) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument("fault schedule: bad hit index in '" +
+                                         token + "'");
+        }
+        hit = hit * 10 + static_cast<uint64_t>(c - '0');
+      }
+    }
+    sites_[site].fail_hits.push_back(hit);
+  }
+  enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Seed(uint64_t seed, uint32_t permille) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  faults_injected_.store(0, std::memory_order_relaxed);
+  seeded_ = true;
+  seed_ = seed;
+  permille_ = permille > 1000 ? 1000 : permille;
+  enabled_.store(permille_ > 0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seeded_ = false;
+  enabled_.store(false, std::memory_order_relaxed);
+  faults_injected_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(const char* site) {
+  uint64_t hit = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    hit = state.hits++;
+    if (seeded_) {
+      uint64_t h = Mix64(seed_ ^ Mix64(HashSite(site) ^ Mix64(hit)));
+      fail = (h % 1000) < permille_;
+    } else {
+      for (uint64_t fail_hit : state.fail_hits) {
+        if (fail_hit == hit) {
+          fail = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!fail) return Status::OK();
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal("injected fault at " + std::string(site) + " (hit " +
+                          std::to_string(hit) + ")");
+}
+
+}  // namespace treedl

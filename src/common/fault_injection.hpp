@@ -1,0 +1,102 @@
+// Deterministic, site-keyed fault injection for the serving stack.
+//
+// Chaos testing only works when the chaos replays: a fault schedule must
+// produce the SAME failures — at the same protocol positions, with the same
+// messages — on every run, at every thread count, under every sanitizer.
+// This registry gets there by keying faults on (site name, per-site hit
+// index) instead of time or randomness at the call site:
+//
+//   TREEDL_RETURN_IF_ERROR(TREEDL_FAULT_POINT("session_io.write"));
+//
+// Each call is one *hit* of that site. The schedule decides which hits fail:
+//
+//   scripted   "session_io.write@1,session_pool.build" — a comma-separated
+//              list of site[@N] tokens; site@N fails the N-th hit (0-based),
+//              bare site means site@0. One token, one failure.
+//
+//   seeded     Seed(s, permille) — every (site, hit) pair fails with
+//              probability permille/1000, decided by a pure hash of
+//              (seed, site, hit). No RNG stream, no ordering sensitivity:
+//              whether hit #7 of "session_io.read" fails depends only on the
+//              seed, never on what other threads did in between.
+//
+// Hit counters are per-site and atomic; the serving stack only places fault
+// points on the dispatch thread's sequential stage (LOAD/SAVE/OPEN/acquire
+// all barrier first), so hit indexes — and therefore transcripts — are a
+// pure function of the input script.
+//
+// When disabled (the default, and always in production paths) the macro
+// costs one relaxed atomic load and a predictable branch.
+#ifndef TREEDL_COMMON_FAULT_INJECTION_HPP_
+#define TREEDL_COMMON_FAULT_INJECTION_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace treedl {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector all TREEDL_FAULT_POINT sites consult.
+  static FaultInjector& Global();
+
+  /// Installs a scripted schedule ("site@N,site2,..."; empty disables) and
+  /// resets all hit counters. Returns InvalidArgument on a malformed token.
+  Status SetSchedule(const std::string& schedule);
+
+  /// Installs a seeded schedule: each (site, hit) fails with probability
+  /// `permille`/1000, decided by a pure hash of (seed, site, hit).
+  void Seed(uint64_t seed, uint32_t permille);
+
+  /// Disables injection and clears schedules and counters.
+  void Disable();
+
+  /// Fast-path gate: false in production (no-op branch at every site).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// One hit of `site`: OK to proceed, or the injected failure. The error
+  /// message names the site and hit index — both schedule-deterministic —
+  /// so injected failures diff byte-for-byte in transcripts.
+  Status Hit(const char* site);
+
+  /// Total faults injected since the last schedule install.
+  size_t FaultsInjected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    uint64_t hits = 0;
+    std::vector<uint64_t> fail_hits;  // scripted hit indexes, unsorted
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> faults_injected_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+  bool seeded_ = false;
+  uint64_t seed_ = 0;
+  uint32_t permille_ = 0;
+};
+
+/// The function behind TREEDL_FAULT_POINT: no-op when injection is disabled.
+inline Status FaultPoint(const char* site) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return Status::OK();
+  return injector.Hit(site);
+}
+
+}  // namespace treedl
+
+// Use as: TREEDL_RETURN_IF_ERROR(TREEDL_FAULT_POINT("session_io.write"));
+#define TREEDL_FAULT_POINT(site) ::treedl::FaultPoint(site)
+
+#endif  // TREEDL_COMMON_FAULT_INJECTION_HPP_

@@ -27,6 +27,9 @@ enum class StatusCode {
   kResourceExhausted,
   // Input text could not be parsed.
   kParseError,
+  // A cooperative deadline (WorkBudget deadline units) expired before the
+  // computation finished.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "InvalidArgument".
@@ -64,6 +67,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -167,6 +167,9 @@ StatusOr<size_t> MinDominatingSetNormalized(
     DpStats* stats, const DpExec& exec) {
   DominatingProblem problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+  if (exec.budget != nullptr && exec.budget->Aborted()) {
+    return exec.budget->AbortStatus();
+  }
   return FinalizeDominating(graph, ntd, table);
 }
 

@@ -184,15 +184,21 @@ void CountStates(const StateSet& states, DpStats* stats) {
 /// Bottom-up pass over one parents-last chunk (the full post order, or one
 /// shard's node list). Eviction: a non-branch node is its child's only
 /// reader — branch children must survive for the top-down sibling joins.
+/// A tripped budget skips the per-node work but keeps walking the chunk, so
+/// the shard scheduling epilogue (and the caller's abort check) still run.
 void BottomUpChunk(const PrimalityContext& context,
                    const NormalizedTreeDecomposition& ntd,
                    const std::vector<TdNodeId>& nodes,
                    std::vector<StateSet>* up, TableMemoryTracker* memory,
-                   bool evict, DpStats* stats) {
+                   bool evict, WorkBudget* budget, DpStats* stats) {
   for (TdNodeId id : nodes) {
+    if (budget != nullptr && !budget->ConsumeUnit()) continue;
     BottomUpStep(context, ntd, id, up);
     CountStates((*up)[static_cast<size_t>(id)], stats);
     memory->Add((*up)[static_cast<size_t>(id)].MemoryBytes());
+    if (budget != nullptr) {
+      budget->CheckTableBytes(memory->current.load(std::memory_order_relaxed));
+    }
     if (evict) {
       const NormNode& node = ntd.node(id);
       if (node.kind != NormNodeKind::kBranch) {
@@ -214,13 +220,17 @@ void TopDownChunk(const PrimalityContext& context,
                   const NormalizedTreeDecomposition& ntd,
                   const std::vector<TdNodeId>& nodes,
                   std::vector<StateSet>* up, std::vector<StateSet>* down,
-                  TableMemoryTracker* memory, bool evict,
+                  TableMemoryTracker* memory, bool evict, WorkBudget* budget,
                   std::vector<std::atomic<size_t>>* down_pending,
                   DpStats* stats) {
   for (TdNodeId x : nodes) {
+    if (budget != nullptr && !budget->ConsumeUnit()) continue;
     TopDownStep(context, ntd, x, *up, down);
     CountStates((*down)[static_cast<size_t>(x)], stats);
     memory->Add((*down)[static_cast<size_t>(x)].MemoryBytes());
+    if (budget != nullptr) {
+      budget->CheckTableBytes(memory->current.load(std::memory_order_relaxed));
+    }
     if (!evict) continue;
     if (x == ntd.root()) {
       // Nothing reads the root's bottom-up table after its pass completed.
@@ -262,12 +272,13 @@ std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
     RunShardedWalk(
         exec,
         [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
-          BottomUpChunk(context, ntd, nodes, &up, &memory, evict, local);
+          BottomUpChunk(context, ntd, nodes, &up, &memory, evict, exec.budget,
+                        local);
         },
         &dp, WalkDirection::kBottomUp);
   } else {
     std::vector<TdNodeId> post = ntd.PostOrder();
-    BottomUpChunk(context, ntd, post, &up, &memory, evict, &dp);
+    BottomUpChunk(context, ntd, post, &up, &memory, evict, exec.budget, &dp);
   }
 
   // Pass 2: top-down solve↓() tables on the inverted schedule — the root
@@ -284,14 +295,14 @@ std::vector<bool> EnumeratePrimesPrepared(const PrimalityContext& context,
         exec,
         [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
           TopDownChunk(context, ntd, nodes, &up, &down, &memory, evict,
-                       &down_pending, local);
+                       exec.budget, &down_pending, local);
         },
         &dp, WalkDirection::kTopDown);
   } else {
     std::vector<TdNodeId> post = ntd.PostOrder();
     std::vector<TdNodeId> pre(post.rbegin(), post.rend());
-    TopDownChunk(context, ntd, pre, &up, &down, &memory, evict, &down_pending,
-                 &dp);
+    TopDownChunk(context, ntd, pre, &up, &down, &memory, evict, exec.budget,
+                 &down_pending, &dp);
   }
 
   memory.FoldInto(&dp);

@@ -223,6 +223,11 @@ StatusOr<ThreeColorResult> SolveThreeColorNormalized(
   DpExec run_exec = exec;
   if (extract_coloring) run_exec.table_memory_budget = 0;
   auto table = RunTreeDpAuto(ntd, &problem, run_exec, &result.stats);
+  // An aborted budget leaves partial tables — the witness walk's predecessor
+  // checks would fire on them, so surface the abort before finalizing.
+  if (run_exec.budget != nullptr && run_exec.budget->Aborted()) {
+    return run_exec.budget->AbortStatus();
+  }
   ThreeColorResult finalized =
       FinalizeDecision(graph, ntd, table, extract_coloring);
   finalized.stats = result.stats;
@@ -265,6 +270,9 @@ StatusOr<uint64_t> CountThreeColoringsNormalized(
     DpStats* stats, const DpExec& exec) {
   ColorProblem<true> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+  if (exec.budget != nullptr && exec.budget->Aborted()) {
+    return exec.budget->AbortStatus();
+  }
   return FinalizeCount(ntd, table);
 }
 

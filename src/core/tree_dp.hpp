@@ -71,6 +71,7 @@
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/work_budget.hpp"
 #include "td/normalize.hpp"
 #include "td/shard.hpp"
 
@@ -129,6 +130,13 @@ struct DpExec {
   /// aborting. 0 keeps every table alive until the run ends (required by
   /// callers that re-read interior tables, e.g. witness extraction).
   size_t table_memory_budget = 0;
+  /// Optional cooperative cancellation: each node step of each pass claims
+  /// one work unit, and live table bytes are checked against the budget's
+  /// hard cap after every table lands. Once the budget aborts, remaining
+  /// steps are skipped (scheduling epilogues still run) and the CALLER must
+  /// surface budget->AbortStatus() instead of reading the tables — they are
+  /// partial. Null disables both checks.
+  WorkBudget* budget = nullptr;
 
   bool Parallel() const {
     return sharding != nullptr && pool != nullptr && sharding->NumShards() > 1;
@@ -251,12 +259,20 @@ void EvictChildTables(const NormalizedTreeDecomposition& ntd, TdNodeId id,
 
 /// One pass's node step: transition + stats + memory accounting + optional
 /// child eviction. Shared by the single-problem drivers and MultiDp.
+///
+/// Budgeted runs claim one work unit per step and verify the hard live-byte
+/// cap after the node's table lands. An exhausted budget turns remaining
+/// steps into no-ops — the walk completes (dependency countdowns intact) but
+/// the tables are partial, so callers must check budget->Aborted() before any
+/// finalizer.
 template <typename Problem>
 void DpStepNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
                 Problem* problem,
                 DpTable<typename Problem::State, typename Problem::Value>*
                     table,
-                TableMemoryTracker* memory, bool evict, DpStats* stats) {
+                TableMemoryTracker* memory, bool evict, DpStats* stats,
+                WorkBudget* budget = nullptr) {
+  if (budget != nullptr && !budget->ConsumeUnit()) return;
   DpProcessNode(ntd, id, problem, table);
   const auto& states = table->nodes[static_cast<size_t>(id)];
   if (stats != nullptr) {
@@ -265,6 +281,9 @@ void DpStepNode(const NormalizedTreeDecomposition& ntd, TdNodeId id,
         std::max(stats->max_states_per_node, states.size());
   }
   memory->Add(states.MemoryBytes());
+  if (budget != nullptr) {
+    budget->CheckTableBytes(memory->current.load(std::memory_order_relaxed));
+  }
   if (evict) EvictChildTables(ntd, id, table, memory);
 }
 
@@ -309,9 +328,11 @@ class MultiDp {
   void ProcessChunk(const NormalizedTreeDecomposition& ntd,
                     const std::vector<TdNodeId>& nodes,
                     internal::TableMemoryTracker* memory,
-                    size_t table_memory_budget, DpStats* stats) {
+                    size_t table_memory_budget, DpStats* stats,
+                    WorkBudget* budget = nullptr) {
     for (auto& pass : passes_) {
-      pass->ProcessChunk(ntd, nodes, memory, table_memory_budget, stats);
+      pass->ProcessChunk(ntd, nodes, memory, table_memory_budget, stats,
+                         budget);
     }
   }
 
@@ -322,7 +343,8 @@ class MultiDp {
     virtual void ProcessChunk(const NormalizedTreeDecomposition& ntd,
                               const std::vector<TdNodeId>& nodes,
                               internal::TableMemoryTracker* memory,
-                              size_t table_memory_budget, DpStats* stats) = 0;
+                              size_t table_memory_budget, DpStats* stats,
+                              WorkBudget* budget) = 0;
   };
 
   template <typename Problem>
@@ -336,10 +358,12 @@ class MultiDp {
     void ProcessChunk(const NormalizedTreeDecomposition& ntd,
                       const std::vector<TdNodeId>& nodes,
                       internal::TableMemoryTracker* memory,
-                      size_t table_memory_budget, DpStats* stats) override {
+                      size_t table_memory_budget, DpStats* stats,
+                      WorkBudget* budget) override {
       bool evict = table_memory_budget > 0 && !retain_tables;
       for (TdNodeId id : nodes) {
-        internal::DpStepNode(ntd, id, &problem, &table, memory, evict, stats);
+        internal::DpStepNode(ntd, id, &problem, &table, memory, evict, stats,
+                             budget);
       }
     }
 
@@ -458,13 +482,15 @@ void RunShardedWalk(const DpExec& exec, ProcessChunk&& process_chunk,
 template <typename Problem>
 DpTable<typename Problem::State, typename Problem::Value> RunTreeDp(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
-    DpStats* stats = nullptr, size_t table_memory_budget = 0) {
+    DpStats* stats = nullptr, size_t table_memory_budget = 0,
+    WorkBudget* budget = nullptr) {
   DpTable<typename Problem::State, typename Problem::Value> table;
   table.nodes.resize(ntd.NumNodes());
   internal::TableMemoryTracker memory;
   bool evict = table_memory_budget > 0;
   for (TdNodeId id : ntd.PostOrder()) {
-    internal::DpStepNode(ntd, id, problem, &table, &memory, evict, stats);
+    internal::DpStepNode(ntd, id, problem, &table, &memory, evict, stats,
+                         budget);
   }
   memory.FoldInto(stats);
   if (stats != nullptr) {
@@ -491,7 +517,7 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
       [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
         for (TdNodeId id : nodes) {
           internal::DpStepNode(ntd, id, problem, &table, &memory, evict,
-                               local);
+                               local, exec.budget);
         }
       },
       stats);
@@ -509,11 +535,12 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpSharded(
 /// retain_tables flag.
 inline void RunMultiTreeDp(const NormalizedTreeDecomposition& ntd,
                            MultiDp* multi, DpStats* stats = nullptr,
-                           size_t table_memory_budget = 0) {
+                           size_t table_memory_budget = 0,
+                           WorkBudget* budget = nullptr) {
   multi->Prepare(ntd.NumNodes());
   internal::TableMemoryTracker memory;
   std::vector<TdNodeId> post = ntd.PostOrder();
-  multi->ProcessChunk(ntd, post, &memory, table_memory_budget, stats);
+  multi->ProcessChunk(ntd, post, &memory, table_memory_budget, stats, budget);
   memory.FoldInto(stats);
   if (stats != nullptr) {
     ++stats->traversals;
@@ -535,7 +562,7 @@ inline void RunMultiTreeDpSharded(const NormalizedTreeDecomposition& ntd,
       exec,
       [&](const std::vector<TdNodeId>& nodes, DpStats* local) {
         multi->ProcessChunk(ntd, nodes, &memory, exec.table_memory_budget,
-                            local);
+                            local, exec.budget);
       },
       stats);
   memory.FoldInto(stats);
@@ -551,7 +578,8 @@ inline void RunMultiTreeDpAuto(const NormalizedTreeDecomposition& ntd,
                                MultiDp* multi, const DpExec& exec,
                                DpStats* stats = nullptr) {
   if (exec.Parallel()) return RunMultiTreeDpSharded(ntd, multi, exec, stats);
-  return RunMultiTreeDp(ntd, multi, stats, exec.table_memory_budget);
+  return RunMultiTreeDp(ntd, multi, stats, exec.table_memory_budget,
+                        exec.budget);
 }
 
 /// Dispatches to the sharded driver when `exec` carries a usable sharding and
@@ -561,7 +589,7 @@ DpTable<typename Problem::State, typename Problem::Value> RunTreeDpAuto(
     const NormalizedTreeDecomposition& ntd, Problem* problem,
     const DpExec& exec, DpStats* stats = nullptr) {
   if (exec.Parallel()) return RunTreeDpSharded(ntd, problem, exec, stats);
-  return RunTreeDp(ntd, problem, stats, exec.table_memory_budget);
+  return RunTreeDp(ntd, problem, stats, exec.table_memory_budget, exec.budget);
 }
 
 }  // namespace treedl::core

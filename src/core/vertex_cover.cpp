@@ -130,6 +130,9 @@ StatusOr<size_t> MinVertexCoverNormalized(
     DpStats* stats, const DpExec& exec) {
   SubsetProblem<true> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+  if (exec.budget != nullptr && exec.budget->Aborted()) {
+    return exec.budget->AbortStatus();
+  }
   return FinalizeCover(graph, ntd, table);
 }
 
@@ -165,6 +168,9 @@ StatusOr<size_t> MaxIndependentSetNormalized(
     DpStats* stats, const DpExec& exec) {
   SubsetProblem<false> problem(graph);
   auto table = RunTreeDpAuto(ntd, &problem, exec, stats);
+  if (exec.budget != nullptr && exec.budget->Aborted()) {
+    return exec.budget->AbortStatus();
+  }
   return FinalizeIndependent(ntd, table);
 }
 

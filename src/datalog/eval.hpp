@@ -11,6 +11,7 @@
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
+#include "common/work_budget.hpp"
 #include "datalog/ast.hpp"
 #include "engine/run_stats.hpp"
 #include "structure/structure.hpp"
@@ -30,6 +31,11 @@ struct EvalExec {
   /// delta size, never of the thread count, keeping work counters
   /// deterministic across configurations.
   size_t delta_batch_grain = 256;
+  /// Optional deadline/memory budget. The fixpoint charges one work unit per
+  /// rule task at each round boundary — the task decomposition is a pure
+  /// function of the data, so a deadline trips at the same round on every
+  /// thread count — and returns Status::DeadlineExceeded on a trip.
+  WorkBudget* budget = nullptr;
 
   bool Parallel() const { return pool != nullptr && pool->NumThreads() > 1; }
 };

@@ -170,6 +170,19 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
     }
   };
 
+  // Deadline accounting: one work unit per rule task, charged at the round
+  // boundary on the evaluating thread. The round/task decomposition is a
+  // pure function of the program and the delta sizes, so a deadline trips
+  // before the same round at every thread count.
+  auto charge_round = [&](size_t num_tasks) -> bool {
+    if (exec.budget == nullptr) return true;
+    bool ok = true;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      if (!exec.budget->ConsumeUnit()) ok = false;
+    }
+    return ok;
+  };
+
   {
     ++local.iterations;
     std::vector<RuleTask> tasks;
@@ -178,6 +191,7 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
       tasks.push_back(RuleTask{r, -1, {}});
     }
     rule_tasks += tasks.size();
+    if (!charge_round(tasks.size())) return exec.budget->AbortStatus();
     merge_results(RunRuleTasks(prep, &prep.store, nullptr, tasks, exec),
                   &delta);
   }
@@ -205,6 +219,7 @@ StatusOr<Structure> SemiNaiveEvaluate(const Program& program,
       }
     }
     rule_tasks += tasks.size();
+    if (!charge_round(tasks.size())) return exec.budget->AbortStatus();
     merge_results(RunRuleTasks(prep, &prep.store, &delta, tasks, exec),
                   &next_delta);
     delta = std::move(next_delta);

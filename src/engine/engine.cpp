@@ -5,6 +5,7 @@
 
 #include "common/binary_io.hpp"
 #include "common/timer.hpp"
+#include "common/work_budget.hpp"
 #include "core/extensions.hpp"
 #include "core/three_color.hpp"
 #include "datalog/eval.hpp"
@@ -357,7 +358,8 @@ StatusOr<bool> Engine::IsPrime(AttributeId a, RunStats* stats) {
   return result;
 }
 
-StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
+StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats,
+                                              WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -381,12 +383,18 @@ StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
       exec.pool = EnsurePool();
       exec.sharding = enum_sharding_.has_value() ? &*enum_sharding_ : nullptr;
       exec.table_memory_budget = options_.table_memory_budget;
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     // The two-pass enumeration runs outside the lock (sharded on the pool
     // when the session is parallel); concurrent first callers may duplicate
     // the work, but the memo is written once.
     std::vector<bool> primes = core::internal::EnumeratePrimesPrepared(
         *context, *encoding, schema_->NumAttributes(), *ntd, s, exec);
+    // An aborted run produced a partial bit vector — never memoize it, so
+    // the next AllPrimes call recomputes from the cached decomposition.
+    if (exec.budget != nullptr && exec.budget->Aborted()) {
+      return exec.budget->AbortStatus();
+    }
     std::lock_guard<std::mutex> lock(sync_->cache_mu);
     if (!primes_.has_value()) primes_ = std::move(primes);
     return *primes_;
@@ -399,13 +407,15 @@ StatusOr<std::vector<bool>> Engine::AllPrimes(RunStats* stats) {
 // --- Datalog -----------------------------------------------------------------
 
 StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
-                                            RunStats* stats) {
-  return EvaluateDatalog(program, options_.backend, stats);
+                                            RunStats* stats,
+                                            WorkBudget* budget) {
+  return EvaluateDatalog(program, options_.backend, stats, budget);
 }
 
 StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
                                             DatalogBackend backend,
-                                            RunStats* stats) {
+                                            RunStats* stats,
+                                            WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -418,6 +428,7 @@ StatusOr<Structure> Engine::EvaluateDatalog(const datalog::Program& program,
       // Only the semi-naive backend consumes the pool — don't spin up
       // workers for the sequential naive/grounded backends.
       if (backend == DatalogBackend::kSemiNaive) exec.pool = EnsurePool();
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     return RunBackend(program, *edb, backend, exec, s);
   }();
@@ -435,7 +446,7 @@ StatusOr<bool> Engine::UseDirectMso(RunStats* stats) {
 }
 
 StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
-                                   RunStats* stats) {
+                                   RunStats* stats, WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -460,6 +471,7 @@ StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
           exec.pool = EnsurePool();
         }
       }
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     if (direct) {
       mso::EvalOptions eopts;
@@ -479,7 +491,8 @@ StatusOr<bool> Engine::EvaluateMso(const mso::FormulaPtr& sentence,
 }
 
 StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
-    const mso::FormulaPtr& phi, const std::string& free_var, RunStats* stats) {
+    const mso::FormulaPtr& phi, const std::string& free_var, RunStats* stats,
+    WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -504,6 +517,7 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
           exec.pool = EnsurePool();
         }
       }
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     std::vector<bool> selected(a->NumElements(), false);
     if (direct) {
@@ -533,7 +547,8 @@ StatusOr<std::vector<bool>> Engine::EvaluateMsoUnary(
 
 // --- Graph DPs ----------------------------------------------------------------
 
-StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
+StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats,
+                                            WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -548,6 +563,7 @@ StatusOr<Engine::SolveResult> Engine::Solve(Problem problem, RunStats* stats) {
       exec.pool = EnsurePool();
       exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
       exec.table_memory_budget = options_.table_memory_budget;
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     // The DP itself runs outside the lock — concurrent Solve calls share the
     // pool, and with num_threads > 1 each traversal is itself sharded.
@@ -632,7 +648,8 @@ Engine::SolveResult Engine::SolveAllResult::Result(Problem problem) const {
   return out;
 }
 
-StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
+StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats,
+                                                  WorkBudget* budget) {
   RunStats local;
   RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
   Timer timer;
@@ -647,6 +664,7 @@ StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
       exec.pool = EnsurePool();
       exec.sharding = sharding_.has_value() ? &*sharding_ : nullptr;
       exec.table_memory_budget = options_.table_memory_budget;
+      exec.budget = budget != nullptr ? budget : options_.work_budget;
     }
     // One fused traversal outside the lock: five state tables, each bag of
     // the normal form visited exactly once (sharded when exec.Parallel()).
@@ -659,6 +677,13 @@ StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats) {
     auto dominating = core::AddDominatingSetPass(&multi, *graph, *ntd);
     core::DpStats dp;
     core::RunMultiTreeDpAuto(*ntd, &multi, exec, &dp);
+    // The finalizers below re-read root (and, for witness extraction,
+    // interior) tables; on an aborted budget those are partial — surface the
+    // abort before any finalizer can trip over them.
+    if (exec.budget != nullptr && exec.budget->Aborted()) {
+      MergeDp(dp, s);
+      return exec.budget->AbortStatus();
+    }
 
     SolveAllResult out;
     TREEDL_ASSIGN_OR_RETURN(core::ThreeColorResult tc, three_color());

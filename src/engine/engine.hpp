@@ -127,8 +127,12 @@ class Engine {
   StatusOr<bool> IsPrime(AttributeId a, RunStats* stats = nullptr);
 
   /// §5.3 enumeration: all prime attributes in one two-pass run. The result
-  /// is memoized; subsequent calls are cache hits.
-  StatusOr<std::vector<bool>> AllPrimes(RunStats* stats = nullptr);
+  /// is memoized; subsequent calls are cache hits. A tripped `budget`
+  /// (per-call, overriding EngineOptions::work_budget) aborts the run with
+  /// DeadlineExceeded/ResourceExhausted and leaves the memo unwritten, so
+  /// the next call recomputes cleanly.
+  StatusOr<std::vector<bool>> AllPrimes(RunStats* stats = nullptr,
+                                        WorkBudget* budget = nullptr);
 
   // --- MSO -----------------------------------------------------------------
 
@@ -138,27 +142,36 @@ class Engine {
   /// Compiled programs are cached per formula — repeated evaluation of the
   /// same sentence skips the Thm 4.5 construction.
   StatusOr<bool> EvaluateMso(const mso::FormulaPtr& sentence,
-                             RunStats* stats = nullptr);
+                             RunStats* stats = nullptr,
+                             WorkBudget* budget = nullptr);
 
   /// Unary MSO query φ(x): membership vector over the session structure's
   /// elements.
   StatusOr<std::vector<bool>> EvaluateMsoUnary(const mso::FormulaPtr& phi,
                                                const std::string& free_var,
-                                               RunStats* stats = nullptr);
+                                               RunStats* stats = nullptr,
+                                               WorkBudget* budget = nullptr);
 
   // --- Datalog -------------------------------------------------------------
 
   /// Evaluates `program` with the session structure as EDB, via the selected
   /// backend (EngineOptions::backend, overridable per call).
   StatusOr<Structure> EvaluateDatalog(const datalog::Program& program,
-                                      RunStats* stats = nullptr);
+                                      RunStats* stats = nullptr,
+                                      WorkBudget* budget = nullptr);
   StatusOr<Structure> EvaluateDatalog(const datalog::Program& program,
                                       DatalogBackend backend,
-                                      RunStats* stats = nullptr);
+                                      RunStats* stats = nullptr,
+                                      WorkBudget* budget = nullptr);
 
   // --- Graph DPs -----------------------------------------------------------
 
-  StatusOr<SolveResult> Solve(Problem problem, RunStats* stats = nullptr);
+  /// A tripped `budget` (per-call, overriding EngineOptions::work_budget)
+  /// aborts the traversal and returns its DeadlineExceeded /
+  /// ResourceExhausted status; no partial result escapes and the session's
+  /// cached artifacts are untouched, so the next query answers normally.
+  StatusOr<SolveResult> Solve(Problem problem, RunStats* stats = nullptr,
+                              WorkBudget* budget = nullptr);
 
   /// Evaluates all five Problems in ONE bottom-up traversal of the cached
   /// normal form (a core::MultiDp fusing the five state tables; with
@@ -166,7 +179,8 @@ class Engine {
   /// Solve's). Five answers cost one walk: RunStats reports dp_traversals ==
   /// 1, dp_passes == 5, and a parallel session's dp_shards equals one
   /// traversal's shard count, not five.
-  StatusOr<SolveAllResult> SolveAll(RunStats* stats = nullptr);
+  StatusOr<SolveAllResult> SolveAll(RunStats* stats = nullptr,
+                                    WorkBudget* budget = nullptr);
 
   // --- Persistent sessions -------------------------------------------------
 

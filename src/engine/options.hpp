@@ -13,6 +13,7 @@
 namespace treedl {
 
 class ThreadPool;
+class WorkBudget;
 
 /// Which datalog fixpoint engine serves EvaluateDatalog / EvaluateMso.
 enum class DatalogBackend {
@@ -83,6 +84,13 @@ struct EngineOptions {
   /// that must re-read interior tables (witness extraction) are exempted
   /// automatically.
   size_t table_memory_budget = 0;
+  /// Non-owning cooperative cancellation/deadline budget applied to every
+  /// query this session runs (per-call budget arguments override it). The
+  /// budget counts deterministic logical work units — DP nodes processed,
+  /// fixpoint rule tasks — so a deadline trips at the same unit on every
+  /// thread count; it can also carry a hard live-table byte cap
+  /// (kResourceExhausted on overrun). Must outlive the Engine.
+  WorkBudget* work_budget = nullptr;
 };
 
 }  // namespace treedl

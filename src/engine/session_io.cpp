@@ -4,18 +4,30 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 
 #include "common/binary_io.hpp"
+#include "common/fault_injection.hpp"
 #include "structure/structure_io.hpp"
 #include "td/td_io.hpp"
 
 namespace treedl::engine {
 
 namespace {
+
+// The errno rendering behind every IO failure Status: "<op> failed:
+// <strerror>". strerror text is libc-stable for a fixed platform, so the
+// serving layer can surface these messages in transcripts that diff
+// byte-for-byte across runs.
+std::string ErrnoText(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
 
 void AppendSection(SessionSection tag, BinaryWriter&& payload,
                    BinaryWriter* out) {
@@ -212,6 +224,7 @@ StatusOr<SessionArtifacts> DecodeSessionFile(std::string_view data,
 
 Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
                         const SessionArtifactRefs& artifacts) {
+  TREEDL_RETURN_IF_ERROR(TREEDL_FAULT_POINT("session_io.write"));
   std::string bytes = EncodeSessionFile(fingerprint, artifacts);
   // Atomic, durable write: the full image goes to a temporary sibling, is
   // fsync'd to stable storage, and then one rename() publishes it. A crash
@@ -225,17 +238,20 @@ Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
   std::string temp_path = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(temp_counter.fetch_add(1));
   {
+    errno = 0;
     std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Status::InvalidArgument("session: cannot open '" + temp_path +
-                                     "' for writing");
+                                     "' for writing: " + ErrnoText(errno));
     }
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
+      int err = errno;
       out.close();
       std::remove(temp_path.c_str());
-      return Status::Internal("session: short write to '" + temp_path + "'");
+      return Status::Internal("session: short write to '" + temp_path +
+                              "': " + ErrnoText(err));
     }
   }
   // Force the data to disk before the rename becomes visible: journaling
@@ -244,15 +260,18 @@ Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
   // function exists to rule out.
   int fd = ::open(temp_path.c_str(), O_WRONLY);
   if (fd < 0 || ::fsync(fd) != 0) {
+    int err = errno;
     if (fd >= 0) ::close(fd);
     std::remove(temp_path.c_str());
-    return Status::Internal("session: cannot fsync '" + temp_path + "'");
+    return Status::Internal("session: cannot fsync '" + temp_path +
+                            "': " + ErrnoText(err));
   }
   ::close(fd);
   if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    int err = errno;
     std::remove(temp_path.c_str());
     return Status::Internal("session: cannot rename '" + temp_path +
-                            "' to '" + path + "'");
+                            "' to '" + path + "': " + ErrnoText(err));
   }
   // Best-effort directory sync so the rename itself is durable.
   std::string_view view(path);
@@ -269,9 +288,12 @@ Status WriteSessionFile(const std::string& path, uint64_t fingerprint,
 
 StatusOr<SessionArtifacts> ReadSessionFile(const std::string& path,
                                            uint64_t expected_fingerprint) {
+  TREEDL_RETURN_IF_ERROR(TREEDL_FAULT_POINT("session_io.read"));
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return Status::NotFound("session: cannot open '" + path + "'");
+    return Status::NotFound("session: cannot open '" + path +
+                            "': " + ErrnoText(errno));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();

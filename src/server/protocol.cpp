@@ -1,6 +1,7 @@
 #include "server/protocol.hpp"
 
 #include <cctype>
+#include <cstdint>
 
 #include "common/string_util.hpp"
 
@@ -134,6 +135,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "E_EVAL";
     case ErrorCode::kIo:
       return "E_IO";
+    case ErrorCode::kDeadline:
+      return "E_DEADLINE";
   }
   return "E_EVAL";
 }
@@ -149,6 +152,7 @@ const char* RequestName(const Request& request) {
     const char* operator()(const SaveRequest&) const { return "SAVE"; }
     const char* operator()(const OpenRequest&) const { return "OPEN"; }
     const char* operator()(const StatsRequest&) const { return "STATS"; }
+    const char* operator()(const DeadlineRequest&) const { return "DEADLINE"; }
     const char* operator()(const CloseRequest&) const { return "CLOSE"; }
     const char* operator()(const QuitRequest&) const { return "QUIT"; }
   };
@@ -226,6 +230,29 @@ StatusOr<std::optional<Request>> ParseRequest(std::string_view line) {
     TREEDL_RETURN_IF_ERROR(ExpectEnd(&rest, "STATS"));
     return std::optional<Request>(Request(std::move(stats)));
   }
+  if (command == "DEADLINE") {
+    std::string_view token = TakeToken(&rest);
+    if (token.empty()) {
+      return Status::ParseError("DEADLINE: expected a unit count or OFF");
+    }
+    TREEDL_RETURN_IF_ERROR(ExpectEnd(&rest, "DEADLINE"));
+    DeadlineRequest deadline;
+    if (token != "OFF") {
+      uint64_t units = 0;
+      for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::ParseError("DEADLINE: '" + std::string(token) +
+                                    "' is not a unit count or OFF");
+        }
+        if (units > (UINT64_MAX - 9) / 10) {
+          return Status::ParseError("DEADLINE: unit count overflows");
+        }
+        units = units * 10 + static_cast<uint64_t>(c - '0');
+      }
+      deadline.units = units;
+    }
+    return std::optional<Request>(Request(deadline));
+  }
   if (command == "CLOSE") {
     return tenant_only(
         [](std::string t) { return Request(CloseRequest{std::move(t)}); });
@@ -247,6 +274,8 @@ ErrorCode ErrorCodeFor(const Status& status) {
       return ErrorCode::kBadArgument;
     case StatusCode::kResourceExhausted:
       return ErrorCode::kAdmission;
+    case StatusCode::kDeadlineExceeded:
+      return ErrorCode::kDeadline;
     default:
       return ErrorCode::kEval;
   }

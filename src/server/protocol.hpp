@@ -16,6 +16,7 @@
 //   SAVE <tenant>                                          persist session
 //   OPEN <tenant>                                          warm-start session
 //   STATS [<tenant>]                                       counters
+//   DEADLINE <units>|OFF                                   arm work budget
 //   CLOSE <tenant>                                         drop the tenant
 //   QUIT                                                   stop the driver
 //
@@ -53,6 +54,7 @@ enum class ErrorCode {
   kAdmission,       // E_ADMISSION — session pool/budget rejected the request
   kEval,            // E_EVAL — the engine failed to answer
   kIo,              // E_IO — session file or script IO failed
+  kDeadline,        // E_DEADLINE — the request's work-unit deadline tripped
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -101,6 +103,15 @@ struct StatsRequest {
   std::optional<std::string> tenant;  // absent = server-wide counters
 };
 
+/// DEADLINE <units> arms a per-request work-unit budget for every subsequent
+/// compute request on this connection; DEADLINE OFF disarms it. Units are
+/// deterministic logical work (DP nodes processed, fixpoint rule tasks), so
+/// "DEADLINE 100" sheds the same requests — with byte-identical E_DEADLINE
+/// replies — at every thread count.
+struct DeadlineRequest {
+  std::optional<uint64_t> units;  // nullopt = OFF
+};
+
 struct CloseRequest {
   std::string tenant;
 };
@@ -110,7 +121,7 @@ struct QuitRequest {};
 using Request =
     std::variant<LoadRequest, AssertRequest, QueryRequest, SolveRequest,
                  SolveAllRequest, MsoRequest, SaveRequest, OpenRequest,
-                 StatsRequest, CloseRequest, QuitRequest>;
+                 StatsRequest, DeadlineRequest, CloseRequest, QuitRequest>;
 
 /// The command keyword of a parsed request ("LOAD", "QUERY", ...).
 const char* RequestName(const Request& request);

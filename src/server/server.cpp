@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/string_util.hpp"
+#include "common/work_budget.hpp"
 #include "datalog/analysis.hpp"
 #include "datalog/parser.hpp"
 #include "mso/parser.hpp"
@@ -87,6 +89,8 @@ bool Server::HandleRequest(const Request& request, std::string* out) {
           HandleOpen(typed, out);
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           HandleStats(typed, out);
+        } else if constexpr (std::is_same_v<T, DeadlineRequest>) {
+          HandleDeadline(typed, out);
         } else if constexpr (std::is_same_v<T, CloseRequest>) {
           HandleClose(typed, out);
         }
@@ -156,6 +160,7 @@ std::optional<Server::ComputeWork> Server::PrepareCompute(
     work.request = request;
     work.lease = std::move(lease).value();
     work.program = std::move(program).value();
+    work.deadline = deadline_units_;
     return work;
   }
   if (const auto* mso = std::get_if<MsoRequest>(&request)) {
@@ -178,6 +183,7 @@ std::optional<Server::ComputeWork> Server::PrepareCompute(
     work.request = request;
     work.lease = std::move(lease).value();
     work.formula = std::move(formula).value();
+    work.deadline = deadline_units_;
     return work;
   }
   const std::string* tenant_name = nullptr;
@@ -200,6 +206,7 @@ std::optional<Server::ComputeWork> Server::PrepareCompute(
   ComputeWork work;
   work.request = request;
   work.lease = std::move(lease).value();
+  work.deadline = deadline_units_;
   return work;
 }
 
@@ -213,6 +220,20 @@ void Server::ExecuteCompute(ComputeWork& work, std::string* out) {
   } else if (std::holds_alternative<MsoRequest>(work.request)) {
     ExecuteMso(work, out);
   }
+}
+
+WorkBudget* Server::ArmBudget(const ComputeWork& work,
+                              WorkBudget* budget) const {
+  bool armed = false;
+  if (work.deadline.has_value()) {
+    budget->SetDeadline(*work.deadline);
+    armed = true;
+  }
+  if (options_.table_memory_budget > 0) {
+    budget->SetTableBytesLimit(options_.table_memory_budget);
+    armed = true;
+  }
+  return armed ? budget : nullptr;
 }
 
 StatusOr<Server::Tenant*> Server::FindTenant(const std::string& name) {
@@ -308,10 +329,11 @@ void Server::HandleAssert(const AssertRequest& request, std::string* out) {
 void Server::ExecuteQuery(ComputeWork& work, std::string* out) {
   const QueryRequest& request = std::get<QueryRequest>(work.request);
   RunStats run;
-  StatusOr<Structure> result =
-      work.lease.engine->EvaluateDatalog(work.program, &run);
+  WorkBudget budget;
+  StatusOr<Structure> result = work.lease.engine->EvaluateDatalog(
+      work.program, &run, ArmBudget(work, &budget));
   if (!result.ok()) {
-    EmitError(ErrorCode::kEval, result.status().message(), out);
+    EmitStatus(result.status(), out);
     return;
   }
   // Render the derived (intensional) facts, predicate-major in signature
@@ -349,10 +371,11 @@ void Server::ExecuteQuery(ComputeWork& work, std::string* out) {
 void Server::ExecuteSolve(ComputeWork& work, std::string* out) {
   const SolveRequest& request = std::get<SolveRequest>(work.request);
   RunStats run;
-  StatusOr<Engine::SolveResult> result =
-      work.lease.engine->Solve(request.problem, &run);
+  WorkBudget budget;
+  StatusOr<Engine::SolveResult> result = work.lease.engine->Solve(
+      request.problem, &run, ArmBudget(work, &budget));
   if (!result.ok()) {
-    EmitError(ErrorCode::kEval, result.status().message(), out);
+    EmitStatus(result.status(), out);
     return;
   }
   std::string details = "tenant=" + request.tenant +
@@ -377,9 +400,11 @@ void Server::ExecuteSolve(ComputeWork& work, std::string* out) {
 void Server::ExecuteSolveAll(ComputeWork& work, std::string* out) {
   const SolveAllRequest& request = std::get<SolveAllRequest>(work.request);
   RunStats run;
-  StatusOr<Engine::SolveAllResult> result = work.lease.engine->SolveAll(&run);
+  WorkBudget budget;
+  StatusOr<Engine::SolveAllResult> result =
+      work.lease.engine->SolveAll(&run, ArmBudget(work, &budget));
   if (!result.ok()) {
-    EmitError(ErrorCode::kEval, result.status().message(), out);
+    EmitStatus(result.status(), out);
     return;
   }
   const Engine::SolveAllResult& all = result.value();
@@ -398,9 +423,11 @@ void Server::ExecuteSolveAll(ComputeWork& work, std::string* out) {
 void Server::ExecuteMso(ComputeWork& work, std::string* out) {
   const MsoRequest& request = std::get<MsoRequest>(work.request);
   RunStats run;
-  StatusOr<bool> holds = work.lease.engine->EvaluateMso(work.formula, &run);
+  WorkBudget budget;
+  StatusOr<bool> holds = work.lease.engine->EvaluateMso(
+      work.formula, &run, ArmBudget(work, &budget));
   if (!holds.ok()) {
-    EmitError(ErrorCode::kEval, holds.status().message(), out);
+    EmitStatus(holds.status(), out);
     return;
   }
   std::string details = "tenant=" + request.tenant + " " +
@@ -424,7 +451,8 @@ void Server::HandleSave(const SaveRequest& request, std::string* out) {
     return;
   }
   RunStats run;
-  Status saved = pool_->Save(lease.value().fingerprint, &run);
+  Status saved = TREEDL_FAULT_POINT("server.save");
+  if (saved.ok()) saved = pool_->Save(lease.value().fingerprint, &run);
   if (!saved.ok()) {
     EmitError(ErrorCode::kIo, saved.message(), out);
     return;
@@ -487,6 +515,7 @@ void Server::HandleStats(const StatsRequest& request, std::string* out) {
         KeyValue("misses", pool_counters.misses) + " " +
         KeyValue("evictions", pool_counters.evictions) + " " +
         KeyValue("warm_loads", pool_counters.warm_loads) + " " +
+        KeyValue("quarantines", pool_counters.quarantines) + " " +
         KeyValue("rejections", pool_counters.rejections) + " " +
         KeyValue("charged_bytes", pool_->ChargedBytes()) + " " +
         KeyValue("peak_table_bytes", snapshot.peak_table_bytes) + " " +
@@ -515,6 +544,15 @@ void Server::HandleStats(const StatsRequest& request, std::string* out) {
                KeyValue("resident_bytes", engine->ResidentArtifactBytes());
   }
   EmitOk("STATS", details, out);
+}
+
+void Server::HandleDeadline(const DeadlineRequest& request, std::string* out) {
+  deadline_units_ = request.units;
+  if (deadline_units_.has_value()) {
+    EmitOk("DEADLINE", "units=" + std::to_string(*deadline_units_), out);
+  } else {
+    EmitOk("DEADLINE", "off", out);
+  }
 }
 
 void Server::HandleClose(const CloseRequest& request, std::string* out) {

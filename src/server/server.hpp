@@ -121,6 +121,10 @@ class Server {
     SessionPool::Lease lease;
     datalog::Program program;  // QUERY only
     mso::FormulaPtr formula;   // MSO only
+    /// Armed work-unit deadline captured at prepare time (DEADLINE state is
+    /// dispatch-thread state; capturing it here keeps ExecuteCompute free of
+    /// server mutation and the reply independent of worker scheduling).
+    std::optional<uint64_t> deadline;
   };
 
   /// The pool fingerprint a compute request would acquire, or nullopt when
@@ -164,6 +168,11 @@ class Server {
     std::atomic<size_t> peak_table_bytes{0};
   };
 
+  /// Arms `*budget` with the request's captured deadline and the server's
+  /// table_memory_budget hard cap; returns it, or nullptr when neither limit
+  /// is set (keeps the DP inner loops on their no-budget fast path).
+  WorkBudget* ArmBudget(const ComputeWork& work, WorkBudget* budget) const;
+
   /// The tenant for `name`, or a kNoTenant-shaped NotFound status.
   StatusOr<Tenant*> FindTenant(const std::string& name);
   /// Acquire + common error mapping; echoes `pool=hit|warm|cold`.
@@ -177,6 +186,7 @@ class Server {
   void HandleSave(const SaveRequest& request, std::string* out);
   void HandleOpen(const OpenRequest& request, std::string* out);
   void HandleStats(const StatsRequest& request, std::string* out);
+  void HandleDeadline(const DeadlineRequest& request, std::string* out);
   void HandleClose(const CloseRequest& request, std::string* out);
 
   void ExecuteQuery(ComputeWork& work, std::string* out);
@@ -194,6 +204,9 @@ class Server {
   std::unique_ptr<ThreadPool> shared_pool_;  // null when sequential
   std::unique_ptr<SessionPool> pool_;
   std::map<std::string, Tenant> tenants_;  // ordered: deterministic STATS
+  /// Armed DEADLINE for subsequent compute requests (nullopt = off). Only
+  /// the dispatch thread reads or writes it.
+  std::optional<uint64_t> deadline_units_;
   AtomicStats stats_;
 };
 

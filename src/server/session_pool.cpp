@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/fault_injection.hpp"
 #include "common/string_util.hpp"
 
 namespace treedl::server {
@@ -52,6 +53,18 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
 
   bool waited = false;
   while (true) {
+    if (waited) {
+      // The build this thread waited on may have failed: consume one share
+      // of the recorded failure and return it. Only threads that actually
+      // waited consume shares — a fresh Acquire skips the record and retries
+      // the build itself, so a transient failure costs exactly one retry.
+      auto failed = build_failures_.find(fingerprint);
+      if (failed != build_failures_.end()) {
+        Status failure = failed->second.status;
+        if (--failed->second.remaining == 0) build_failures_.erase(failed);
+        return failure;
+      }
+    }
     auto it = sessions_.find(fingerprint);
     if (it != sessions_.end()) {
       ++counters_.hits;
@@ -59,12 +72,14 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
       return MakeLeaseLocked(it->second, fingerprint, /*hit=*/true,
                              /*warm_loaded=*/false, /*artifact_loads=*/0);
     }
-    if (builds_.find(fingerprint) == builds_.end()) break;
+    auto build = builds_.find(fingerprint);
+    if (build == builds_.end()) break;
     // Another thread is building this very session: wait for its insert
     // rather than building a second copy.
     if (!waited) {
       waited = true;
       ++counters_.build_waits;
+      ++build->second.waiters;
     }
     build_cv_.wait(lock);
   }
@@ -94,29 +109,61 @@ StatusOr<SessionPool::Lease> SessionPool::Acquire(const Structure& structure) {
   // cold tenant's construction + warm-load I/O must not block every other
   // tenant's Acquire. The builds_ latch keeps concurrent acquires of this
   // fingerprint from building twice.
-  builds_.emplace(fingerprint, estimate);
+  builds_.emplace(fingerprint, BuildState{estimate, /*waiters=*/0});
   lock.unlock();
 
-  auto engine = std::make_shared<Engine>(structure, options_.engine_options);
+  Status build_status = TREEDL_FAULT_POINT("session_pool.build");
+  std::shared_ptr<Engine> engine;
   bool warm_loaded = false;
+  bool quarantined = false;
   size_t artifact_loads = 0;
-  if (!options_.session_dir.empty()) {
-    std::string path = SessionFilePath(fingerprint);
-    if (FileExists(path)) {
-      RunStats load_stats;
-      // A corrupt or mismatched file must not fail the request: the session
-      // simply starts cold and rebuilds.
-      if (engine->LoadSession(path, &load_stats).ok()) {
-        warm_loaded = true;
-        artifact_loads = load_stats.artifact_loads;
+  if (build_status.ok()) {
+    engine = std::make_shared<Engine>(structure, options_.engine_options);
+    if (!options_.session_dir.empty()) {
+      std::string path = SessionFilePath(fingerprint);
+      if (FileExists(path)) {
+        RunStats load_stats;
+        Status loaded = engine->LoadSession(path, &load_stats);
+        if (loaded.ok()) {
+          warm_loaded = true;
+          artifact_loads = load_stats.artifact_loads;
+        } else {
+          // A corrupt, truncated, or fault-injected file must not fail the
+          // request — the session starts cold and rebuilds. Quarantine the
+          // file to "<path>.corrupt" so the damage is kept for inspection
+          // and the next acquire does not re-read it (a later SAVE writes a
+          // fresh, healthy file at the original path).
+          std::rename(path.c_str(), (path + ".corrupt").c_str());
+          quarantined = true;
+        }
       }
     }
   }
+
+  if (!build_status.ok()) {
+    // Failed build: release the reserved slot and hand the failure to every
+    // thread that waited on this latch — each consumes one share, so nobody
+    // hangs on the condition variable and nobody re-runs the failed build on
+    // this request's behalf. The next fresh Acquire retries exactly once.
+    lock.lock();
+    auto build = builds_.find(fingerprint);
+    size_t waiters = build != builds_.end() ? build->second.waiters : 0;
+    if (build != builds_.end()) builds_.erase(build);
+    if (waiters > 0) {
+      BuildFailure& failure = build_failures_[fingerprint];
+      failure.status = build_status;
+      failure.remaining += waiters;
+    }
+    build_cv_.notify_all();
+    return build_status;
+  }
+
   size_t resident_bytes = engine->ResidentArtifactBytes();
 
   lock.lock();
   builds_.erase(fingerprint);
   if (warm_loaded) ++counters_.warm_loads;
+  if (quarantined) ++counters_.quarantines;
   Entry entry;
   entry.engine = std::move(engine);
   entry.leases = std::make_shared<std::atomic<size_t>>(0);
@@ -226,7 +273,7 @@ size_t SessionPool::ChargedBytesLocked() const {
   size_t total = 0;
   for (const auto& [fingerprint, entry] : sessions_) total += entry.charge;
   // Builds in flight have reserved their estimate against the budget.
-  for (const auto& [fingerprint, estimate] : builds_) total += estimate;
+  for (const auto& [fingerprint, build] : builds_) total += build.estimate;
   return total;
 }
 

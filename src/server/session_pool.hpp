@@ -77,6 +77,10 @@ struct SessionPoolCounters {
   /// Acquires that waited for another thread's in-flight build of the same
   /// fingerprint instead of building a second copy.
   size_t build_waits = 0;
+  /// Session files that failed to load (corrupt, truncated, or
+  /// fault-injected) and were renamed to "<path>.corrupt"; each quarantined
+  /// acquire fell back to a cold build.
+  size_t quarantines = 0;
 };
 
 class SessionPool {
@@ -160,13 +164,29 @@ class SessionPool {
   /// session is leased out.
   bool EvictOneLocked();
 
+  /// One in-flight cold build. An entry holds a session slot and its byte
+  /// estimate against the budget while the builder runs unlocked; `waiters`
+  /// counts the distinct acquires blocked on this build so a failure can be
+  /// delivered to exactly that many threads.
+  struct BuildState {
+    size_t estimate = 0;
+    size_t waiters = 0;
+  };
+  /// A failed build's status, owed to the `remaining` threads that were
+  /// waiting when it failed. Waiters consume one share each and return the
+  /// failure; acquires that never waited skip the record entirely — so a
+  /// fresh request retries the build exactly once, and nobody hangs or
+  /// retry-storms.
+  struct BuildFailure {
+    Status status = Status::OK();
+    size_t remaining = 0;
+  };
+
   SessionPoolOptions options_;
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> sessions_;
-  /// In-flight cold builds: fingerprint -> reserved byte estimate. Entries
-  /// here hold a session slot and their estimate against the budget while
-  /// the builder runs unlocked.
-  std::unordered_map<uint64_t, size_t> builds_;
+  std::unordered_map<uint64_t, BuildState> builds_;
+  std::unordered_map<uint64_t, BuildFailure> build_failures_;
   std::condition_variable build_cv_;
   uint64_t clock_ = 0;
   SessionPoolCounters counters_;

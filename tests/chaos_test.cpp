@@ -1,0 +1,233 @@
+// Chaos harness for the serving stack: scripted fault schedules replayed
+// through the full server, asserting the three degradation invariants of the
+// robustness layer —
+//
+//   typed      every injected fault surfaces as a framed ERR E_* reply with
+//              the schedule-deterministic "injected fault at <site> (hit N)"
+//              message, never a crash or a silent wrong answer;
+//   recovered  the very next request on the same tenant succeeds (failed
+//              builds retry once, failed writes rewrite, corrupt session
+//              files quarantine to <name>.corrupt and rebuild cold);
+//   replayable the same schedule produces the byte-identical transcript at
+//              every front-end thread count.
+//
+// The global FaultInjector is process-wide state, so every test installs its
+// schedule up front and Disable()s on the way out.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "server/frontend.hpp"
+#include "server/server.hpp"
+#include "test_util.hpp"
+
+namespace treedl::server {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().Disable();
+    if (!session_dir_.empty()) std::filesystem::remove_all(session_dir_);
+  }
+
+  /// A fresh per-test session directory (created lazily).
+  const std::string& SessionDir() {
+    if (session_dir_.empty()) {
+      session_dir_ = "chaos_test_" + std::to_string(TestSeed() % 100000);
+      std::filesystem::create_directories(session_dir_);
+    }
+    return session_dir_;
+  }
+
+  std::string session_dir_;
+};
+
+std::string Reply(Server* server, const std::string& line) {
+  std::string out;
+  server->HandleLine(line, &out);
+  return out;
+}
+
+ServerOptions QuietOptions() {
+  ServerOptions options;
+  options.echo_stats = false;
+  return options;
+}
+
+/// Replays `script` through a fresh server under `schedule`, using the
+/// single-threaded driver (threads == 1) or the concurrent front-end.
+std::string Replay(const std::string& script, const std::string& schedule,
+                   ServerOptions options, size_t threads) {
+  Status installed = FaultInjector::Global().SetSchedule(schedule);
+  EXPECT_TRUE(installed.ok()) << installed;
+  Server server(options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  if (threads == 1) {
+    server.Serve(in, out);
+  } else {
+    FrontendOptions frontend_options;
+    frontend_options.num_threads = threads;
+    Frontend frontend(&server, frontend_options);
+    frontend.Serve(in, out);
+  }
+  return out.str();
+}
+
+constexpr const char* kLoadLine =
+    "LOAD g SIG e/2 FACTS e(a, b). e(b, c). e(c, d). e(d, a).";
+
+TEST_F(ChaosTest, InjectedWriteFaultYieldsEIoThenNextSaveSucceeds) {
+  ASSERT_TRUE(
+      FaultInjector::Global().SetSchedule("session_io.write@0").ok());
+  ServerOptions options = QuietOptions();
+  options.session_dir = SessionDir();
+  Server server(options);
+
+  ASSERT_EQ(Reply(&server, kLoadLine).rfind("OK LOAD", 0), 0u);
+  std::string failed = Reply(&server, "SAVE g");
+  EXPECT_EQ(failed.rfind("ERR E_IO", 0), 0u) << failed;
+  EXPECT_NE(failed.find("injected fault at session_io.write (hit 0)"),
+            std::string::npos)
+      << failed;
+  // Recovery: the write path is intact, the very next SAVE lands on disk.
+  EXPECT_EQ(Reply(&server, "SAVE g").rfind("OK SAVE", 0), 0u);
+  EXPECT_EQ(FaultInjector::Global().FaultsInjected(), 1u);
+}
+
+TEST_F(ChaosTest, InjectedBuildFaultFailsOneLoadThenRetriesCold) {
+  ASSERT_TRUE(
+      FaultInjector::Global().SetSchedule("session_pool.build@0").ok());
+  Server server(QuietOptions());
+
+  std::string failed = Reply(&server, kLoadLine);
+  EXPECT_EQ(failed.rfind("ERR E_EVAL", 0), 0u) << failed;
+  EXPECT_NE(failed.find("injected fault at session_pool.build (hit 0)"),
+            std::string::npos)
+      << failed;
+  EXPECT_EQ(server.pool().NumResident(), 0u);
+  // Exactly-once retry: the next LOAD rebuilds and the tenant works.
+  EXPECT_EQ(Reply(&server, kLoadLine).rfind("OK LOAD", 0), 0u);
+  EXPECT_EQ(Reply(&server, "SOLVE g 3COL").rfind("OK SOLVE", 0), 0u);
+  EXPECT_EQ(FaultInjector::Global().FaultsInjected(), 1u);
+}
+
+TEST_F(ChaosTest, InjectedReadFaultQuarantinesSessionFileAndRebuildsCold) {
+  ServerOptions options = QuietOptions();
+  options.session_dir = SessionDir();
+  uint64_t fingerprint = 0;
+  {
+    // Seed a healthy session file.
+    Server server(options);
+    ASSERT_EQ(Reply(&server, kLoadLine).rfind("OK LOAD", 0), 0u);
+    ASSERT_EQ(Reply(&server, "SOLVE g VC").rfind("OK SOLVE", 0), 0u);
+    ASSERT_EQ(Reply(&server, "SAVE g").rfind("OK SAVE", 0), 0u);
+    fingerprint = server.pool().LruFingerprints().back();
+  }
+  std::string path;
+  {
+    SessionPoolOptions probe_options;
+    probe_options.session_dir = options.session_dir;
+    path = SessionPool(probe_options).SessionFilePath(fingerprint);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // The warm start's read fails by injection: the file is quarantined, the
+  // session rebuilds cold, and the tenant still answers correctly.
+  ASSERT_TRUE(FaultInjector::Global().SetSchedule("session_io.read@0").ok());
+  Server degraded(options);
+  std::string load = Reply(&degraded, kLoadLine);
+  EXPECT_EQ(load.rfind("OK LOAD", 0), 0u) << load;
+  EXPECT_NE(load.find("pool=cold"), std::string::npos) << load;
+  SessionPoolCounters counters = degraded.pool().counters();
+  EXPECT_EQ(counters.warm_loads, 0u);
+  EXPECT_EQ(counters.quarantines, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::string solve = Reply(&degraded, "SOLVE g VC");
+  EXPECT_NE(solve.find("optimum=2"), std::string::npos) << solve;
+  // A later SAVE writes a fresh healthy file at the original path.
+  EXPECT_EQ(Reply(&degraded, "SAVE g").rfind("OK SAVE", 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST_F(ChaosTest, DeadlineShedsThenSameTenantAnswers) {
+  Server server(QuietOptions());
+  ASSERT_EQ(Reply(&server, kLoadLine).rfind("OK LOAD", 0), 0u);
+  ASSERT_EQ(Reply(&server, "DEADLINE 1").rfind("OK DEADLINE", 0), 0u);
+  EXPECT_EQ(Reply(&server, "SOLVE g VC"),
+            "ERR E_DEADLINE deadline of 1 work units exceeded\n");
+  ASSERT_EQ(Reply(&server, "DEADLINE OFF").rfind("OK DEADLINE", 0), 0u);
+  std::string solve = Reply(&server, "SOLVE g VC");
+  EXPECT_NE(solve.find("optimum=2"), std::string::npos) << solve;
+}
+
+TEST_F(ChaosTest, FaultScheduleReplaysByteIdenticallyAtEveryThreadCount) {
+  // A script that exercises every chaos path at once: an injected SAVE
+  // failure, a deadline shed sandwiched between real computes on two
+  // sessions, and a final STATS at a quiescent point.
+  const std::string script =
+      "LOAD g SIG e/2 FACTS e(a, b). e(b, c). e(c, a).\n"
+      "LOAD h SIG e/2 FACTS e(x, y). e(y, z).\n"
+      "SOLVE g 3COL\n"
+      "SAVE g\n"
+      "DEADLINE 1\n"
+      "SOLVE h VC\n"
+      "DEADLINE OFF\n"
+      "SOLVE h VC\n"
+      "QUERY g path(X, Y) :- e(X, Y).\n"
+      "SAVE g\n"
+      "STATS\n"
+      "QUIT\n";
+  const std::string schedule = "session_io.write@0";
+
+  ServerOptions options = QuietOptions();
+  options.session_dir = SessionDir();
+  std::string baseline = Replay(script, schedule, options, /*threads=*/1);
+  // The injected failures are at fixed protocol positions.
+  EXPECT_NE(baseline.find("injected fault at session_io.write (hit 0)"),
+            std::string::npos)
+      << baseline;
+  EXPECT_NE(baseline.find("ERR E_DEADLINE"), std::string::npos) << baseline;
+  EXPECT_NE(baseline.find("OK SAVE"), std::string::npos) << baseline;
+
+  for (size_t threads : {2u, 4u}) {
+    // Each replay starts from the same disk state: drop session files the
+    // previous replay's successful SAVE left behind.
+    std::filesystem::remove_all(SessionDir());
+    std::filesystem::create_directories(SessionDir());
+    EXPECT_EQ(Replay(script, schedule, options, threads), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ChaosTest, SeededInjectionIsScheduleDeterministic) {
+  // The seeded mode must be a pure function of (seed, site, hit): two runs
+  // with the same seed inject the same faults at the same positions.
+  const std::string script = std::string(kLoadLine) + "\nSAVE g\nSAVE g\n" +
+                             "SOLVE g VC\nSAVE g\nQUIT\n";
+  ServerOptions options = QuietOptions();
+  options.session_dir = SessionDir();
+
+  auto run_seeded = [&]() {
+    FaultInjector::Global().Seed(0x5eed, /*permille=*/500);
+    Server server(options);
+    std::istringstream in(script);
+    std::ostringstream out;
+    server.Serve(in, out);
+    return out.str();
+  };
+  std::string first = run_seeded();
+  std::filesystem::remove_all(SessionDir());
+  std::filesystem::create_directories(SessionDir());
+  std::string second = run_seeded();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace treedl::server

@@ -3,6 +3,9 @@
 // adversarial schemas for the PRIMALITY pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/primality.hpp"
 #include "core/primality_enum.hpp"
 #include "core/three_color.hpp"
@@ -13,6 +16,7 @@
 #include "schema/closure.hpp"
 #include "schema/encode.hpp"
 #include "schema/primality_bruteforce.hpp"
+#include "server/server.hpp"
 #include "td/heuristics.hpp"
 #include "td/normalize.hpp"
 #include "td/validate.hpp"
@@ -204,6 +208,127 @@ TEST(ClosureRobustnessTest, EmptyLhsFd) {
   auto primes = core::EnumeratePrimes(s);
   ASSERT_TRUE(primes.ok()) << primes.status();
   EXPECT_EQ(*primes, AllPrimesBruteForce(s));
+}
+
+// --- Serving stack: deadlines, budgets, oversized input ----------------------
+
+/// A one-line LOAD of a path graph v0 - v1 - ... with `n` vertices.
+std::string PathLoadLine(const std::string& tenant, size_t n) {
+  std::string line = "LOAD " + tenant + " SIG e/2 FACTS";
+  for (size_t i = 0; i + 1 < n; ++i) {
+    line += " e(v" + std::to_string(i) + ", v" + std::to_string(i + 1) + ").";
+  }
+  return line;
+}
+
+std::string Reply(server::Server* s, const std::string& line) {
+  std::string out;
+  s->HandleLine(line, &out);
+  return out;
+}
+
+server::ServerOptions QuietServer() {
+  server::ServerOptions options;
+  options.echo_stats = false;
+  return options;
+}
+
+TEST(ServerRobustnessTest, OversizedLineYieldsOneFramedErrorAndDriverSurvives) {
+  server::Server s(QuietServer());
+  ASSERT_EQ(Reply(&s, PathLoadLine("g", 4)).rfind("OK LOAD", 0), 0u);
+
+  // 2 MB of garbage payload: the reply must be a single framed ERR line and
+  // the driver must keep serving afterwards.
+  std::string huge = "QUERY g ";
+  huge.append(size_t{2} << 20, 'x');
+  std::string out = Reply(&s, huge);
+  EXPECT_EQ(out.rfind("ERR E_PARSE", 0), 0u) << out.substr(0, 80);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+  EXPECT_EQ(Reply(&s, "SOLVE g 3COL").rfind("OK SOLVE", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, DeadlineZeroShedsEveryComputeRequest) {
+  server::Server s(QuietServer());
+  ASSERT_EQ(Reply(&s, PathLoadLine("g", 6)).rfind("OK LOAD", 0), 0u);
+  EXPECT_EQ(Reply(&s, "DEADLINE 0"), "OK DEADLINE units=0\n");
+
+  // Every compute family sheds at the very first work unit, with the
+  // schedule-invariant message (no thread- or progress-dependent text).
+  const std::string shed = "ERR E_DEADLINE deadline of 0 work units exceeded\n";
+  EXPECT_EQ(Reply(&s, "SOLVE g 3COL"), shed);
+  EXPECT_EQ(Reply(&s, "QUERY g path(X, Y) :- e(X, Y)."), shed);
+  EXPECT_EQ(Reply(&s, "SOLVEALL g"), shed);
+
+  // Disarming recovers the same tenant immediately — a shed request leaves
+  // no partial state behind.
+  EXPECT_EQ(Reply(&s, "DEADLINE OFF"), "OK DEADLINE off\n");
+  EXPECT_EQ(Reply(&s, "SOLVE g 3COL").rfind("OK SOLVE", 0), 0u);
+}
+
+TEST(ServerRobustnessTest, DeadlineAtExactlyTheLastWorkUnitCompletes) {
+  // Work units are deterministic, so there is a sharp threshold T: every
+  // deadline < T sheds and every deadline >= T completes. Find T by scanning
+  // fresh servers (results are memoized within one engine, so each probe
+  // needs its own).
+  auto runs_ok = [](uint64_t units) {
+    server::Server s(QuietServer());
+    EXPECT_EQ(Reply(&s, PathLoadLine("g", 6)).rfind("OK LOAD", 0), 0u);
+    EXPECT_EQ(Reply(&s, "DEADLINE " + std::to_string(units))
+                  .rfind("OK DEADLINE", 0),
+              0u);
+    return Reply(&s, "SOLVE g VC").rfind("OK SOLVE", 0) == 0;
+  };
+  uint64_t threshold = 0;
+  while (!runs_ok(threshold)) {
+    ++threshold;
+    ASSERT_LE(threshold, 10000u) << "no completion threshold found";
+  }
+  ASSERT_GT(threshold, 0u) << "a path DP must consume at least one unit";
+  // The boundary is exact: one unit less sheds, the threshold completes.
+  EXPECT_FALSE(runs_ok(threshold - 1));
+  EXPECT_TRUE(runs_ok(threshold));
+}
+
+TEST(ServerRobustnessTest, TableBudgetAbortsWitnessExtractionButNotEviction) {
+  // extract_witness pins every DP table (eviction off), so a long path blows
+  // through the hard live-table cap: the request must shed with E_ADMISSION,
+  // not OOM. Evictable solves on the very same tenant stay under the cap and
+  // succeed — graceful degradation, not a poisoned session.
+  server::ServerOptions options = QuietServer();
+  options.engine_options.extract_witness = true;
+  options.table_memory_budget = 17000;  // above the structure estimate
+  server::Server s(options);
+  ASSERT_EQ(Reply(&s, PathLoadLine("g", 200)).rfind("OK LOAD", 0), 0u);
+
+  std::string shed = Reply(&s, "SOLVE g 3COL");
+  EXPECT_EQ(shed.rfind("ERR E_ADMISSION", 0), 0u) << shed;
+  EXPECT_NE(shed.find("live DP tables exceed the table_memory_budget"),
+            std::string::npos)
+      << shed;
+  // VC runs with eviction enabled: live tables stay bounded, so the same
+  // tenant answers correctly right after the abort.
+  std::string ok = Reply(&s, "SOLVE g VC");
+  EXPECT_EQ(ok.rfind("OK SOLVE", 0), 0u) << ok;
+  EXPECT_NE(ok.find("optimum=100"), std::string::npos) << ok;
+}
+
+TEST(ServerRobustnessTest, DeadlineAbortDoesNotPoisonCoTenant) {
+  server::Server s(QuietServer());
+  // Two tenants, identical facts: one fingerprint, one pooled engine.
+  ASSERT_EQ(Reply(&s, PathLoadLine("a", 12)).rfind("OK LOAD", 0), 0u);
+  ASSERT_EQ(Reply(&s, PathLoadLine("b", 12)).rfind("OK LOAD", 0), 0u);
+
+  EXPECT_EQ(Reply(&s, "DEADLINE 1"), "OK DEADLINE units=1\n");
+  EXPECT_EQ(Reply(&s, "SOLVE a VC"),
+            "ERR E_DEADLINE deadline of 1 work units exceeded\n");
+  EXPECT_EQ(Reply(&s, "DEADLINE OFF"), "OK DEADLINE off\n");
+
+  // The co-tenant sharing the aborted engine gets the right answer, and so
+  // does the aborted tenant itself.
+  std::string b = Reply(&s, "SOLVE b VC");
+  EXPECT_NE(b.find("optimum=6"), std::string::npos) << b;
+  std::string a = Reply(&s, "SOLVE a VC");
+  EXPECT_NE(a.find("optimum=6"), std::string::npos) << a;
 }
 
 }  // namespace

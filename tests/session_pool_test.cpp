@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "engine/engine.hpp"
 #include "structure/structure_io.hpp"
 #include "test_util.hpp"
@@ -290,6 +292,118 @@ TEST(SessionPoolTest, ContendedAcquireReleaseEvictStress) {
   EXPECT_EQ(counters.hits + counters.misses, kThreads * kRounds);
   EXPECT_EQ(counters.rejections, failures.load());
   EXPECT_LE(pool.NumResident(), 2u);
+}
+
+TEST(SessionPoolTest, FailedBuildReportsOnceAndRetriesOnce) {
+  ASSERT_TRUE(
+      FaultInjector::Global().SetSchedule("session_pool.build@0").ok());
+  SessionPool pool(SessionPoolOptions{});
+  Structure structure = PathStructure(5);
+
+  auto failed = pool.Acquire(structure);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find("session_pool.build"),
+            std::string::npos);
+  EXPECT_EQ(pool.NumResident(), 0u);
+
+  // A fresh Acquire retries the build exactly once — and succeeds, because
+  // only hit 0 of the site is scheduled to fail.
+  auto retried = pool.Acquire(structure);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_FALSE(retried.value().hit);
+  EXPECT_EQ(pool.counters().misses, 2u);
+  EXPECT_EQ(FaultInjector::Global().FaultsInjected(), 1u);
+  FaultInjector::Global().Disable();
+}
+
+TEST(SessionPoolTest, FailedBuildUnderContentionNeverHangsOrStorms) {
+  ASSERT_TRUE(
+      FaultInjector::Global().SetSchedule("session_pool.build@0").ok());
+  SessionPool pool(SessionPoolOptions{});
+  Structure structure = PathStructure(6);
+
+  constexpr size_t kThreads = 8;
+  std::vector<Status> failures(kThreads, Status::OK());
+  std::vector<std::shared_ptr<Engine>> engines(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &structure, &failures, &engines, t] {
+      auto lease = pool.Acquire(structure);
+      if (lease.ok()) {
+        engines[t] = lease.value().engine;
+      } else {
+        failures[t] = lease.status();
+      }
+    });
+  }
+  // The join IS the no-hang assertion: the failed build must wake every
+  // waiter with the failure (or let it retry), never strand it on the latch.
+  for (std::thread& thread : threads) thread.join();
+
+  size_t failed = 0;
+  std::shared_ptr<Engine> survivor;
+  for (size_t t = 0; t < kThreads; ++t) {
+    if (engines[t] != nullptr) {
+      if (survivor == nullptr) survivor = engines[t];
+      EXPECT_EQ(engines[t].get(), survivor.get()) << t;
+      continue;
+    }
+    ++failed;
+    EXPECT_EQ(failures[t].code(), StatusCode::kInternal) << t;
+    EXPECT_NE(failures[t].message().find("injected fault at"),
+              std::string::npos)
+        << t;
+  }
+  // The builder fails; every thread that waited on that build shares the
+  // failure. The rest retry through the latch: ONE rebuilds (hit 1 is not
+  // scheduled, so it succeeds) and the others are served that session.
+  EXPECT_GE(failed, 1u);
+  EXPECT_LT(failed, kThreads);  // somebody retried and succeeded
+  EXPECT_EQ(FaultInjector::Global().FaultsInjected(), 1u);  // no retry storm
+  EXPECT_EQ(pool.counters().misses, 2u);  // failed build + exactly one retry
+  EXPECT_EQ(pool.NumResident(), 1u);
+  FaultInjector::Global().Disable();
+}
+
+TEST(SessionPoolTest, CorruptSessionFileIsQuarantinedAndRebuiltCold) {
+  const std::string dir =
+      "session_pool_quarantine_" + std::to_string(TestSeed() % 100000);
+  std::filesystem::create_directories(dir);
+  Structure structure = PathStructure(6);
+  uint64_t fingerprint = Engine::FingerprintOf(structure);
+
+  SessionPoolOptions options;
+  options.session_dir = dir;
+  {
+    SessionPool pool(options);
+    ASSERT_TRUE(pool.Acquire(structure).ok());
+    ASSERT_TRUE(pool.Acquire(structure).value().engine->SolveAll(nullptr).ok());
+    ASSERT_TRUE(pool.Save(fingerprint).ok());
+  }
+  // Truncate the session file to garbage.
+  SessionPool probe(options);
+  std::string path = probe.SessionFilePath(fingerprint);
+  {
+    std::ofstream corrupt(path, std::ios::trunc | std::ios::binary);
+    corrupt << "not a session file";
+  }
+
+  SessionPool fresh(options);
+  auto lease = fresh.Acquire(structure);
+  ASSERT_TRUE(lease.ok()) << lease.status();  // degraded, not failed
+  EXPECT_FALSE(lease.value().warm_loaded);
+  SessionPoolCounters counters = fresh.counters();
+  EXPECT_EQ(counters.warm_loads, 0u);
+  EXPECT_EQ(counters.quarantines, 1u);
+  // The damage is preserved for inspection and out of the warm-start path.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  // The degraded session still answers correctly.
+  auto result = lease.value().engine->SolveAll(nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().three_colorable);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SessionPoolTest, SaveRequiresResidencyAndSessionDir) {
