@@ -1,34 +1,105 @@
-// Decomposition-quality ablation: min-fill vs min-degree vs MCS against the
+// Decomposition-quality ablation: min-fill vs min-degree vs MCS vs the
+// tie-broken min-fill and the full preprocessing pipeline, all against the
 // exact treewidth on random graphs (the substrate substitution for
 // Bodlaender's algorithm documented in DESIGN.md).
+//
+// Flags: --quick shrinks the graph count for CI; --json <path> additionally
+// writes the deterministic quality counters (total widths per heuristic,
+// pipeline excess over exact, reduction-rule fire counts, proven lower
+// bounds — no wall-clock, so the artifact is comparable across runners).
 #include <cstdio>
+#include <cstring>
 
 #include "common/timer.hpp"
 #include "graph/generators.hpp"
 #include "td/heuristics.hpp"
+#include "td/improve.hpp"
 
 namespace treedl {
 namespace {
 
-void RunHeuristicsBench() {
+struct BenchConfig {
+  int graphs = 32;
+  int vertices = 14;
+  uint64_t seed = 99;
+  const char* json_path = nullptr;
+};
+
+/// Deterministic quality totals over the graph family. Every field is an
+/// exact integer counter — the regression gate diffs these.
+struct QualityTotals {
+  size_t exact_width = 0;
+  size_t min_fill_width = 0;
+  size_t min_degree_width = 0;
+  size_t mcs_width = 0;
+  size_t tie_break_width = 0;
+  size_t pipeline_width = 0;
+  size_t pipeline_wins = 0;  // instances where the pipeline candidate shipped
+  size_t lower_bound = 0;    // preprocessing-proven lower bounds, summed
+  size_t eliminated = 0;     // vertices removed by the reductions
+  size_t merges = 0;         // width-reduction bag merges
+  ReductionCounters reductions;
+};
+
+size_t WidthOf(const Graph& graph, TdHeuristic heuristic) {
+  auto td = Decompose(graph, heuristic);
+  TREEDL_CHECK(td.ok()) << td.status();
+  return static_cast<size_t>(td->Width());
+}
+
+QualityTotals CollectTotals(const BenchConfig& config,
+                            const std::vector<Graph>& graphs,
+                            const std::vector<int>& exact) {
+  QualityTotals totals;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& graph = graphs[i];
+    size_t min_fill = WidthOf(graph, TdHeuristic::kMinFill);
+    totals.exact_width += static_cast<size_t>(exact[i]);
+    totals.min_fill_width += min_fill;
+    totals.min_degree_width += WidthOf(graph, TdHeuristic::kMinDegree);
+    totals.mcs_width += WidthOf(graph, TdHeuristic::kMcs);
+    totals.tie_break_width += WidthOf(graph, TdHeuristic::kMinFillTieBreak);
+
+    PipelineOptions popts;
+    popts.seed = config.seed + i;
+    PipelineStats stats;
+    auto td = DecomposePipeline(graph, popts, &stats);
+    TREEDL_CHECK(td.ok()) << td.status();
+    size_t pipeline = static_cast<size_t>(td->Width());
+    // The portfolio guarantee: never worse than plain min-fill, never better
+    // than exact, and the proven lower bound never exceeds the exact width.
+    TREEDL_CHECK(pipeline <= min_fill);
+    TREEDL_CHECK(pipeline >= static_cast<size_t>(exact[i]));
+    TREEDL_CHECK(stats.lower_bound <= exact[i]);
+    totals.pipeline_width += pipeline;
+    totals.pipeline_wins += stats.used_pipeline ? 1 : 0;
+    totals.lower_bound += static_cast<size_t>(stats.lower_bound);
+    totals.eliminated += stats.eliminated;
+    totals.merges += stats.merges;
+    totals.reductions.isolated += stats.reductions.isolated;
+    totals.reductions.pendant += stats.reductions.pendant;
+    totals.reductions.series += stats.reductions.series;
+    totals.reductions.simplicial += stats.reductions.simplicial;
+    totals.reductions.almost_simplicial += stats.reductions.almost_simplicial;
+  }
+  return totals;
+}
+
+void PrintTable(const BenchConfig& config, const std::vector<Graph>& graphs,
+                const std::vector<int>& exact) {
   std::printf("Tree-decomposition heuristics vs exact treewidth\n");
-  std::printf("(32 random partial 3-trees, n = 14)\n");
+  std::printf("(%d random partial 3-trees, n = %d)\n", config.graphs,
+              config.vertices);
   std::printf("%10s %10s %10s %12s\n", "heuristic", "avg width", "excess",
               "time ms/graph");
-  Rng rng(99);
-  std::vector<Graph> graphs;
-  std::vector<int> exact;
-  for (int i = 0; i < 32; ++i) {
-    graphs.push_back(RandomPartialKTree(14, 3, 0.75, &rng));
-    exact.push_back(ExactTreewidth(graphs.back()).value());
-  }
   struct Row {
     const char* name;
     TdHeuristic heuristic;
   };
   for (Row row : {Row{"min-fill", TdHeuristic::kMinFill},
                   Row{"min-degree", TdHeuristic::kMinDegree},
-                  Row{"mcs", TdHeuristic::kMcs}}) {
+                  Row{"mcs", TdHeuristic::kMcs},
+                  Row{"tie-break", TdHeuristic::kMinFillTieBreak}}) {
     double total_width = 0, total_excess = 0;
     Timer timer;
     for (size_t i = 0; i < graphs.size(); ++i) {
@@ -42,16 +113,94 @@ void RunHeuristicsBench() {
                 total_width / static_cast<double>(graphs.size()),
                 total_excess / static_cast<double>(graphs.size()), ms);
   }
+  {
+    double total_width = 0, total_excess = 0;
+    Timer timer;
+    for (size_t i = 0; i < graphs.size(); ++i) {
+      PipelineOptions popts;
+      popts.seed = config.seed + i;
+      auto td = DecomposePipeline(graphs[i], popts);
+      TREEDL_CHECK(td.ok());
+      total_width += td->Width();
+      total_excess += td->Width() - exact[static_cast<size_t>(i)];
+    }
+    double ms = timer.ElapsedMillis() / static_cast<double>(graphs.size());
+    std::printf("%10s %10.2f %10.2f %12.3f\n", "pipeline",
+                total_width / static_cast<double>(graphs.size()),
+                total_excess / static_cast<double>(graphs.size()), ms);
+  }
   double avg_exact = 0;
   for (int w : exact) avg_exact += w;
   std::printf("%10s %10.2f\n", "exact",
               avg_exact / static_cast<double>(exact.size()));
 }
 
+void WriteJson(const BenchConfig& config, const QualityTotals& totals) {
+  FILE* out = std::fopen(config.json_path, "w");
+  TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"heuristics\",\n"
+               "  \"vertices\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"graphs\": %d,\n"
+               "  \"exact_width_total\": %zu,\n"
+               "  \"min_fill_width_total\": %zu,\n"
+               "  \"min_degree_width_total\": %zu,\n"
+               "  \"mcs_width_total\": %zu,\n"
+               "  \"tie_break_width_total\": %zu,\n"
+               "  \"pipeline_width_total\": %zu,\n"
+               "  \"pipeline_excess_total\": %zu,\n"
+               "  \"pipeline_wins\": %zu,\n"
+               "  \"lower_bound_total\": %zu,\n"
+               "  \"eliminated_vertices\": %zu,\n"
+               "  \"width_reduce_merges\": %zu,\n"
+               "  \"reduce_isolated\": %zu,\n"
+               "  \"reduce_pendant\": %zu,\n"
+               "  \"reduce_series\": %zu,\n"
+               "  \"reduce_simplicial\": %zu,\n"
+               "  \"reduce_almost_simplicial\": %zu\n"
+               "}\n",
+               config.vertices, static_cast<unsigned long long>(config.seed),
+               config.graphs, totals.exact_width, totals.min_fill_width,
+               totals.min_degree_width, totals.mcs_width,
+               totals.tie_break_width, totals.pipeline_width,
+               totals.pipeline_width - totals.exact_width,
+               totals.pipeline_wins, totals.lower_bound, totals.eliminated,
+               totals.merges, totals.reductions.isolated,
+               totals.reductions.pendant, totals.reductions.series,
+               totals.reductions.simplicial,
+               totals.reductions.almost_simplicial);
+  std::fclose(out);
+  std::printf("  wrote %s\n", config.json_path);
+}
+
+void RunHeuristicsBench(const BenchConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Graph> graphs;
+  std::vector<int> exact;
+  for (int i = 0; i < config.graphs; ++i) {
+    graphs.push_back(RandomPartialKTree(config.vertices, 3, 0.75, &rng));
+    exact.push_back(ExactTreewidth(graphs.back()).value());
+  }
+  PrintTable(config, graphs, exact);
+  if (config.json_path != nullptr) {
+    WriteJson(config, CollectTotals(config, graphs, exact));
+  }
+}
+
 }  // namespace
 }  // namespace treedl
 
-int main() {
-  treedl::RunHeuristicsBench();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.graphs = 16;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  treedl::RunHeuristicsBench(config);
   return 0;
 }

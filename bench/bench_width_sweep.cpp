@@ -1,14 +1,147 @@
 // Ablation: the f(w) factor of Cor 4.6 / Thm 5.3. At fixed data size, the
 // PRIMALITY DP's state count and runtime grow steeply with the width of the
 // decomposition (FD-window schemas of increasing window).
+//
+// Flags: --quick replaces the PRIMALITY timing sweep with the deterministic
+// decomposition-quality sweep alone (for CI); --json <path> writes the
+// quality counters: plain min-fill vs the full pipeline on every instance's
+// Gaifman graph — total widths, regressions (must be zero: the pipeline
+// keeps the legacy candidate as a fallback), and how often the modeled DP
+// cost (Normalize + EstimateNodeCost) strictly improved.
 #include <cstdio>
+#include <cstring>
 
 #include "common/timer.hpp"
 #include "engine/engine.hpp"
+#include "graph/gaifman.hpp"
+#include "schema/encode.hpp"
 #include "schema/generators.hpp"
+#include "td/heuristics.hpp"
+#include "td/improve.hpp"
 
 namespace treedl {
 namespace {
+
+struct BenchConfig {
+  bool quick = false;
+  const char* json_path = nullptr;
+};
+
+constexpr int kWindows[] = {2, 3, 4, 5, 6};
+constexpr int kVariants = 3;  // seed variants per window
+
+/// Deterministic baseline-vs-pipeline totals over the instance family.
+struct QualityTotals {
+  size_t instances = 0;
+  size_t baseline_width = 0;  // plain kMinFill, the PR 9 decomposition
+  size_t pipeline_width = 0;
+  size_t width_improved = 0;    // pipeline width strictly below baseline
+  size_t width_regressions = 0; // pipeline width above baseline (must be 0)
+  size_t cost_improved = 0;     // modeled DP cost strictly below baseline
+  uint64_t baseline_cost = 0;   // Σ NormalizedDpCost
+  uint64_t pipeline_cost = 0;
+  size_t pipeline_wins = 0;     // instances where the pipeline candidate shipped
+  size_t eliminated = 0;        // vertices removed by preprocessing
+  size_t merges = 0;            // width-reduction bag merges
+};
+
+Graph InstanceGaifman(int window, int variant) {
+  Rng rng(static_cast<uint64_t>(window) * 31 + 5 +
+          static_cast<uint64_t>(variant) * 7919);
+  Schema schema = RandomWindowSchema(36, 24, window, &rng);
+  SchemaEncoding encoding = EncodeSchema(schema);
+  return GaifmanGraph(encoding.structure);
+}
+
+QualityTotals CollectTotals() {
+  QualityTotals totals;
+  for (int window : kWindows) {
+    for (int variant = 0; variant < kVariants; ++variant) {
+      Graph graph = InstanceGaifman(window, variant);
+
+      auto baseline = Decompose(graph, TdHeuristic::kMinFill);
+      TREEDL_CHECK(baseline.ok()) << baseline.status();
+      uint64_t baseline_cost = NormalizedDpCost(*baseline).value();
+
+      PipelineOptions popts;
+      popts.seed = static_cast<uint64_t>(window) * 1000 +
+                   static_cast<uint64_t>(variant);
+      PipelineStats stats;
+      auto pipeline = DecomposePipeline(graph, popts, &stats);
+      TREEDL_CHECK(pipeline.ok()) << pipeline.status();
+      uint64_t pipeline_cost = NormalizedDpCost(*pipeline).value();
+
+      ++totals.instances;
+      totals.baseline_width += static_cast<size_t>(baseline->Width());
+      totals.pipeline_width += static_cast<size_t>(pipeline->Width());
+      if (pipeline->Width() < baseline->Width()) ++totals.width_improved;
+      if (pipeline->Width() > baseline->Width()) ++totals.width_regressions;
+      if (pipeline_cost < baseline_cost) ++totals.cost_improved;
+      totals.baseline_cost += baseline_cost;
+      totals.pipeline_cost += pipeline_cost;
+      totals.pipeline_wins += stats.used_pipeline ? 1 : 0;
+      totals.eliminated += stats.eliminated;
+      totals.merges += stats.merges;
+    }
+  }
+  // The acceptance bar of the decomposition-quality pipeline: width never
+  // regresses on any instance, and the modeled DP cost strictly improves on
+  // at least 30% of the family.
+  TREEDL_CHECK(totals.width_regressions == 0);
+  TREEDL_CHECK(totals.cost_improved * 10 >= totals.instances * 3);
+  return totals;
+}
+
+void WriteJson(const BenchConfig& config, const QualityTotals& totals) {
+  FILE* out = std::fopen(config.json_path, "w");
+  TREEDL_CHECK(out != nullptr) << "cannot open " << config.json_path;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"width_sweep\",\n"
+               "  \"num_attributes\": 36,\n"
+               "  \"num_fds\": 24,\n"
+               "  \"instances\": %zu,\n"
+               "  \"baseline_width_total\": %zu,\n"
+               "  \"pipeline_width_total\": %zu,\n"
+               "  \"width_improved\": %zu,\n"
+               "  \"width_regressions\": %zu,\n"
+               "  \"cost_improved\": %zu,\n"
+               "  \"baseline_cost_total\": %llu,\n"
+               "  \"pipeline_cost_total\": %llu,\n"
+               "  \"pipeline_wins\": %zu,\n"
+               "  \"eliminated_vertices\": %zu,\n"
+               "  \"width_reduce_merges\": %zu\n"
+               "}\n",
+               totals.instances, totals.baseline_width, totals.pipeline_width,
+               totals.width_improved, totals.width_regressions,
+               totals.cost_improved,
+               static_cast<unsigned long long>(totals.baseline_cost),
+               static_cast<unsigned long long>(totals.pipeline_cost),
+               totals.pipeline_wins, totals.eliminated, totals.merges);
+  std::fclose(out);
+  std::printf("  wrote %s\n", config.json_path);
+}
+
+void RunQualitySweep(const BenchConfig& config) {
+  QualityTotals totals = CollectTotals();
+  std::printf("Decomposition quality: min-fill baseline vs pipeline\n");
+  std::printf("(%zu FD-window Gaifman graphs, 36 attrs, 24 FDs)\n",
+              totals.instances);
+  std::printf(
+      "  width: baseline %zu -> pipeline %zu (improved on %zu, regressed on "
+      "%zu)\n",
+      totals.baseline_width, totals.pipeline_width, totals.width_improved,
+      totals.width_regressions);
+  std::printf(
+      "  modeled DP cost: baseline %llu -> pipeline %llu (improved on "
+      "%zu/%zu)\n",
+      static_cast<unsigned long long>(totals.baseline_cost),
+      static_cast<unsigned long long>(totals.pipeline_cost),
+      totals.cost_improved, totals.instances);
+  std::printf("  reductions: %zu vertices eliminated, %zu bag merges\n",
+              totals.eliminated, totals.merges);
+  if (config.json_path != nullptr) WriteJson(config, totals);
+}
 
 void RunWidthSweep() {
   std::printf("PRIMALITY DP cost vs decomposition width (fixed ~36 attrs)\n");
@@ -35,7 +168,18 @@ void RunWidthSweep() {
 }  // namespace
 }  // namespace treedl
 
-int main() {
-  treedl::RunWidthSweep();
+int main(int argc, char** argv) {
+  treedl::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    }
+  }
+  if (!config.quick) treedl::RunWidthSweep();
+  if (config.quick || config.json_path != nullptr) {
+    treedl::RunQualitySweep(config);
+  }
   return 0;
 }

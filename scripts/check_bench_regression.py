@@ -35,6 +35,36 @@ def flatten(prefix, node, out):
         out[prefix] = node
 
 
+def fail_usage(message):
+    """Input problems (missing/malformed files) exit 2 — distinct from the
+    gate's exit 1 — so CI logs separate 'your invocation is broken' from
+    'your counters regressed'."""
+    print(f"check_bench_regression: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_counters(path, role):
+    """Reads and flattens one counters file, exiting with an actionable
+    message (not a traceback) when it is missing or malformed."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as error:
+        fail_usage(f"cannot read {role} {path!r}: {error.strerror or error}. "
+                   f"Run the quick benches with --json (see the quick-bench "
+                   f"CI job) to produce it, or fix the path.")
+    except json.JSONDecodeError as error:
+        fail_usage(f"{role} {path!r} is not valid JSON: {error}. Regenerate "
+                   f"it with the quick benches' --json flag; do not edit the "
+                   f"counters by hand.")
+    if not isinstance(data, dict):
+        fail_usage(f"{role} {path!r} must hold a JSON object of merged bench "
+                   f"sections, got {type(data).__name__}.")
+    out = {}
+    flatten("", data, out)
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -45,12 +75,8 @@ def main():
                         help="fail on keys present in only one file")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = {}
-        flatten("", json.load(f), baseline)
-    with open(args.current) as f:
-        current = {}
-        flatten("", json.load(f), current)
+    baseline = load_counters(args.baseline, "baseline")
+    current = load_counters(args.current, "current")
 
     failures = []
     print(f"{'counter':<48} {'baseline':>14} {'current':>14} {'change':>9}")

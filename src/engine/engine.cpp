@@ -19,6 +19,7 @@
 #include "structure/structure_io.hpp"
 #include "td/elimination_order.hpp"
 #include "td/heuristics.hpp"
+#include "td/improve.hpp"
 
 namespace treedl {
 
@@ -153,6 +154,12 @@ StatusOr<const TreeDecomposition*> Engine::EnsureTd(RunStats* stats) {
     if (options_.elimination_order.has_value()) {
       return DecompositionFromOrder(*gaifman, *options_.elimination_order);
     }
+    if (options_.td_pipeline) {
+      PipelineOptions popts;
+      popts.starts = options_.td_pipeline_starts;
+      popts.seed = SessionFingerprint();
+      return DecomposePipeline(*gaifman, popts);
+    }
     return Decompose(*gaifman, options_.heuristic);
   }();
   TREEDL_RETURN_IF_ERROR(td.status());
@@ -213,6 +220,7 @@ StatusOr<const NormalizedTreeDecomposition*> Engine::EnsureEnumNtd(
   state.normalize_options = core::internal::PrimalityNormalizeOptions(
       *encoding_, /*for_enumeration=*/true);
   engine::PassPipeline pipeline;
+  if (options_.td_pipeline) pipeline.Emplace<engine::WidthReducePass>();
   pipeline.Emplace<engine::NormalizePass>();
   // Parallel sessions shard the enumeration normal form too, on the same
   // cost model as the graph-DP sharding (3^|bag| fits the Fig. 6 state
@@ -243,6 +251,7 @@ StatusOr<const NormalizedTreeDecomposition*> Engine::EnsurePlainNtd(
   engine::PipelineState state;
   state.td = *td;
   engine::PassPipeline pipeline;
+  if (options_.td_pipeline) pipeline.Emplace<engine::WidthReducePass>();
   pipeline.Emplace<engine::NormalizePass>();
   // Parallel sessions shard right after normalization, on the same spine.
   size_t threads = ResolvedNumThreads();
@@ -694,6 +703,68 @@ StatusOr<Engine::SolveAllResult> Engine::SolveAll(RunStats* stats,
     TREEDL_ASSIGN_OR_RETURN(out.max_independent_set, independent());
     TREEDL_ASSIGN_OR_RETURN(out.min_dominating_set, dominating());
     MergeDp(dp, s);
+    return out;
+  }();
+  s->total_millis = timer.ElapsedMillis();
+  Record(*s);
+  return result;
+}
+
+// --- Anytime decomposition improvement ---------------------------------------
+
+StatusOr<Engine::ImproveResult> Engine::ImproveDecomposition(
+    RunStats* stats, WorkBudget* budget) {
+  RunStats local;
+  RunStats* s = stats != nullptr ? (*stats = RunStats{}, stats) : &local;
+  Timer timer;
+  StatusOr<ImproveResult> result = [&]() -> StatusOr<ImproveResult> {
+    // The one mutating operation: the whole call runs under the cache lock
+    // and relies on the external-quiescence contract documented in the
+    // header — no concurrent query, no outstanding artifact pointers.
+    std::lock_guard<std::mutex> lock(sync_->cache_mu);
+    TREEDL_ASSIGN_OR_RETURN(const Structure* structure, EnsureStructure(s));
+    TREEDL_ASSIGN_OR_RETURN(const TreeDecomposition* td, EnsureTd(s));
+    TREEDL_ASSIGN_OR_RETURN(const Graph* gaifman, EnsureGaifman(s));
+    ImproveOptions iopts;
+    iopts.seed = SessionFingerprint();
+    // No fallback to options_.work_budget here: a tripped session budget is
+    // sticky and would poison every query after the reopt.
+    TREEDL_ASSIGN_OR_RETURN(ImproveOutcome outcome,
+                            ImproveTd(*gaifman, *td, iopts, budget));
+    ImproveResult out;
+    out.width_before = outcome.width_before;
+    out.width_after = outcome.width_after;
+    out.cost_before = outcome.cost_before;
+    out.cost_after = outcome.cost_after;
+    out.rounds = outcome.rounds;
+    out.improved = outcome.improved;
+    s->improve_rounds += outcome.rounds;
+    if (!outcome.improved) return out;
+    if (options_.validate) {
+      engine::PipelineState state;
+      state.structure = structure;
+      state.td = outcome.td;
+      engine::PassPipeline pipeline;
+      pipeline.Emplace<engine::ValidateStructurePass>();
+      TREEDL_RETURN_IF_ERROR(
+          pipeline.Run(state, options_.collect_pass_timings ? s : nullptr));
+    }
+    // Swap in the better decomposition and invalidate everything derived
+    // from the old one; the next query lazily re-normalizes and re-shards.
+    // The memoized primes survive (answers are decomposition-independent),
+    // and so do the structure, encoding, and Gaifman graph.
+    td_ = std::move(outcome.td);
+    closed_td_.reset();
+    plain_ntd_.reset();
+    enum_ntd_.reset();
+    sharding_.reset();
+    enum_sharding_.reset();
+    tau_td_.reset();
+    // Compiled MSO programs are width-parameterized; the width changed (or
+    // at least may have), so recompile on demand.
+    mso_programs_.clear();
+    ++s->td_builds;
+    ++GlobalEngineCounters().td_builds;
     return out;
   }();
   s->total_millis = timer.ElapsedMillis();

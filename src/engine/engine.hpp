@@ -182,6 +182,44 @@ class Engine {
   StatusOr<SolveAllResult> SolveAll(RunStats* stats = nullptr,
                                     WorkBudget* budget = nullptr);
 
+  // --- Anytime decomposition improvement -----------------------------------
+
+  /// Outcome of one ImproveDecomposition call. Costs are the modeled cost of
+  /// the normal form the DPs traverse (td::NormalizedDpCost).
+  struct ImproveResult {
+    int width_before = 0;
+    int width_after = 0;
+    uint64_t cost_before = 0;
+    uint64_t cost_after = 0;
+    /// Local-search rounds run (== budget units consumed when budgeted).
+    size_t rounds = 0;
+    /// True when the session decomposition was replaced: width dropped, or
+    /// width held and modeled cost strictly dropped.
+    bool improved = false;
+  };
+
+  /// Anytime improvement of the cached session decomposition: width-reduce
+  /// it, then run bounded local search over elimination orders (td/improve.hpp
+  /// ImproveTd, seeded by the session fingerprint so the result is a pure
+  /// function of the session input and the budget). On strict improvement the
+  /// session decomposition is swapped and every artifact derived from the old
+  /// one (closed/normalized forms, shardings, τ_td, compiled MSO programs) is
+  /// invalidated for lazy rebuild; the memoized primes survive (answers are
+  /// decomposition-independent). `budget` bounds the search at one unit per
+  /// round and exhaustion is a graceful stop, never an error; it deliberately
+  /// does NOT fall back to EngineOptions::work_budget — a tripped session
+  /// budget is sticky and would poison every query after the reopt. With no
+  /// budget the search caps at a fixed round count.
+  ///
+  /// EXCEPTION to the immutable-artifact contract above the Ensure* methods:
+  /// this is the one operation that replaces cached artifacts, so it requires
+  /// external quiescence — no query may run concurrently or hold artifact
+  /// pointers across the call. The serving layer guarantees this by treating
+  /// REOPT as a non-compute request: the frontend drains every in-flight
+  /// query, then runs this inline on the dispatch thread.
+  StatusOr<ImproveResult> ImproveDecomposition(RunStats* stats = nullptr,
+                                               WorkBudget* budget = nullptr);
+
   // --- Persistent sessions -------------------------------------------------
 
   /// Writes every currently cached decomposition artifact (raw/closed

@@ -97,6 +97,11 @@ struct RunStats {
   /// thread count.
   size_t executor_dispatches = 0;
 
+  // --- Anytime decomposition improvement -----------------------------------
+  /// Local-search rounds run by Engine::ImproveDecomposition (one WorkBudget
+  /// unit each when the call was budgeted — the serving layer's REOPT).
+  size_t improve_rounds = 0;
+
   // --- PRIMALITY enumeration sharding --------------------------------------
   /// Shard tasks run by the two sharded walks (bottom-up solve and top-down
   /// solve↓) of the §5.3 enumeration (0 when the walks ran sequentially).
@@ -150,6 +155,7 @@ struct RunStats {
     fixpoint_rule_tasks += other.fixpoint_rule_tasks;
     plan_compiles += other.plan_compiles;
     executor_dispatches += other.executor_dispatches;
+    improve_rounds += other.improve_rounds;
     primality_shards += other.primality_shards;
     ground_clauses += other.ground_clauses;
     ground_atoms += other.ground_atoms;

@@ -153,6 +153,7 @@ const char* RequestName(const Request& request) {
     const char* operator()(const OpenRequest&) const { return "OPEN"; }
     const char* operator()(const StatsRequest&) const { return "STATS"; }
     const char* operator()(const DeadlineRequest&) const { return "DEADLINE"; }
+    const char* operator()(const ReoptRequest&) const { return "REOPT"; }
     const char* operator()(const CloseRequest&) const { return "CLOSE"; }
     const char* operator()(const QuitRequest&) const { return "QUIT"; }
   };
@@ -252,6 +253,26 @@ StatusOr<std::optional<Request>> ParseRequest(std::string_view line) {
       deadline.units = units;
     }
     return std::optional<Request>(Request(deadline));
+  }
+  if (command == "REOPT") {
+    TREEDL_ASSIGN_OR_RETURN(std::string tenant, TakeTenant(&rest, "REOPT"));
+    std::string_view token = TakeToken(&rest);
+    if (token.empty()) {
+      return Status::ParseError("REOPT: expected a unit count");
+    }
+    TREEDL_RETURN_IF_ERROR(ExpectEnd(&rest, "REOPT"));
+    uint64_t units = 0;
+    for (char c : token) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::ParseError("REOPT: '" + std::string(token) +
+                                  "' is not a unit count");
+      }
+      if (units > (UINT64_MAX - 9) / 10) {
+        return Status::ParseError("REOPT: unit count overflows");
+      }
+      units = units * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return std::optional<Request>(Request(ReoptRequest{std::move(tenant), units}));
   }
   if (command == "CLOSE") {
     return tenant_only(

@@ -17,6 +17,7 @@
 //   OPEN <tenant>                                          warm-start session
 //   STATS [<tenant>]                                       counters
 //   DEADLINE <units>|OFF                                   arm work budget
+//   REOPT <tenant> <units>                                 improve the TD
 //   CLOSE <tenant>                                         drop the tenant
 //   QUIT                                                   stop the driver
 //
@@ -112,6 +113,18 @@ struct DeadlineRequest {
   std::optional<uint64_t> units;  // nullopt = OFF
 };
 
+/// REOPT <tenant> <units> runs the anytime decomposition-improvement hook
+/// (Engine::ImproveDecomposition) for up to `units` local-search rounds —
+/// one deterministic work unit per round, so the search stops at the same
+/// round at every thread count. On strict width-or-cost improvement the
+/// session swaps its decomposition and invalidates the derived artifacts;
+/// subsequent queries lazily re-normalize and re-shard against the better
+/// tree. Budget exhaustion is the normal stop, never an error.
+struct ReoptRequest {
+  std::string tenant;
+  uint64_t units = 0;
+};
+
 struct CloseRequest {
   std::string tenant;
 };
@@ -121,7 +134,8 @@ struct QuitRequest {};
 using Request =
     std::variant<LoadRequest, AssertRequest, QueryRequest, SolveRequest,
                  SolveAllRequest, MsoRequest, SaveRequest, OpenRequest,
-                 StatsRequest, DeadlineRequest, CloseRequest, QuitRequest>;
+                 StatsRequest, DeadlineRequest, ReoptRequest, CloseRequest,
+                 QuitRequest>;
 
 /// The command keyword of a parsed request ("LOAD", "QUERY", ...).
 const char* RequestName(const Request& request);

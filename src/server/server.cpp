@@ -91,6 +91,8 @@ bool Server::HandleRequest(const Request& request, std::string* out) {
           HandleStats(typed, out);
         } else if constexpr (std::is_same_v<T, DeadlineRequest>) {
           HandleDeadline(typed, out);
+        } else if constexpr (std::is_same_v<T, ReoptRequest>) {
+          HandleReopt(typed, out);
         } else if constexpr (std::is_same_v<T, CloseRequest>) {
           HandleClose(typed, out);
         }
@@ -553,6 +555,46 @@ void Server::HandleDeadline(const DeadlineRequest& request, std::string* out) {
   } else {
     EmitOk("DEADLINE", "off", out);
   }
+}
+
+void Server::HandleReopt(const ReoptRequest& request, std::string* out) {
+  StatusOr<Tenant*> found = FindTenant(request.tenant);
+  if (!found.ok()) {
+    EmitError(ErrorCode::kNoTenant, found.status().message(), out);
+    return;
+  }
+  StatusOr<SessionPool::Lease> lease = AcquireFor(*found.value());
+  if (!lease.ok()) {
+    EmitStatus(lease.status(), out);
+    return;
+  }
+  // A fresh per-request budget, one unit per local-search round; exhaustion
+  // is the normal stop, never an error reply. REOPT deliberately does not
+  // touch the connection's DEADLINE state or the session's own budget. As a
+  // non-compute request this always runs on the dispatch thread with the
+  // pipeline drained — exactly the quiescence Engine::ImproveDecomposition
+  // requires for the one artifact-mutating operation.
+  WorkBudget budget;
+  budget.SetDeadline(request.units);
+  RunStats run;
+  StatusOr<Engine::ImproveResult> improved =
+      lease.value().engine->ImproveDecomposition(&run, &budget);
+  if (!improved.ok()) {
+    EmitStatus(improved.status(), out);
+    return;
+  }
+  const Engine::ImproveResult& r = improved.value();
+  std::string details =
+      "tenant=" + request.tenant +
+      " fingerprint=" + Hex16(lease.value().fingerprint) + " " +
+      KeyValue("improved", r.improved ? 1 : 0) + " " +
+      KeyValue("width_before", static_cast<size_t>(r.width_before)) + " " +
+      KeyValue("width_after", static_cast<size_t>(r.width_after)) + " " +
+      KeyValue("cost_before", r.cost_before) + " " +
+      KeyValue("cost_after", r.cost_after) + " " +
+      KeyValue("rounds", r.rounds) + " pool=" + PoolLabel(lease.value()) +
+      FinishRun(lease.value().fingerprint, run);
+  EmitOk("REOPT", details, out);
 }
 
 void Server::HandleClose(const CloseRequest& request, std::string* out) {

@@ -187,6 +187,7 @@ class Server {
   void HandleOpen(const OpenRequest& request, std::string* out);
   void HandleStats(const StatsRequest& request, std::string* out);
   void HandleDeadline(const DeadlineRequest& request, std::string* out);
+  void HandleReopt(const ReoptRequest& request, std::string* out);
   void HandleClose(const CloseRequest& request, std::string* out);
 
   void ExecuteQuery(ComputeWork& work, std::string* out);

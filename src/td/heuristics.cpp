@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <set>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "graph/gaifman.hpp"
 #include "td/elimination_order.hpp"
 
@@ -60,6 +62,56 @@ std::vector<VertexId> GreedyOrder(const Graph& graph, bool min_fill) {
   return order;
 }
 
+// Min-fill with principled tie-breaking: candidates are compared by
+// (fill, current degree, id); when `rng` is non-null, ties on (fill, degree)
+// are instead broken uniformly at random — the randomized restarts of the
+// multi-start variant.
+std::vector<VertexId> TieBrokenMinFillOrder(const Graph& graph, Rng* rng) {
+  size_t n = graph.NumVertices();
+  std::vector<std::set<VertexId>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> ties;
+  for (size_t step = 0; step < n; ++step) {
+    VertexId best = 0;
+    auto best_score = std::make_pair(std::numeric_limits<size_t>::max(),
+                                     std::numeric_limits<size_t>::max());
+    ties.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      auto score = std::make_pair(FillIn(adj, v), adj[v].size());
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+        ties.clear();
+        ties.push_back(v);
+      } else if (rng != nullptr && score == best_score) {
+        ties.push_back(v);
+      }
+    }
+    if (rng != nullptr && ties.size() > 1) {
+      best = ties[rng->UniformIndex(ties.size())];
+    }
+    order.push_back(best);
+    eliminated[best] = true;
+    std::vector<VertexId> nbrs(adj[best].begin(), adj[best].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(best);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    adj[best].clear();
+  }
+  return order;
+}
+
 // Maximum cardinality search: repeatedly pick the vertex with the most
 // already-visited neighbors; the *reverse* of the visit order is used as the
 // elimination order (exact on chordal graphs).
@@ -88,6 +140,23 @@ std::vector<VertexId> McsOrder(const Graph& graph) {
   return visit_order;
 }
 
+// (induced width, Σ 3^min(|bag|, 20)) of an order — the same state-count
+// model as td::EstimateNodeCost, aggregated over the raw bags, used to rank
+// multi-start candidates without normalizing each one.
+std::pair<int, uint64_t> OrderQuality(const Graph& graph,
+                                      const std::vector<VertexId>& order) {
+  StatusOr<TreeDecomposition> td = DecompositionFromOrder(graph, order);
+  TREEDL_CHECK(td.ok()) << td.status();
+  uint64_t cost = 0;
+  for (size_t id = 0; id < td->NumNodes(); ++id) {
+    size_t b = std::min<size_t>(td->Bag(static_cast<TdNodeId>(id)).size(), 20);
+    uint64_t states = 1;
+    for (size_t i = 0; i < b; ++i) states *= 3;
+    cost += states;
+  }
+  return {td->Width(), cost};
+}
+
 }  // namespace
 
 std::vector<VertexId> HeuristicOrder(const Graph& graph,
@@ -99,9 +168,29 @@ std::vector<VertexId> HeuristicOrder(const Graph& graph,
       return GreedyOrder(graph, /*min_fill=*/true);
     case TdHeuristic::kMcs:
       return McsOrder(graph);
+    case TdHeuristic::kMinFillTieBreak:
+      return TieBrokenMinFillOrder(graph, /*rng=*/nullptr);
   }
   TREEDL_CHECK(false) << "unknown heuristic";
   return {};
+}
+
+std::vector<VertexId> MinFillMultiStartOrder(const Graph& graph,
+                                             const MultiStartOptions& options) {
+  TREEDL_CHECK(graph.NumVertices() > 0);
+  std::vector<VertexId> best = TieBrokenMinFillOrder(graph, nullptr);
+  std::pair<int, uint64_t> best_quality = OrderQuality(graph, best);
+  for (size_t start = 1; start < options.starts; ++start) {
+    // One independent deterministic stream per restart (golden-ratio step).
+    Rng rng(options.seed + start * 0x9E3779B97F4A7C15ULL);
+    std::vector<VertexId> candidate = TieBrokenMinFillOrder(graph, &rng);
+    std::pair<int, uint64_t> quality = OrderQuality(graph, candidate);
+    if (quality < best_quality) {
+      best_quality = quality;
+      best = std::move(candidate);
+    }
+  }
+  return best;
 }
 
 StatusOr<TreeDecomposition> Decompose(const Graph& graph,

@@ -20,13 +20,35 @@
 namespace treedl {
 
 enum class TdHeuristic {
-  kMinDegree,  // eliminate a vertex of minimum current degree
-  kMinFill,    // eliminate a vertex adding the fewest fill edges
-  kMcs,        // maximum cardinality search order (reversed)
+  kMinDegree,        // eliminate a vertex of minimum current degree
+  kMinFill,          // eliminate a vertex adding the fewest fill edges
+  kMcs,              // maximum cardinality search order (reversed)
+  kMinFillTieBreak,  // min-fill, ties broken by current degree then id
 };
 
-/// An elimination order chosen greedily by `heuristic` (ties broken by id).
+/// An elimination order chosen greedily by `heuristic`. kMinDegree / kMinFill
+/// break ties by lowest id (the historical behavior the default session
+/// decompositions — and the transcripts and bench baselines pinned to them —
+/// depend on); kMinFillTieBreak breaks min-fill ties by smallest current
+/// degree, then lowest id, which dominates kMinFill on width in practice.
 std::vector<VertexId> HeuristicOrder(const Graph& graph, TdHeuristic heuristic);
+
+struct MultiStartOptions {
+  /// Total orders tried: the deterministic (fill, degree, id) order plus
+  /// starts - 1 randomized-tie-break restarts.
+  size_t starts = 8;
+  /// Base seed of the randomized restarts. The decomposition-quality
+  /// pipeline passes the session fingerprint here, making the multi-start
+  /// result a pure function of the session input.
+  uint64_t seed = 0;
+};
+
+/// Best-of-K min-fill: the tie-broken deterministic order plus seeded
+/// restarts that break (fill, degree) ties uniformly at random, keeping the
+/// order with the smallest (induced width, modeled cost). Deterministic per
+/// (graph, options). Requires a nonempty graph.
+std::vector<VertexId> MinFillMultiStartOrder(const Graph& graph,
+                                             const MultiStartOptions& options);
 
 /// Decomposes `graph` with `heuristic` (default: min-fill, usually the best
 /// of the three).

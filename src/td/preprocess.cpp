@@ -1,0 +1,224 @@
+#include "td/preprocess.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace treedl {
+
+namespace {
+
+/// Degeneracy of the graph: repeatedly delete a minimum-degree vertex and
+/// report the largest minimum degree seen. Degeneracy <= treewidth, so this
+/// seeds the tracked lower bound.
+int Degeneracy(const Graph& graph) {
+  size_t n = graph.NumVertices();
+  std::vector<size_t> degree(n);
+  std::vector<bool> removed(n, false);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+  int best = 0;
+  for (size_t step = 0; step < n; ++step) {
+    VertexId pick = 0;
+    size_t min_degree = std::numeric_limits<size_t>::max();
+    for (VertexId v = 0; v < n; ++v) {
+      if (!removed[v] && degree[v] < min_degree) {
+        min_degree = degree[v];
+        pick = v;
+      }
+    }
+    best = std::max(best, static_cast<int>(min_degree));
+    removed[pick] = true;
+    for (VertexId u : graph.Neighbors(pick)) {
+      if (!removed[u]) --degree[u];
+    }
+  }
+  return best;
+}
+
+bool IsClique(const std::vector<std::set<VertexId>>& adj,
+              const std::vector<VertexId>& vertices) {
+  for (size_t a = 0; a < vertices.size(); ++a) {
+    for (size_t b = a + 1; b < vertices.size(); ++b) {
+      if (!adj[vertices[a]].count(vertices[b])) return false;
+    }
+  }
+  return true;
+}
+
+/// True when N(v) minus one of its members is a clique (v itself excluded).
+bool IsAlmostSimplicial(const std::vector<std::set<VertexId>>& adj,
+                        VertexId v) {
+  std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+  for (size_t skip = 0; skip < nbrs.size(); ++skip) {
+    std::vector<VertexId> rest;
+    rest.reserve(nbrs.size() - 1);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i != skip) rest.push_back(nbrs[i]);
+    }
+    if (IsClique(adj, rest)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PreprocessResult Preprocess(const Graph& graph) {
+  size_t n = graph.NumVertices();
+  PreprocessResult result;
+  result.lower_bound = Degeneracy(graph);
+
+  std::vector<std::set<VertexId>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<bool> alive(n, true);
+
+  auto eliminate = [&](VertexId v) {
+    std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+    result.eliminated.push_back({v, nbrs});
+    // Clique-ify the neighborhood (a no-op for already-clique rules): the
+    // reduced graph must force N(v) into one bag so SpliceBack has an anchor.
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    for (VertexId u : nbrs) adj[u].erase(v);
+    adj[v].clear();
+    alive[v] = false;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Cheap degree rules first, lowest vertex id first within each rule.
+    for (VertexId v = 0; v < n && !progress; ++v) {
+      if (!alive[v]) continue;
+      size_t d = adj[v].size();
+      if (d == 0) {
+        ++result.counters.isolated;
+        eliminate(v);
+        progress = true;
+      } else if (d == 1) {
+        result.lower_bound = std::max(result.lower_bound, 1);
+        ++result.counters.pendant;
+        eliminate(v);
+        progress = true;
+      } else if (d == 2 && result.lower_bound >= 2) {
+        ++result.counters.series;
+        eliminate(v);
+        progress = true;
+      }
+    }
+    if (progress) continue;
+    for (VertexId v = 0; v < n && !progress; ++v) {
+      if (!alive[v]) continue;
+      std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+      if (IsClique(adj, nbrs)) {
+        result.lower_bound =
+            std::max(result.lower_bound, static_cast<int>(nbrs.size()));
+        ++result.counters.simplicial;
+        eliminate(v);
+        progress = true;
+      }
+    }
+    if (progress) continue;
+    for (VertexId v = 0; v < n && !progress; ++v) {
+      if (!alive[v]) continue;
+      size_t d = adj[v].size();
+      // d <= 2 is already covered by the degree rules above; the guard
+      // d <= lower_bound is what makes this rule width-safe.
+      if (d >= 3 && d <= static_cast<size_t>(result.lower_bound) &&
+          IsAlmostSimplicial(adj, v)) {
+        ++result.counters.almost_simplicial;
+        eliminate(v);
+        progress = true;
+      }
+    }
+  }
+
+  std::vector<VertexId> to_reduced(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    to_reduced[v] = static_cast<VertexId>(result.to_original.size());
+    result.to_original.push_back(v);
+  }
+  result.reduced = Graph(result.to_original.size());
+  for (VertexId v : result.to_original) {
+    for (VertexId u : adj[v]) {
+      if (u > v) result.reduced.AddEdge(to_reduced[v], to_reduced[u]);
+    }
+  }
+  return result;
+}
+
+StatusOr<TreeDecomposition> SpliceBack(const PreprocessResult& result,
+                                       const TreeDecomposition& reduced_td) {
+  if (reduced_td.Empty() && !result.to_original.empty()) {
+    return Status::InvalidArgument(
+        "splice: the reduced graph is nonempty but its decomposition is "
+        "empty");
+  }
+  TreeDecomposition td;
+  // Copy the reduced decomposition, bags translated to original vertex ids.
+  if (!reduced_td.Empty()) {
+    std::vector<TdNodeId> mapped(reduced_td.NumNodes(), kNoTdNode);
+    for (TdNodeId id : reduced_td.PreOrder()) {
+      std::vector<ElementId> bag;
+      bag.reserve(reduced_td.Bag(id).size());
+      for (ElementId e : reduced_td.Bag(id)) {
+        if (e >= result.to_original.size()) {
+          return Status::InvalidArgument(
+              "splice: reduced bag element outside the reduced graph");
+        }
+        bag.push_back(result.to_original[e]);
+      }
+      TdNodeId parent = reduced_td.node(id).parent;
+      mapped[static_cast<size_t>(id)] = td.AddNode(
+          std::move(bag),
+          parent == kNoTdNode ? kNoTdNode : mapped[static_cast<size_t>(parent)]);
+    }
+  }
+  // Re-attach eliminated vertices in reverse elimination order: when v comes
+  // back, every vertex of its elimination-time neighborhood is already in the
+  // tree and forms a clique there, so some bag contains all of N(v).
+  for (auto it = result.eliminated.rbegin(); it != result.eliminated.rend();
+       ++it) {
+    if (td.Empty()) {
+      if (!it->neighbors.empty()) {
+        return Status::InvalidArgument(
+            "splice: eliminated vertex has neighbors but the tree is empty");
+      }
+      td.AddNode({it->vertex});
+      continue;
+    }
+    TdNodeId anchor = kNoTdNode;
+    if (it->neighbors.empty()) {
+      anchor = td.root();
+    } else {
+      for (size_t id = 0; id < td.NumNodes() && anchor == kNoTdNode; ++id) {
+        bool all = true;
+        for (VertexId u : it->neighbors) {
+          if (!td.BagContains(static_cast<TdNodeId>(id), u)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) anchor = static_cast<TdNodeId>(id);
+      }
+      if (anchor == kNoTdNode) {
+        return Status::Internal(
+            "splice: no bag contains the eliminated vertex's clique "
+            "neighborhood");
+      }
+    }
+    std::vector<ElementId> bag = it->neighbors;
+    bag.push_back(it->vertex);
+    td.AddNode(std::move(bag), anchor);
+  }
+  return td;
+}
+
+}  // namespace treedl

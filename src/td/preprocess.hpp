@@ -1,0 +1,96 @@
+// Safe preprocessing reductions for treewidth (the standard rule set of
+// Bodlaender–Koster-style preprocessing, as used by htd and friends).
+//
+// Each rule eliminates a vertex whose optimal bag is forced, shrinking the
+// graph the ordering heuristics have to work on without ever hurting the
+// achievable width:
+//
+//   isolated   (degree 0)  bag {v}; always safe.
+//   pendant    (degree 1)  bag {v, u}; safe once the graph has an edge
+//                          (tw >= 1).
+//   series     (degree 2)  bag {v, u, w}, edge {u, w} added; safe when the
+//                          tracked lower bound is >= 2.
+//   simplicial             N(v) is a clique, so {v} ∪ N(v) is a clique and
+//                          tw >= deg(v): eliminating v is exact and raises
+//                          the lower bound to deg(v).
+//   almost-simplicial      N(v) minus one vertex is a clique; safe when
+//                          deg(v) <= the tracked lower bound (the forced bag
+//                          cannot exceed a width we must pay anyway).
+//
+// The tracked lower bound starts at the degeneracy of the input (removing a
+// minimum-degree vertex repeatedly; degeneracy <= treewidth) and only grows
+// via simplicial witnesses, so the invariant
+//
+//   tw(original) = max(tw(reduced), lower_bound)
+//
+// holds after every rule application — that is what "width-safe" means here.
+// SpliceBack rebuilds a decomposition of the original graph from any valid
+// decomposition of the reduced graph by re-attaching the eliminated vertices
+// in reverse elimination order; the splice bags have size deg(v) + 1 <=
+// max(lower_bound, width(reduced)) + 1, so the width never regresses past
+// the guarantee above.
+#ifndef TREEDL_TD_PREPROCESS_HPP_
+#define TREEDL_TD_PREPROCESS_HPP_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace treedl {
+
+/// How often each reduction rule fired during one Preprocess run.
+struct ReductionCounters {
+  size_t isolated = 0;
+  size_t pendant = 0;
+  size_t series = 0;
+  size_t simplicial = 0;
+  size_t almost_simplicial = 0;
+
+  size_t Total() const {
+    return isolated + pendant + series + simplicial + almost_simplicial;
+  }
+};
+
+/// One eliminated vertex with its neighborhood at elimination time (original
+/// vertex ids; the neighborhood was turned into a clique of the reduced
+/// graph, so it is fully contained in some bag of any decomposition built
+/// later — the anchor SpliceBack attaches to).
+struct EliminatedVertex {
+  VertexId vertex = 0;
+  std::vector<VertexId> neighbors;
+};
+
+struct PreprocessResult {
+  /// The reduced graph over surviving vertices, reindexed densely.
+  Graph reduced;
+  /// Reduced vertex id -> original vertex id (sorted ascending).
+  std::vector<VertexId> to_original;
+  /// Eliminated vertices in elimination order.
+  std::vector<EliminatedVertex> eliminated;
+  /// Proven treewidth lower bound of the ORIGINAL graph (degeneracy plus
+  /// simplicial-clique witnesses).
+  int lower_bound = 0;
+  ReductionCounters counters;
+};
+
+/// Exhaustively applies the safe reduction rules (lowest-eligible-vertex-id
+/// first per rule, rules in the order listed above) until none fires.
+/// Deterministic; linear memory, small-polynomial time.
+PreprocessResult Preprocess(const Graph& graph);
+
+/// Rebuilds a decomposition of the original graph from a decomposition of
+/// `result.reduced` (in reduced vertex ids): translates the reduced bags back
+/// to original ids, then re-attaches every eliminated vertex v, in reverse
+/// elimination order, as a fresh child bag {v} ∪ N(v) under a bag containing
+/// N(v). `reduced_td` may be empty iff the reduction consumed the whole
+/// graph. The result is a valid decomposition of the original graph with
+/// width max(reduced_td.Width(), max eliminated degree).
+StatusOr<TreeDecomposition> SpliceBack(const PreprocessResult& result,
+                                       const TreeDecomposition& reduced_td);
+
+}  // namespace treedl
+
+#endif  // TREEDL_TD_PREPROCESS_HPP_

@@ -227,5 +227,72 @@ TEST(ServerTest, GarbageLinesNeverCrashAndAlwaysReplyOkOrErr) {
   EXPECT_NE(Reply(&server, "STATS").find("OK STATS"), std::string::npos);
 }
 
+TEST(ProtocolTest, ParsesReoptAndRejectsBadUnits) {
+  auto reopt = ParseRequest("REOPT g 64");
+  ASSERT_TRUE(reopt.ok()) << reopt.status();
+  const auto* request = std::get_if<ReoptRequest>(&reopt.value().value());
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->tenant, "g");
+  EXPECT_EQ(request->units, 64u);
+
+  for (const char* line : {"REOPT", "REOPT g", "REOPT g ten", "REOPT g -5",
+                           "REOPT g 64 extra", "REOPT g 99999999999999999999",
+                           "REOPT g 64.5"}) {
+    auto bad = ParseRequest(line);
+    EXPECT_FALSE(bad.ok()) << line;
+  }
+}
+
+TEST(ServerTest, ReoptImprovesSessionAndPreservesAnswers) {
+  Server server(QuietOptions());
+  // A 4x4 grid tenant: enough structure for the local search to have room.
+  std::string facts;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (c + 1 < 4) {
+        facts += "e(v" + std::to_string(r) + std::to_string(c) + ", v" +
+                 std::to_string(r) + std::to_string(c + 1) + "). ";
+      }
+      if (r + 1 < 4) {
+        facts += "e(v" + std::to_string(r) + std::to_string(c) + ", v" +
+                 std::to_string(r + 1) + std::to_string(c) + "). ";
+      }
+    }
+  }
+  ASSERT_NE(Reply(&server, "LOAD grid SIG e/2 FACTS " + facts).find("OK LOAD"),
+            std::string::npos);
+  std::string before = Reply(&server, "SOLVEALL grid");
+
+  EXPECT_EQ(Reply(&server, "REOPT nope 8").rfind("ERR E_TENANT ", 0), 0u);
+  std::string reopt = Reply(&server, "REOPT grid 32");
+  EXPECT_EQ(reopt.rfind("OK REOPT tenant=grid", 0), 0u) << reopt;
+  EXPECT_NE(reopt.find("width_before="), std::string::npos) << reopt;
+  EXPECT_NE(reopt.find("rounds="), std::string::npos) << reopt;
+
+  // Budget exhaustion is the normal stop, never an error, and the swap (if
+  // any) must not change a single answer.
+  std::string after = Reply(&server, "SOLVEALL grid");
+  EXPECT_EQ(before, after);
+
+  // The whole exchange is deterministic: a fresh server reproduces the REOPT
+  // reply byte for byte.
+  Server replay(QuietOptions());
+  ASSERT_NE(Reply(&replay, "LOAD grid SIG e/2 FACTS " + facts).find("OK LOAD"),
+            std::string::npos);
+  ASSERT_NE(Reply(&replay, "SOLVEALL grid").find("OK SOLVEALL"),
+            std::string::npos);
+  EXPECT_EQ(Reply(&replay, "REOPT nope 8"), Reply(&server, "REOPT nope 8"));
+  EXPECT_EQ(Reply(&replay, "REOPT grid 32"), reopt);
+}
+
+TEST(ServerTest, ReoptZeroUnitsIsANoOp) {
+  Server server(QuietOptions());
+  ASSERT_NE(Reply(&server, kTriangleLoad).find("OK LOAD"), std::string::npos);
+  std::string reopt = Reply(&server, "REOPT g 0");
+  EXPECT_EQ(reopt.rfind("OK REOPT tenant=g", 0), 0u) << reopt;
+  EXPECT_NE(reopt.find("rounds=0"), std::string::npos) << reopt;
+  EXPECT_NE(Reply(&server, "SOLVE g VC").find("optimum=2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace treedl::server
